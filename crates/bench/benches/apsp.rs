@@ -1,0 +1,34 @@
+//! Criterion bench: end-to-end APSP across the four algorithms (E1/E9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcc_apsp::{apsp, ApspAlgorithm, Params};
+use qcc_graph::random_reweighted_digraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(41);
+    let g8 = random_reweighted_digraph(8, 0.5, 6, &mut rng);
+    let g32 = random_reweighted_digraph(32, 0.5, 6, &mut rng);
+
+    let mut params = Params::paper();
+    params.search_repetitions = Some(8);
+
+    for (name, algorithm, g) in [
+        ("naive/32", ApspAlgorithm::NaiveBroadcast, &g32),
+        ("semiring/32", ApspAlgorithm::SemiringSquaring, &g32),
+        ("classical-triangle/8", ApspAlgorithm::ClassicalTriangle, &g8),
+        ("quantum-triangle/8", ApspAlgorithm::QuantumTriangle, &g8),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            let mut rng = StdRng::seed_from_u64(42);
+            b.iter(|| apsp(g, params, algorithm, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apsp);
+criterion_main!(benches);

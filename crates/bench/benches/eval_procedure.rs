@@ -1,0 +1,53 @@
+//! Criterion bench: the Figure 4/5 joint evaluation procedures (E8/E12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcc_apsp::eval_procedure::{evaluate_joint, AlphaContext, EvalQuery};
+use qcc_apsp::gather::gather_weights;
+use qcc_apsp::lambda::KeptPair;
+use qcc_apsp::{Instance, PairSet, Params};
+use qcc_congest::Clique;
+use qcc_graph::planted_disjoint_triangles;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joint_evaluation");
+    group.sample_size(20);
+    for &n in &[16usize, 81, 256] {
+        let mut rng = StdRng::seed_from_u64(51);
+        let (g, _) = planted_disjoint_triangles(n, n / 8, (8.0 / n as f64).min(0.5), &mut rng);
+        let s = PairSet::all_pairs(n);
+        let params = Params::paper();
+        let inst = Instance::new(&g, &s, params);
+        let mut net = Clique::new(n).unwrap();
+        let gathered = gather_weights(&inst, &mut net).unwrap();
+        let labels: Vec<usize> = (0..inst.triples.labeling().label_count()).collect();
+        let actx = AlphaContext::build(&inst, &mut net, 0, &labels).unwrap();
+        let queries: Vec<EvalQuery> = g
+            .edges()
+            .map(|(u, v, w)| {
+                let bu = inst.parts.coarse.block_of(u);
+                let bv = inst.parts.coarse.block_of(v);
+                EvalQuery {
+                    search_label: inst.searches.encode(
+                        bu.min(bv),
+                        bu.max(bv),
+                        rng.gen_range(0..inst.parts.fine.num_blocks()),
+                    ),
+                    pair: KeptPair { u: u.min(v), v: u.max(v), weight: w },
+                    target: rng.gen_range(0..inst.parts.fine.num_blocks()),
+                }
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Clique::new(n).unwrap();
+                evaluate_joint(&inst, &mut net, &gathered, &actx, &queries).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

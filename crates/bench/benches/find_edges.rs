@@ -1,0 +1,35 @@
+//! Criterion bench: FindEdgesWithPromise, quantum vs classical Step 3 (E2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcc_apsp::{compute_pairs, PairSet, Params, SearchBackend};
+use qcc_congest::Clique;
+use qcc_graph::planted_disjoint_triangles;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_compute_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_pairs");
+    group.sample_size(10);
+    for &n in &[16usize, 81] {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (g, _) = planted_disjoint_triangles(n, n / 8, (8.0 / n as f64).min(0.5), &mut rng);
+        let s = PairSet::all_pairs(n);
+        let mut params = Params::paper();
+        params.search_repetitions = Some(8);
+        for (name, backend) in
+            [("quantum", SearchBackend::Quantum), ("classical", SearchBackend::Classical)]
+        {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                let mut rng = StdRng::seed_from_u64(22);
+                b.iter(|| {
+                    let mut net = Clique::new(n).unwrap();
+                    compute_pairs(&g, &s, params, backend, &mut net, &mut rng).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compute_pairs);
+criterion_main!(benches);

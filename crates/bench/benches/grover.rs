@@ -1,0 +1,91 @@
+//! Criterion bench: single and multiple quantum searches (E10, E3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcc_quantum::{
+    classical_search, grover_search_amplified, multi_grover_search, AtypicalInputError,
+    MultiOracle, SearchOracle,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Marked {
+    marked: Vec<bool>,
+}
+
+impl SearchOracle for Marked {
+    fn domain_size(&self) -> usize {
+        self.marked.len()
+    }
+    fn truth(&mut self, item: usize) -> bool {
+        self.marked[item]
+    }
+    fn evaluate_distributed(&mut self, item: usize) -> bool {
+        self.marked[item]
+    }
+}
+
+struct Needles {
+    domain: usize,
+    needles: Vec<usize>,
+}
+
+impl MultiOracle for Needles {
+    fn domain_size(&self) -> usize {
+        self.domain
+    }
+    fn num_searches(&self) -> usize {
+        self.needles.len()
+    }
+    fn truth(&mut self, search: usize, item: usize) -> bool {
+        self.needles[search] == item
+    }
+    fn evaluate(&mut self, tuple: &[usize]) -> Result<Vec<bool>, AtypicalInputError> {
+        Ok(tuple.iter().enumerate().map(|(s, &i)| self.needles[s] == i).collect())
+    }
+    fn evaluate_classical(&mut self, item: usize) -> Vec<bool> {
+        self.needles.iter().map(|&t| t == item).collect()
+    }
+}
+
+fn bench_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grover_vs_classical");
+    group.sample_size(30);
+    for &x in &[256usize, 1024, 4096] {
+        let mut marked = vec![false; x];
+        marked[x / 3] = true;
+        group.bench_with_input(BenchmarkId::new("grover", x), &x, |b, _| {
+            let mut rng = StdRng::seed_from_u64(11);
+            b.iter(|| {
+                let mut oracle = Marked { marked: marked.clone() };
+                grover_search_amplified(&mut oracle, 10, &mut rng)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("classical", x), &x, |b, _| {
+            b.iter(|| {
+                let mut oracle = Marked { marked: marked.clone() };
+                classical_search(&mut oracle)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_search");
+    group.sample_size(20);
+    for &m in &[64usize, 256, 1024] {
+        let domain = 16;
+        let needles: Vec<usize> = (0..m).map(|s| (5 * s + 1) % domain).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            let mut rng = StdRng::seed_from_u64(12);
+            b.iter(|| {
+                let mut oracle = Needles { domain, needles: needles.clone() };
+                multi_grover_search(&mut oracle, 20, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single, bench_multi);
+criterion_main!(benches);

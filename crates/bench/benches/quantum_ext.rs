@@ -1,0 +1,41 @@
+//! Criterion bench: the quantum extensions — amplitude estimation and
+//! Dürr–Høyer extremum finding (E14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcc_quantum::{quantum_count, quantum_minimum, AmplitudeEstimator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("amplitude_estimation");
+    group.sample_size(30);
+    for &bits in &[8u32, 10, 12] {
+        group.bench_with_input(BenchmarkId::new("estimate", bits), &bits, |b, &bits| {
+            let est = AmplitudeEstimator::new(256, 40);
+            let mut rng = StdRng::seed_from_u64(81);
+            b.iter(|| est.estimate(bits, &mut rng))
+        });
+    }
+    group.bench_function("quantum_count/256", |b| {
+        let mut rng = StdRng::seed_from_u64(82);
+        b.iter(|| quantum_count(256, 17, 9, 5, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_minimum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("duerr_hoyer_minimum");
+    group.sample_size(30);
+    for &n in &[256usize, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(83);
+        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000..1000)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(84);
+            b.iter(|| quantum_minimum(n, |i| values[i], &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation, bench_minimum);
+criterion_main!(benches);

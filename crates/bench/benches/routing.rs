@@ -1,0 +1,52 @@
+//! Criterion bench: Lemma 1 routing and the König edge coloring (E13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcc_congest::coloring::color_bipartite;
+use qcc_congest::{Clique, Envelope, NodeId, RawBits};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_sends(n: usize, count: usize, seed: u64) -> Vec<Envelope<RawBits>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            Envelope::new(
+                NodeId::new(rng.gen_range(0..n)),
+                NodeId::new(rng.gen_range(0..n)),
+                RawBits::new(0, 16),
+            )
+        })
+        .collect()
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma1_route");
+    group.sample_size(20);
+    for &n in &[32usize, 64, 128] {
+        let sends = random_sends(n, 4 * n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Clique::new(n).unwrap();
+                net.route(sends.clone()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("konig_coloring");
+    group.sample_size(20);
+    for &n in &[32usize, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let edges: Vec<(usize, usize)> =
+            (0..8 * n).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| color_bipartite(&edges, n, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_route, bench_coloring);
+criterion_main!(benches);

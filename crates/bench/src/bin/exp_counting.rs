@@ -1,0 +1,82 @@
+//! Experiment E14 (extension) — quantum Γ counting and extremum finding.
+//!
+//! Beyond the paper's detection problem, the toolbox extends to *counting*
+//! (amplitude estimation: `Γ(u, v)` to within ±1 with `O(M)` queries,
+//! `M ≈ 4π√(Γ(n−Γ))`) and *extremum finding* (Dürr–Høyer: `O(√n)`
+//! expected queries). Both are exactly simulated; the counting oracle runs
+//! real exchanges on the network.
+
+use qcc_apsp::{quantum_gamma_count, PairSet};
+use qcc_bench::{banner, Table};
+use qcc_congest::Clique;
+use qcc_graph::book_graph;
+use qcc_quantum::{quantum_maximum, AmplitudeEstimator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    banner("E14", "quantum Gamma counting: amplitude estimation over the apex domain");
+    let mut table = Table::new(&[
+        "n",
+        "true Gamma",
+        "register bits",
+        "estimate",
+        "oracle queries/pair",
+        "classical queries",
+        "rounds",
+    ]);
+    for &(n, gamma) in &[(32usize, 4usize), (32, 12), (64, 24), (128, 48)] {
+        let g = book_graph(n, gamma);
+        let mut pairs = PairSet::new();
+        pairs.insert(0, 1);
+        let bits = AmplitudeEstimator::new(n, gamma).bits_for_exact_count();
+        let mut net = Clique::new(n).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xE14 + n as u64);
+        let report = quantum_gamma_count(&g, &pairs, bits, 5, &mut net, &mut rng).unwrap();
+        let (_, _, est, truth) = report.estimates[0];
+        table.row(&[
+            &n,
+            &truth,
+            &bits,
+            &est,
+            &report.oracle_queries,
+            &(n - 2), // classical exact count probes every candidate apex
+            &report.rounds,
+        ]);
+    }
+    table.print();
+    println!(
+        "\n(the register size follows 4π√(Γ(n−Γ)): sublinear in n for sparse Γ;\n\
+         at these demonstration sizes the crossover against the classical n−2\n\
+         probes appears once Γ ≪ n, e.g. n = 128, Γ = 4)"
+    );
+
+    banner("E14b", "Duerr-Hoyer extremum: O(sqrt n) expected evaluations");
+    let mut table =
+        Table::new(&["n", "mean iterations", "classical n", "mean stages", "correct"]);
+    let trials = 40;
+    for &n in &[64usize, 256, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(0xE14B + n as u64);
+        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000..1000)).collect();
+        let truth = *values.iter().max().unwrap();
+        let mut total_iters = 0u64;
+        let mut total_stages = 0u64;
+        let mut correct = 0u32;
+        for _ in 0..trials {
+            let out = quantum_maximum(n, |i| values[i], &mut rng);
+            total_iters += out.iterations;
+            total_stages += u64::from(out.stages);
+            if values[out.index] == truth {
+                correct += 1;
+            }
+        }
+        table.row(&[
+            &n,
+            &format!("{:.0}", total_iters as f64 / f64::from(trials)),
+            &n,
+            &format!("{:.1}", total_stages as f64 / f64::from(trials)),
+            &format!("{correct}/{trials}"),
+        ]);
+    }
+    table.print();
+}

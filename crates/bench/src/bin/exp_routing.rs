@@ -1,0 +1,74 @@
+//! Experiment E13 — Lemma 1 (Dolev, Lenzen & Peled): 2-round routing.
+//!
+//! Paper claim: any message set in which no node sources or sinks more
+//! than `n` messages is deliverable in 2 rounds. We route balanced,
+//! hot-pair, and overloaded message sets and compare against the direct
+//! (unrouted) delivery, plus the degradation curve for loads `L·n`.
+
+use qcc_bench::{banner, Table};
+use qcc_congest::{Clique, Envelope, NodeId, RawBits};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn unit(bits: u64) -> RawBits {
+    RawBits::new(0, bits)
+}
+
+fn main() {
+    banner("E13", "Lemma 1: bounded-load message sets route in exactly 2 rounds");
+    let n = 64;
+    let bits = 16;
+    let mut rng = StdRng::seed_from_u64(0xE13);
+
+    let mut table = Table::new(&["message set", "messages", "direct rounds", "lemma1 rounds"]);
+
+    // (a) random permutation load: n messages, 1 per source/dest
+    let perm: Vec<Envelope<RawBits>> = {
+        let mut dests: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            dests.swap(i, rng.gen_range(0..=i));
+        }
+        (0..n)
+            .map(|u| Envelope::new(NodeId::new(u), NodeId::new(dests[u]), unit(bits)))
+            .collect()
+    };
+    // (b) hot pair: n messages all from node 0 to node 1
+    let hot: Vec<Envelope<RawBits>> = (0..n)
+        .map(|_| Envelope::new(NodeId::new(0), NodeId::new(1), unit(bits)))
+        .collect();
+    // (c) full bipartite burst: every node sends one unit to every node
+    let full: Vec<Envelope<RawBits>> = (0..n)
+        .flat_map(|u| {
+            (0..n)
+                .filter(move |&v| v != u)
+                .map(move |v| Envelope::new(NodeId::new(u), NodeId::new(v), unit(bits)))
+        })
+        .collect();
+
+    for (label, sends) in [("permutation", perm), ("hot pair (n->1 link)", hot), ("all-to-all", full)]
+    {
+        let count = sends.len();
+        let mut direct = Clique::with_bandwidth(n, bits).unwrap();
+        direct.exchange(sends.clone()).unwrap();
+        let mut routed = Clique::with_bandwidth(n, bits).unwrap();
+        routed.route(sends).unwrap();
+        table.row(&[&label, &count, &direct.rounds(), &routed.rounds()]);
+    }
+    table.print();
+
+    banner("E13b", "overload degradation: 2*ceil(L/n) rounds at per-node load L*n");
+    let mut table = Table::new(&["load factor L", "lemma1 rounds", "predicted 2*ceil(L)"]);
+    for &load in &[1usize, 2, 3, 5, 8] {
+        let sends: Vec<Envelope<RawBits>> = (0..load)
+            .flat_map(|_| {
+                (0..n).map(|v| Envelope::new(NodeId::new(0), NodeId::new(v % n), unit(bits)))
+            })
+            .filter(|e| e.src != e.dst)
+            .collect();
+        // pad each destination evenly: node 0 sources load*n units
+        let mut net = Clique::with_bandwidth(n, bits).unwrap();
+        net.route(sends).unwrap();
+        table.row(&[&load, &net.rounds(), &(2 * load as u64)]);
+    }
+    table.print();
+}

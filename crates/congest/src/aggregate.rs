@@ -1,0 +1,131 @@
+//! Global aggregation primitives.
+//!
+//! Several protocol steps need the whole network to agree on a small
+//! predicate — "did any node's sample exceed the abort bound?" — before
+//! proceeding. In the CONGEST-CLIQUE this costs a constant number of
+//! rounds: gather one bit (or one `O(log n)`-bit value) per node at a
+//! coordinator, combine locally, and broadcast the result. These helpers
+//! execute that pattern with full round accounting so that abort paths are
+//! charged honestly.
+
+use crate::envelope::Envelope;
+use crate::error::CongestError;
+use crate::network::Clique;
+use crate::node::NodeId;
+use crate::payload::Payload;
+
+impl Clique {
+    /// Disseminates the OR of one flag per node: every node learns whether
+    /// *any* node raised its flag. Costs 2 rounds (gather + broadcast).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError::UnknownNode`] if `flags.len() != n`.
+    pub fn agree_any(&mut self, flags: &[bool]) -> Result<bool, CongestError> {
+        if flags.len() != self.n() {
+            return Err(CongestError::UnknownNode {
+                node: NodeId::new(flags.len()),
+                n: self.n(),
+            });
+        }
+        let coordinator = NodeId::new(0);
+        let sends: Vec<Envelope<bool>> = flags
+            .iter()
+            .enumerate()
+            .map(|(i, &flag)| Envelope::new(NodeId::new(i), coordinator, flag))
+            .collect();
+        let inboxes = self.exchange(sends)?;
+        let any = inboxes.of(coordinator).iter().any(|(_, flag)| *flag) || flags[0];
+        self.broadcast(coordinator, any)?;
+        Ok(any)
+    }
+
+    /// Gathers one value per node at the coordinator, folds them, and
+    /// broadcasts the digest to everyone. Returns the digest.
+    ///
+    /// `fold` starts from node 0's value and combines in node order;
+    /// `digest_bits` is the wire size of the broadcast result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError::UnknownNode`] if `values.len() != n`.
+    pub fn agree_fold<T, F>(
+        &mut self,
+        values: Vec<T>,
+        mut fold: F,
+        digest_bits: u64,
+    ) -> Result<T, CongestError>
+    where
+        T: Payload,
+        F: FnMut(T, T) -> T,
+    {
+        if values.len() != self.n() {
+            return Err(CongestError::UnknownNode {
+                node: NodeId::new(values.len()),
+                n: self.n(),
+            });
+        }
+        let coordinator = NodeId::new(0);
+        let mut iter = values.into_iter();
+        let own = iter.next().expect("n > 0");
+        let sends: Vec<Envelope<T>> = iter
+            .enumerate()
+            .map(|(i, v)| Envelope::new(NodeId::new(i + 1), coordinator, v))
+            .collect();
+        let inboxes = self.exchange(sends)?;
+        let mut acc = own;
+        for (_, v) in inboxes.of(coordinator) {
+            acc = fold(acc, v.clone());
+        }
+        self.broadcast(coordinator, crate::payload::RawBits::new(0, digest_bits))?;
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agree_any_detects_a_single_raised_flag() {
+        let mut net = Clique::new(8).unwrap();
+        let mut flags = vec![false; 8];
+        assert!(!net.agree_any(&flags).unwrap());
+        flags[5] = true;
+        assert!(net.agree_any(&flags).unwrap());
+        flags[5] = false;
+        flags[0] = true; // the coordinator's own flag counts too
+        assert!(net.agree_any(&flags).unwrap());
+    }
+
+    #[test]
+    fn agree_any_costs_constant_rounds() {
+        let mut net = Clique::new(32).unwrap();
+        net.agree_any(&[false; 32]).unwrap();
+        let per_call = net.rounds();
+        assert!(per_call >= 2, "gather + broadcast");
+        net.agree_any(&[true; 32]).unwrap();
+        assert_eq!(net.rounds(), 2 * per_call);
+    }
+
+    #[test]
+    fn agree_any_rejects_wrong_arity() {
+        let mut net = Clique::new(4).unwrap();
+        assert!(net.agree_any(&[true, false]).is_err());
+    }
+
+    #[test]
+    fn agree_fold_computes_min() {
+        let mut net = Clique::new(6).unwrap();
+        let values: Vec<u64> = vec![9, 4, 7, 2, 8, 5];
+        let min = net.agree_fold(values, |a, b| a.min(b), 64).unwrap();
+        assert_eq!(min, 2);
+        assert!(net.rounds() >= 2);
+    }
+
+    #[test]
+    fn agree_fold_rejects_wrong_arity() {
+        let mut net = Clique::new(4).unwrap();
+        assert!(net.agree_fold(vec![1u64], |a, _| a, 64).is_err());
+    }
+}

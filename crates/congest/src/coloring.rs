@@ -1,0 +1,243 @@
+//! Bipartite multigraph edge coloring (König's theorem, constructive).
+//!
+//! The routing primitive of Dolev, Lenzen and Peled ("Tri, Tri Again",
+//! DISC 2012) — Lemma 1 of Izumi & Le Gall — delivers any message set in
+//! which no node sources or sinks more than `n` messages within two rounds.
+//! The constructive core is an edge coloring of the *demand multigraph*
+//! (one edge per message, sources on the left, destinations on the right):
+//! by König's edge-coloring theorem a bipartite multigraph of maximum
+//! degree `Δ` admits a proper coloring with exactly `Δ` colors, and a color
+//! class is precisely a set of messages in which every (source, color) and
+//! (destination, color) pair appears at most once — i.e. a valid assignment
+//! of messages to intermediate relay nodes.
+//!
+//! This module implements the classic alternating-path (Kempe chain)
+//! algorithm: `O(m · Δ)` time, exact `Δ` colors.
+
+/// An edge of the demand multigraph: `(left, right)` with multiplicity
+/// expressed by repetition.
+pub type DemandEdge = (usize, usize);
+
+/// A proper edge coloring of a bipartite multigraph.
+#[derive(Clone, Debug)]
+pub struct EdgeColoring {
+    /// `colors[i]` is the color assigned to input edge `i`.
+    pub colors: Vec<usize>,
+    /// Number of colors used (equals the maximum degree).
+    pub num_colors: usize,
+}
+
+/// Computes the maximum degree of the bipartite demand multigraph.
+pub fn max_degree(edges: &[DemandEdge], n_left: usize, n_right: usize) -> usize {
+    let mut left = vec![0usize; n_left];
+    let mut right = vec![0usize; n_right];
+    for &(u, v) in edges {
+        left[u] += 1;
+        right[v] += 1;
+    }
+    left.iter().chain(right.iter()).copied().max().unwrap_or(0)
+}
+
+/// Properly edge-colors a bipartite multigraph with `Δ` colors.
+///
+/// `edges` lists `(left, right)` endpoints; parallel edges are allowed and
+/// receive distinct colors. The returned coloring uses exactly
+/// `max_degree(edges)` colors (König's theorem), the optimum.
+///
+/// # Panics
+///
+/// Panics if an endpoint is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_congest::coloring::{color_bipartite, max_degree};
+///
+/// // two parallel edges (0,0) plus (0,1),(1,0): max degree 3
+/// let edges = vec![(0, 0), (0, 0), (0, 1), (1, 0)];
+/// let coloring = color_bipartite(&edges, 2, 2);
+/// assert_eq!(coloring.num_colors, max_degree(&edges, 2, 2));
+/// ```
+pub fn color_bipartite(edges: &[DemandEdge], n_left: usize, n_right: usize) -> EdgeColoring {
+    let delta = max_degree(edges, n_left, n_right);
+    if delta == 0 {
+        return EdgeColoring { colors: Vec::new(), num_colors: 0 };
+    }
+    // at[side][node][color] = Some(edge index) if that node has an edge of
+    // that color. Sides: 0 = left, 1 = right.
+    let mut left_at = vec![vec![usize::MAX; delta]; n_left];
+    let mut right_at = vec![vec![usize::MAX; delta]; n_right];
+    let mut colors = vec![usize::MAX; edges.len()];
+
+    for (idx, &(u, v)) in edges.iter().enumerate() {
+        assert!(u < n_left && v < n_right, "edge endpoint out of range");
+        let a = free_color(&left_at[u]);
+        let b = free_color(&right_at[v]);
+        if a == b {
+            assign(&mut left_at, &mut right_at, &mut colors, edges, idx, a);
+            continue;
+        }
+        // Make color `a` free at `v` by flipping the (a, b)-alternating path
+        // starting from `v`. The path cannot reach `u` because `u` has no
+        // `a`-colored edge, and left vertices are entered via `a`.
+        let mut path = Vec::new();
+        let mut on_right = true;
+        let mut node = v;
+        let mut want = a;
+        loop {
+            let slot = if on_right { &right_at[node] } else { &left_at[node] };
+            let e = slot[want];
+            if e == usize::MAX {
+                break;
+            }
+            path.push(e);
+            let (eu, ev) = edges[e];
+            node = if on_right { eu } else { ev };
+            on_right = !on_right;
+            want = if want == a { b } else { a };
+        }
+        // Unset the path, then re-set with swapped colors.
+        for &e in &path {
+            let (eu, ev) = edges[e];
+            let c = colors[e];
+            left_at[eu][c] = usize::MAX;
+            right_at[ev][c] = usize::MAX;
+        }
+        for &e in &path {
+            let (eu, ev) = edges[e];
+            let c = if colors[e] == a { b } else { a };
+            colors[e] = c;
+            left_at[eu][c] = e;
+            right_at[ev][c] = e;
+        }
+        debug_assert_eq!(left_at[u][a], usize::MAX);
+        debug_assert_eq!(right_at[v][a], usize::MAX);
+        assign(&mut left_at, &mut right_at, &mut colors, edges, idx, a);
+    }
+
+    EdgeColoring { colors, num_colors: delta }
+}
+
+fn free_color(slots: &[usize]) -> usize {
+    slots
+        .iter()
+        .position(|&e| e == usize::MAX)
+        .expect("a free color always exists below the maximum degree")
+}
+
+fn assign(
+    left_at: &mut [Vec<usize>],
+    right_at: &mut [Vec<usize>],
+    colors: &mut [usize],
+    edges: &[DemandEdge],
+    idx: usize,
+    color: usize,
+) {
+    let (u, v) = edges[idx];
+    colors[idx] = color;
+    left_at[u][color] = idx;
+    right_at[v][color] = idx;
+}
+
+/// Verifies that a coloring is proper: no two edges sharing a left or right
+/// endpoint have the same color. Used by tests and debug assertions.
+pub fn is_proper(edges: &[DemandEdge], coloring: &EdgeColoring, n_left: usize, n_right: usize) -> bool {
+    let mut left_seen = vec![false; n_left * coloring.num_colors.max(1)];
+    let mut right_seen = vec![false; n_right * coloring.num_colors.max(1)];
+    for (idx, &(u, v)) in edges.iter().enumerate() {
+        let c = coloring.colors[idx];
+        if c >= coloring.num_colors {
+            return false;
+        }
+        let lu = u * coloring.num_colors + c;
+        let rv = v * coloring.num_colors + c;
+        if left_seen[lu] || right_seen[rv] {
+            return false;
+        }
+        left_seen[lu] = true;
+        right_seen[rv] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_graph_uses_zero_colors() {
+        let coloring = color_bipartite(&[], 4, 4);
+        assert_eq!(coloring.num_colors, 0);
+        assert!(coloring.colors.is_empty());
+    }
+
+    #[test]
+    fn single_edge_uses_one_color() {
+        let edges = vec![(0, 1)];
+        let c = color_bipartite(&edges, 2, 2);
+        assert_eq!(c.num_colors, 1);
+        assert!(is_proper(&edges, &c, 2, 2));
+    }
+
+    #[test]
+    fn parallel_edges_get_distinct_colors() {
+        let edges = vec![(0, 0), (0, 0), (0, 0)];
+        let c = color_bipartite(&edges, 1, 1);
+        assert_eq!(c.num_colors, 3);
+        assert!(is_proper(&edges, &c, 1, 1));
+        let mut cs = c.colors.clone();
+        cs.sort_unstable();
+        assert_eq!(cs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn complete_bipartite_uses_n_colors() {
+        let n = 6;
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in 0..n {
+                edges.push((u, v));
+            }
+        }
+        let c = color_bipartite(&edges, n, n);
+        assert_eq!(c.num_colors, n);
+        assert!(is_proper(&edges, &c, n, n));
+    }
+
+    #[test]
+    fn random_multigraphs_are_colored_optimally() {
+        let mut rng = StdRng::seed_from_u64(0xC01);
+        for trial in 0..40 {
+            let n = 2 + (trial % 7);
+            let m = rng.gen_range(0..60);
+            let edges: Vec<DemandEdge> =
+                (0..m).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+            let delta = max_degree(&edges, n, n);
+            let c = color_bipartite(&edges, n, n);
+            assert_eq!(c.num_colors, delta, "trial {trial}");
+            assert!(is_proper(&edges, &c, n, n), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn star_needs_degree_colors() {
+        // node 0 sends to everyone: degree n on the left
+        let n = 9;
+        let edges: Vec<DemandEdge> = (0..n).map(|v| (0, v)).collect();
+        let c = color_bipartite(&edges, 1, n);
+        assert_eq!(c.num_colors, n);
+        assert!(is_proper(&edges, &c, 1, n));
+    }
+
+    #[test]
+    fn gather_needs_degree_colors() {
+        // everyone sends to node 0: degree n on the right
+        let n = 9;
+        let edges: Vec<DemandEdge> = (0..n).map(|u| (u, 0)).collect();
+        let c = color_bipartite(&edges, n, 1);
+        assert_eq!(c.num_colors, n);
+        assert!(is_proper(&edges, &c, n, 1));
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for the network simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Errors raised by the CONGEST-CLIQUE simulator.
+///
+/// All variants indicate *programming errors in the simulated algorithm*
+/// (addressing a node outside the network, self-loops where the model
+/// forbids them), not runtime faults: the model assumes reliable links.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CongestError {
+    /// A message referenced a node outside `0..n`.
+    UnknownNode {
+        /// The offending node id.
+        node: NodeId,
+        /// The network size.
+        n: usize,
+    },
+    /// A routing request exceeded the declared per-node load bound.
+    LoadExceeded {
+        /// The overloaded node.
+        node: NodeId,
+        /// Number of message units at that node.
+        load: u64,
+        /// Declared bound.
+        bound: u64,
+    },
+    /// The network was constructed with zero nodes.
+    EmptyNetwork,
+}
+
+impl fmt::Display for CongestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongestError::UnknownNode { node, n } => {
+                write!(f, "message references {node} but the network has {n} nodes")
+            }
+            CongestError::LoadExceeded { node, load, bound } => {
+                write!(f, "{node} carries {load} message units, exceeding bound {bound}")
+            }
+            CongestError::EmptyNetwork => write!(f, "network must contain at least one node"),
+        }
+    }
+}
+
+impl Error for CongestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CongestError::UnknownNode { node: NodeId::new(9), n: 4 };
+        assert!(e.to_string().contains("node9"));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CongestError>();
+    }
+}

@@ -1,0 +1,220 @@
+//! Round and congestion accounting.
+//!
+//! The simulator records, per named phase, how many synchronous rounds were
+//! consumed and how heavily the busiest link and the busiest node were
+//! loaded. These metrics back the congestion experiments (E8, E12, E13 in
+//! `DESIGN.md`): the paper's central technical device is *avoiding* hot
+//! links, so the simulator must be able to observe them.
+
+use std::fmt;
+
+/// Communication statistics for one named phase of an algorithm.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Label supplied by the algorithm (e.g. `"compute-pairs/step1"`).
+    pub label: String,
+    /// Synchronous rounds consumed by the phase.
+    pub rounds: u64,
+    /// Number of messages transmitted.
+    pub messages: u64,
+    /// Total bits transmitted.
+    pub bits: u64,
+    /// Maximum bits carried by a single ordered link over the whole phase.
+    pub max_link_bits: u64,
+    /// Maximum bits sent by a single node over the whole phase.
+    pub max_node_out_bits: u64,
+    /// Maximum bits received by a single node over the whole phase.
+    pub max_node_in_bits: u64,
+}
+
+impl fmt::Display for PhaseStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} rounds, {} msgs, {} bits (max link {}, max out {}, max in {})",
+            self.label,
+            self.rounds,
+            self.messages,
+            self.bits,
+            self.max_link_bits,
+            self.max_node_out_bits,
+            self.max_node_in_bits
+        )
+    }
+}
+
+/// Cumulative metrics for a simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_congest::Metrics;
+///
+/// let mut m = Metrics::new();
+/// m.begin_phase("setup");
+/// m.record_exchange(3, 10, 640, 64, 320, 128);
+/// assert_eq!(m.total_rounds(), 3);
+/// assert_eq!(m.phases().len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    phases: Vec<PhaseStats>,
+    total_rounds: u64,
+    total_messages: u64,
+    total_bits: u64,
+}
+
+impl Metrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Starts a new named phase; subsequent exchanges accumulate into it.
+    ///
+    /// If no phase was ever begun, exchanges accumulate into an implicit
+    /// phase labelled `"(unlabelled)"`.
+    pub fn begin_phase(&mut self, label: &str) {
+        self.phases.push(PhaseStats {
+            label: label.to_owned(),
+            ..PhaseStats::default()
+        });
+    }
+
+    fn current_phase(&mut self) -> &mut PhaseStats {
+        if self.phases.is_empty() {
+            self.begin_phase("(unlabelled)");
+        }
+        self.phases.last_mut().expect("phase exists")
+    }
+
+    /// Records one communication step.
+    pub fn record_exchange(
+        &mut self,
+        rounds: u64,
+        messages: u64,
+        bits: u64,
+        max_link_bits: u64,
+        max_node_out_bits: u64,
+        max_node_in_bits: u64,
+    ) {
+        self.total_rounds += rounds;
+        self.total_messages += messages;
+        self.total_bits += bits;
+        let phase = self.current_phase();
+        phase.rounds += rounds;
+        phase.messages += messages;
+        phase.bits += bits;
+        phase.max_link_bits = phase.max_link_bits.max(max_link_bits);
+        phase.max_node_out_bits = phase.max_node_out_bits.max(max_node_out_bits);
+        phase.max_node_in_bits = phase.max_node_in_bits.max(max_node_in_bits);
+    }
+
+    /// Total synchronous rounds consumed so far.
+    pub fn total_rounds(&self) -> u64 {
+        self.total_rounds
+    }
+
+    /// Total messages transmitted so far.
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Total bits transmitted so far.
+    pub fn total_bits(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Per-phase breakdown, in execution order.
+    pub fn phases(&self) -> &[PhaseStats] {
+        &self.phases
+    }
+
+    /// Largest per-link bit volume observed in any phase.
+    pub fn max_link_bits(&self) -> u64 {
+        self.phases.iter().map(|p| p.max_link_bits).max().unwrap_or(0)
+    }
+
+    /// Merges rounds from phases whose label starts with `prefix`.
+    pub fn rounds_with_prefix(&self, prefix: &str) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.label.starts_with(prefix))
+            .map(|p| p.rounds)
+            .sum()
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "total: {} rounds, {} msgs, {} bits",
+            self.total_rounds, self.total_messages, self.total_bits
+        )?;
+        for phase in &self.phases {
+            writeln!(f, "  {phase}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implicit_phase_is_created() {
+        let mut m = Metrics::new();
+        m.record_exchange(1, 1, 8, 8, 8, 8);
+        assert_eq!(m.phases().len(), 1);
+        assert_eq!(m.phases()[0].label, "(unlabelled)");
+    }
+
+    #[test]
+    fn phases_accumulate_independently() {
+        let mut m = Metrics::new();
+        m.begin_phase("a");
+        m.record_exchange(2, 5, 100, 50, 80, 60);
+        m.begin_phase("b");
+        m.record_exchange(3, 7, 200, 90, 150, 110);
+        assert_eq!(m.total_rounds(), 5);
+        assert_eq!(m.phases()[0].rounds, 2);
+        assert_eq!(m.phases()[1].rounds, 3);
+        assert_eq!(m.max_link_bits(), 90);
+    }
+
+    #[test]
+    fn max_stats_take_componentwise_max() {
+        let mut m = Metrics::new();
+        m.begin_phase("a");
+        m.record_exchange(1, 1, 10, 10, 5, 3);
+        m.record_exchange(1, 1, 10, 4, 9, 8);
+        let p = &m.phases()[0];
+        assert_eq!(p.max_link_bits, 10);
+        assert_eq!(p.max_node_out_bits, 9);
+        assert_eq!(p.max_node_in_bits, 8);
+    }
+
+    #[test]
+    fn prefix_sums_select_phases() {
+        let mut m = Metrics::new();
+        m.begin_phase("grover/iter0");
+        m.record_exchange(2, 0, 0, 0, 0, 0);
+        m.begin_phase("grover/iter1");
+        m.record_exchange(2, 0, 0, 0, 0, 0);
+        m.begin_phase("setup");
+        m.record_exchange(7, 0, 0, 0, 0, 0);
+        assert_eq!(m.rounds_with_prefix("grover/"), 4);
+        assert_eq!(m.rounds_with_prefix("setup"), 7);
+    }
+
+    #[test]
+    fn display_contains_totals() {
+        let mut m = Metrics::new();
+        m.record_exchange(1, 2, 3, 3, 3, 3);
+        let s = m.to_string();
+        assert!(s.contains("1 rounds"));
+        assert!(s.contains("2 msgs"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Node identities for the CONGEST-CLIQUE network.
+
+use std::fmt;
+
+/// Identity of a node in the fully connected network.
+///
+/// Nodes are numbered `0..n`. The newtype keeps node indices from being
+/// confused with vertex labels, partition indices, or other `usize` values
+/// that circulate through the algorithms built on top of the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_congest::NodeId;
+///
+/// let u = NodeId::new(3);
+/// assert_eq!(u.index(), 3);
+/// assert_eq!(format!("{u}"), "node3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node identity from a raw index.
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw index of this node.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over all node identities of an `n`-node network.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcc_congest::NodeId;
+    ///
+    /// let ids: Vec<_> = NodeId::all(3).collect();
+    /// assert_eq!(ids, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> {
+        (0..n).map(NodeId)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_usize() {
+        let id = NodeId::from(17usize);
+        assert_eq!(usize::from(id), 17);
+        assert_eq!(id.index(), 17);
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let ids: Vec<usize> = NodeId::all(5).map(NodeId::index).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(NodeId::new(0).to_string(), "node0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

@@ -1,0 +1,178 @@
+//! Bit-size accounting for message payloads.
+//!
+//! The CONGEST-CLIQUE model charges communication in *bits*: each round,
+//! every ordered pair of nodes may exchange one message of `O(log n)` bits.
+//! Every payload type sent through the simulator therefore reports its size
+//! in bits via [`Payload::bit_size`], and the network schedules transmissions
+//! (possibly fragmenting large payloads across several rounds) accordingly.
+
+/// A message payload with a well-defined size in bits.
+///
+/// Implementations should report the size of the *information content* of
+/// the value as it would be serialized on the wire, not the in-memory size.
+/// The helpers [`bits_for_count`] and [`bits_for_weight_range`] compute the
+/// standard field widths used throughout the crate stack.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_congest::Payload;
+///
+/// #[derive(Clone, Debug)]
+/// struct PairAndWeight { u: u32, v: u32, w: i64 }
+///
+/// impl Payload for PairAndWeight {
+///     fn bit_size(&self) -> u64 { 32 + 32 + 64 }
+/// }
+///
+/// assert_eq!(PairAndWeight { u: 0, v: 1, w: -5 }.bit_size(), 128);
+/// ```
+pub trait Payload: Clone {
+    /// Size of this payload in bits when transmitted.
+    fn bit_size(&self) -> u64;
+}
+
+/// Number of bits needed to address one of `count` distinct values.
+///
+/// Returns 1 for `count <= 1` so that even trivial fields occupy a bit,
+/// keeping round accounting strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(qcc_congest::bits_for_count(256), 8);
+/// assert_eq!(qcc_congest::bits_for_count(257), 9);
+/// assert_eq!(qcc_congest::bits_for_count(1), 1);
+/// ```
+pub fn bits_for_count(count: usize) -> u64 {
+    if count <= 1 {
+        1
+    } else {
+        (usize::BITS - (count - 1).leading_zeros()) as u64
+    }
+}
+
+/// Number of bits needed for a signed integer weight in `[-magnitude, magnitude]`,
+/// plus one sentinel pattern for "infinity" (absent edge).
+///
+/// # Examples
+///
+/// ```
+/// // weights in [-8, 8]: 17 values + infinity = 18 patterns -> 5 bits
+/// assert_eq!(qcc_congest::bits_for_weight_range(8), 5);
+/// ```
+pub fn bits_for_weight_range(magnitude: u64) -> u64 {
+    let patterns = 2 * magnitude + 2; // [-M, M] plus infinity sentinel
+    64 - (patterns - 1).leading_zeros() as u64
+}
+
+/// Payload wrapper carrying an explicit bit size.
+///
+/// Useful for synthetic workloads (routing benchmarks, congestion tests)
+/// where only the *size* of the message matters, not its content.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_congest::{Payload, RawBits};
+///
+/// let msg = RawBits::new(42, 96);
+/// assert_eq!(msg.bit_size(), 96);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawBits {
+    /// Opaque content tag, available to the receiver.
+    pub tag: u64,
+    /// Declared size of this message in bits.
+    pub bits: u64,
+}
+
+impl RawBits {
+    /// Creates a raw payload with the given content tag and bit size.
+    pub fn new(tag: u64, bits: u64) -> Self {
+        RawBits { tag, bits }
+    }
+}
+
+impl Payload for RawBits {
+    fn bit_size(&self) -> u64 {
+        self.bits
+    }
+}
+
+impl Payload for u64 {
+    fn bit_size(&self) -> u64 {
+        64
+    }
+}
+
+impl Payload for u32 {
+    fn bit_size(&self) -> u64 {
+        32
+    }
+}
+
+impl Payload for i64 {
+    fn bit_size(&self) -> u64 {
+        64
+    }
+}
+
+impl Payload for bool {
+    fn bit_size(&self) -> u64 {
+        1
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn bit_size(&self) -> u64 {
+        self.0.bit_size() + self.1.bit_size()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
+    fn bit_size(&self) -> u64 {
+        self.0.bit_size() + self.1.bit_size() + self.2.bit_size()
+    }
+}
+
+impl<T: Payload> Payload for Vec<T> {
+    fn bit_size(&self) -> u64 {
+        self.iter().map(Payload::bit_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_count_edge_cases() {
+        assert_eq!(bits_for_count(0), 1);
+        assert_eq!(bits_for_count(1), 1);
+        assert_eq!(bits_for_count(2), 1);
+        assert_eq!(bits_for_count(3), 2);
+        assert_eq!(bits_for_count(4), 2);
+        assert_eq!(bits_for_count(5), 3);
+        assert_eq!(bits_for_count(1 << 20), 20);
+    }
+
+    #[test]
+    fn bits_for_weight_range_includes_infinity() {
+        // [-1, 1]: 3 values + inf = 4 patterns -> 2 bits
+        assert_eq!(bits_for_weight_range(1), 2);
+        // [0, 0]: 1 value + inf = 2 patterns -> 1 bit
+        assert_eq!(bits_for_weight_range(0), 1);
+    }
+
+    #[test]
+    fn tuple_and_vec_sizes_add_up() {
+        let v = vec![(1u32, true), (2u32, false)];
+        assert_eq!(v.bit_size(), 2 * 33);
+    }
+
+    #[test]
+    fn raw_bits_reports_declared_size() {
+        assert_eq!(RawBits::new(7, 100).bit_size(), 100);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the CONGEST-CLIQUE simulator.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use qcc_congest::coloring::{color_bipartite, is_proper, max_degree};
+use qcc_congest::{Clique, Envelope, NodeId, RawBits};
+
+proptest! {
+    /// König coloring is always proper and uses exactly Δ colors.
+    #[test]
+    fn coloring_is_proper_and_optimal(
+        n in 1usize..12,
+        raw_edges in vec((0usize..12, 0usize..12), 0..120),
+    ) {
+        let edges: Vec<(usize, usize)> = raw_edges
+            .into_iter()
+            .map(|(u, v)| (u % n, v % n))
+            .collect();
+        let delta = max_degree(&edges, n, n);
+        let coloring = color_bipartite(&edges, n, n);
+        prop_assert_eq!(coloring.num_colors, delta);
+        prop_assert!(is_proper(&edges, &coloring, n, n));
+    }
+
+    /// Direct exchange delivers every message exactly once, in sender order.
+    #[test]
+    fn exchange_delivers_everything(
+        n in 1usize..10,
+        raw in vec((0usize..10, 0usize..10, 0u64..1000), 0..80),
+    ) {
+        let sends: Vec<Envelope<u64>> = raw
+            .into_iter()
+            .map(|(u, v, x)| Envelope::new(NodeId::new(u % n), NodeId::new(v % n), x))
+            .collect();
+        let count = sends.len();
+        let mut net = Clique::new(n).unwrap();
+        let inboxes = net.exchange(sends).unwrap();
+        prop_assert_eq!(inboxes.message_count(), count);
+    }
+
+    /// Routed exchange delivers everything and never beats the theoretical
+    /// lower bound of ⌈Δ_bits / (n · B)⌉ rounds, while never exceeding
+    /// 2·⌈Δ_units / n⌉.
+    #[test]
+    fn route_round_bounds(
+        n in 2usize..10,
+        raw in vec((0usize..10, 0usize..10), 1..120),
+    ) {
+        let sends: Vec<Envelope<RawBits>> = raw
+            .into_iter()
+            .map(|(u, v)| Envelope::new(NodeId::new(u % n), NodeId::new(v % n), RawBits::new(0, 16)))
+            .collect();
+        let units: Vec<(usize, usize)> = sends
+            .iter()
+            .filter(|e| e.src != e.dst)
+            .map(|e| (e.src.index(), e.dst.index()))
+            .collect();
+        let delta = max_degree(&units, n, n) as u64;
+        let count = sends.len();
+        let mut net = Clique::with_bandwidth(n, 16).unwrap();
+        let inboxes = net.route(sends).unwrap();
+        prop_assert_eq!(inboxes.message_count(), count);
+        let expected = 2 * delta.div_ceil(n as u64);
+        prop_assert_eq!(net.rounds(), expected);
+    }
+
+    /// Gossip gives every node the same global view.
+    #[test]
+    fn gossip_views_agree(
+        n in 1usize..8,
+        lists in vec(vec(0u64..100, 0..5), 1..8),
+    ) {
+        let mut items: Vec<Vec<u64>> = lists;
+        items.resize(n, Vec::new());
+        items.truncate(n);
+        let mut net = Clique::new(n).unwrap();
+        let views = net.gossip(items).unwrap();
+        for w in views.windows(2) {
+            prop_assert_eq!(&w[0], &w[1]);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Stress tests for the routing layer: mixed payload sizes, adversarial
+//! demand patterns, and cross-primitive consistency.
+
+use qcc_congest::{Clique, Envelope, NodeId, RawBits};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn net(n: usize, bits: u64) -> Clique {
+    Clique::with_bandwidth(n, bits).expect("n > 0")
+}
+
+#[test]
+fn mixed_fragment_sizes_deliver_and_respect_the_degree_bound() {
+    let n = 16;
+    let b = 32;
+    let mut rng = StdRng::seed_from_u64(4001);
+    for trial in 0..10 {
+        let count = rng.gen_range(1..200);
+        let sends: Vec<Envelope<RawBits>> = (0..count)
+            .map(|i| {
+                Envelope::new(
+                    NodeId::new(rng.gen_range(0..n)),
+                    NodeId::new(rng.gen_range(0..n)),
+                    RawBits::new(i as u64, rng.gen_range(1..200)),
+                )
+            })
+            .collect();
+        // compute the unit-degree bound by hand
+        let mut out = vec![0u64; n];
+        let mut inn = vec![0u64; n];
+        for e in &sends {
+            if e.src != e.dst {
+                let units = e.payload.bits.div_ceil(b).max(1);
+                out[e.src.index()] += units;
+                inn[e.dst.index()] += units;
+            }
+        }
+        let delta = out.iter().chain(inn.iter()).copied().max().unwrap_or(0);
+        let mut network = net(n, b);
+        let boxes = network.route(sends.clone()).unwrap();
+        assert_eq!(boxes.message_count(), sends.len(), "trial {trial}");
+        assert_eq!(network.rounds(), 2 * delta.div_ceil(n as u64), "trial {trial}");
+    }
+}
+
+#[test]
+fn many_to_one_and_one_to_many_are_symmetric_for_lemma1() {
+    let n = 12;
+    let b = 16;
+    // gather: everyone -> node 0
+    let gather: Vec<Envelope<RawBits>> = (1..n)
+        .map(|u| Envelope::new(NodeId::new(u), NodeId::new(0), RawBits::new(0, 16)))
+        .collect();
+    // scatter: node 0 -> everyone
+    let scatter: Vec<Envelope<RawBits>> = (1..n)
+        .map(|v| Envelope::new(NodeId::new(0), NodeId::new(v), RawBits::new(0, 16)))
+        .collect();
+    let mut g = net(n, b);
+    g.route(gather).unwrap();
+    let mut s = net(n, b);
+    s.route(scatter).unwrap();
+    assert_eq!(g.rounds(), s.rounds(), "gather and scatter have equal degree");
+    assert_eq!(g.rounds(), 2);
+}
+
+#[test]
+fn permutation_composition_round_counts_add() {
+    let n = 10;
+    let mut network = net(n, 16);
+    for shift in 1..4 {
+        let sends: Vec<Envelope<RawBits>> = (0..n)
+            .map(|u| Envelope::new(NodeId::new(u), NodeId::new((u + shift) % n), RawBits::new(0, 16)))
+            .collect();
+        network.route(sends).unwrap();
+    }
+    // three permutations, 2 rounds each
+    assert_eq!(network.rounds(), 6);
+}
+
+#[test]
+fn broadcast_equals_explicit_fanout() {
+    let n = 9;
+    let payload = RawBits::new(5, 40);
+    let mut via_broadcast = net(n, 16);
+    via_broadcast.broadcast(NodeId::new(2), payload.clone()).unwrap();
+    let mut via_exchange = net(n, 16);
+    let sends: Vec<Envelope<RawBits>> = (0..n)
+        .filter(|&v| v != 2)
+        .map(|v| Envelope::new(NodeId::new(2), NodeId::new(v), payload.clone()))
+        .collect();
+    via_exchange.exchange(sends).unwrap();
+    assert_eq!(via_broadcast.rounds(), via_exchange.rounds());
+    assert_eq!(via_broadcast.rounds(), 3); // ceil(40/16)
+}
+
+#[test]
+fn gossip_cost_tracks_the_largest_list() {
+    let n = 6;
+    let b = 16;
+    let mut network = net(n, b);
+    let mut items: Vec<Vec<RawBits>> = vec![Vec::new(); n];
+    items[3] = (0..5).map(|i| RawBits::new(i, 16)).collect(); // 80 bits
+    items[1] = vec![RawBits::new(9, 16)];
+    network.gossip(items).unwrap();
+    assert_eq!(network.rounds(), 5); // ceil(80/16): the largest list dominates
+}
+
+#[test]
+fn self_messages_are_free_under_routing_too() {
+    let n = 5;
+    let mut network = net(n, 16);
+    let sends: Vec<Envelope<RawBits>> =
+        (0..n).map(|u| Envelope::new(NodeId::new(u), NodeId::new(u), RawBits::new(0, 16))).collect();
+    let boxes = network.route(sends).unwrap();
+    assert_eq!(network.rounds(), 0);
+    assert_eq!(boxes.message_count(), n);
+}
+
+#[test]
+fn inbox_ordering_is_deterministic_under_routing() {
+    let n = 8;
+    let mut sends = Vec::new();
+    for u in (0..n).rev() {
+        if u != 3 {
+            sends.push(Envelope::new(NodeId::new(u), NodeId::new(3), u as u64));
+        }
+    }
+    let mut a = net(n, 64);
+    let boxes_a = a.route(sends.clone()).unwrap();
+    let mut b = net(n, 64);
+    let boxes_b = b.route(sends).unwrap();
+    assert_eq!(boxes_a.of(NodeId::new(3)), boxes_b.of(NodeId::new(3)));
+    let senders: Vec<usize> =
+        boxes_a.of(NodeId::new(3)).iter().map(|(s, _)| s.index()).collect();
+    let mut sorted = senders.clone();
+    sorted.sort_unstable();
+    assert_eq!(senders, sorted, "inboxes sort by sender");
+}
+
+#[test]
+fn agree_any_composes_with_routing_phases() {
+    let n = 10;
+    let mut network = net(n, 16);
+    network.begin_phase("work");
+    let sends: Vec<Envelope<RawBits>> = (1..n)
+        .map(|u| Envelope::new(NodeId::new(u), NodeId::new(0), RawBits::new(0, 16)))
+        .collect();
+    network.route(sends).unwrap();
+    network.begin_phase("consensus");
+    let mut flags = vec![false; n];
+    flags[7] = true;
+    assert!(network.agree_any(&flags).unwrap());
+    assert!(network.metrics().rounds_with_prefix("consensus") >= 2);
+    assert!(network.metrics().rounds_with_prefix("work") >= 2);
+}

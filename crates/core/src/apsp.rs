@@ -1,0 +1,181 @@
+//! The end-to-end APSP algorithms (Proposition 3, Theorem 1).
+//!
+//! `A_G^{n}` under the distance product holds all shortest distances, and
+//! repeated squaring needs only `⌈log₂(n−1)⌉` products, each computed with
+//! the Proposition 2 binary search over `FindEdges`. With the quantum
+//! `FindEdges` backend the total cost is `O~(n^{1/4} log W)` rounds —
+//! Theorem 1; with the classical backend the same pipeline costs
+//! `O~(√n log W)`, and two further baselines (full broadcast, semiring
+//! matrix multiplication) complete the comparison of experiment E9.
+
+use crate::distance_product::distributed_distance_product;
+use crate::params::Params;
+use crate::step3::SearchBackend;
+use crate::ApspError;
+use qcc_graph::{DiGraph, ExtWeight, WeightMatrix};
+use rand::Rng;
+
+/// Which APSP algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApspAlgorithm {
+    /// Theorem 1: repeated squaring over quantum `FindEdges`
+    /// (`O~(n^{1/4} log W)` rounds).
+    QuantumTriangle,
+    /// The same pipeline with classical Step-3 searches
+    /// (`O~(√n log W)` rounds).
+    ClassicalTriangle,
+    /// Full input broadcast + local Floyd–Warshall (`O(n)` rounds).
+    NaiveBroadcast,
+    /// Distributed semiring matrix multiplication (Censor-Hillel et al.,
+    /// `O~(n^{1/3})` rounds).
+    SemiringSquaring,
+}
+
+/// Result of an APSP run.
+#[derive(Clone, Debug)]
+pub struct ApspReport {
+    /// All-pairs shortest distances (`dist[(u, v)]`).
+    pub distances: WeightMatrix,
+    /// Rounds on the physical `n`-node network (simulation factors already
+    /// applied, see [`crate::distance_product`]).
+    pub rounds: u64,
+    /// Distance products performed (the `O(log n)` squaring factor).
+    pub products: u32,
+    /// The algorithm that produced this report.
+    pub algorithm: ApspAlgorithm,
+}
+
+/// Solves APSP on a weighted digraph with the selected algorithm.
+///
+/// # Errors
+///
+/// * [`ApspError::NegativeCycle`] if the graph has a negative cycle.
+/// * Propagated errors from the underlying distributed subroutines.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_apsp::{apsp, ApspAlgorithm, Params};
+/// use qcc_graph::{floyd_warshall, DiGraph};
+/// use rand::SeedableRng;
+///
+/// let mut g = DiGraph::new(8);
+/// g.add_arc(0, 1, 2);
+/// g.add_arc(1, 2, -1);
+/// g.add_arc(2, 3, 5);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let report = apsp(&g, Params::paper(), ApspAlgorithm::NaiveBroadcast, &mut rng)?;
+/// assert_eq!(report.distances, floyd_warshall(&g.adjacency_matrix())?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn apsp<R: Rng>(
+    g: &DiGraph,
+    params: Params,
+    algorithm: ApspAlgorithm,
+    rng: &mut R,
+) -> Result<ApspReport, ApspError> {
+    match algorithm {
+        ApspAlgorithm::QuantumTriangle => squaring_apsp(g, params, SearchBackend::Quantum, rng),
+        ApspAlgorithm::ClassicalTriangle => {
+            squaring_apsp(g, params, SearchBackend::Classical, rng)
+        }
+        ApspAlgorithm::NaiveBroadcast => crate::baselines::naive_broadcast_apsp(g),
+        ApspAlgorithm::SemiringSquaring => crate::baselines::semiring_apsp(g),
+    }
+}
+
+fn squaring_apsp<R: Rng>(
+    g: &DiGraph,
+    params: Params,
+    backend: SearchBackend,
+    rng: &mut R,
+) -> Result<ApspReport, ApspError> {
+    let n = g.n();
+    let mut current = g.adjacency_matrix();
+    let mut rounds = 0u64;
+    let mut products = 0u32;
+    // Square until the exponent reaches n - 1 (paths need at most n - 1 arcs).
+    let mut exponent: u64 = 1;
+    while exponent < (n.max(2) as u64) - 1 {
+        let report =
+            distributed_distance_product(&current, &current, params, backend, rng)?;
+        rounds += report.physical_rounds();
+        current = report.product;
+        products += 1;
+        exponent *= 2;
+    }
+    // Negative cycle ⟺ some negative diagonal entry of the closure.
+    for i in 0..n {
+        if current[(i, i)] < ExtWeight::ZERO {
+            return Err(ApspError::NegativeCycle);
+        }
+    }
+    let algorithm = match backend {
+        SearchBackend::Quantum => ApspAlgorithm::QuantumTriangle,
+        SearchBackend::Classical => ApspAlgorithm::ClassicalTriangle,
+    };
+    Ok(ApspReport { distances: current, rounds, products, algorithm })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_graph::{floyd_warshall, random_reweighted_digraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantum_apsp_matches_floyd_warshall() {
+        let mut rng = StdRng::seed_from_u64(111);
+        let g = random_reweighted_digraph(8, 0.5, 4, &mut rng);
+        let expected = floyd_warshall(&g.adjacency_matrix()).unwrap();
+        let report = apsp(&g, Params::paper(), ApspAlgorithm::QuantumTriangle, &mut rng).unwrap();
+        assert_eq!(report.distances, expected);
+        assert!(report.rounds > 0);
+        assert!(report.products >= 3); // ceil(log2(7))
+    }
+
+    #[test]
+    fn classical_triangle_apsp_matches_floyd_warshall() {
+        let mut rng = StdRng::seed_from_u64(112);
+        let g = random_reweighted_digraph(10, 0.4, 5, &mut rng);
+        let expected = floyd_warshall(&g.adjacency_matrix()).unwrap();
+        let report =
+            apsp(&g, Params::paper(), ApspAlgorithm::ClassicalTriangle, &mut rng).unwrap();
+        assert_eq!(report.distances, expected);
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_infinite() {
+        let mut g = DiGraph::new(6);
+        g.add_arc(0, 1, 3);
+        let mut rng = StdRng::seed_from_u64(113);
+        let report =
+            apsp(&g, Params::paper(), ApspAlgorithm::ClassicalTriangle, &mut rng).unwrap();
+        assert_eq!(report.distances[(0, 1)], ExtWeight::from(3));
+        assert_eq!(report.distances[(1, 0)], ExtWeight::PosInf);
+        assert_eq!(report.distances[(4, 5)], ExtWeight::PosInf);
+    }
+
+    #[test]
+    fn negative_cycle_is_reported() {
+        let mut g = DiGraph::new(6);
+        g.add_arc(0, 1, 1);
+        g.add_arc(1, 2, -3);
+        g.add_arc(2, 0, 1);
+        let mut rng = StdRng::seed_from_u64(114);
+        let err =
+            apsp(&g, Params::paper(), ApspAlgorithm::ClassicalTriangle, &mut rng).unwrap_err();
+        assert_eq!(err, ApspError::NegativeCycle);
+    }
+
+    #[test]
+    fn tiny_graphs_work() {
+        let mut g = DiGraph::new(2);
+        g.add_arc(0, 1, -4);
+        let mut rng = StdRng::seed_from_u64(115);
+        let report = apsp(&g, Params::paper(), ApspAlgorithm::QuantumTriangle, &mut rng).unwrap();
+        assert_eq!(report.distances[(0, 1)], ExtWeight::from(-4));
+        assert_eq!(report.distances[(0, 0)], ExtWeight::ZERO);
+    }
+}

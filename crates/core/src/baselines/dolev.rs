@@ -1,0 +1,202 @@
+//! The Dolev–Lenzen–Peled triangle-listing `FindEdges` baseline.
+//!
+//! "Tri, Tri Again" (DISC 2012) lists **all** triangles in `O~(n^{1/3})`
+//! rounds: cut `V` into `b = ⌈n^{1/3}⌉` blocks and assign every unordered
+//! block triple `{i, j, k}` (with repetition) to a node, which loads all
+//! edges among the three blocks (`O(n^{4/3})` entries, `O(n^{1/3})` rounds
+//! by Lemma 1) and checks its triangles locally. The paper notes this
+//! combinatorial listing also finds *negative* triangles — unlike the
+//! faster algebraic detection algorithms — and therefore yields a
+//! classical `FindEdges` matching the `O~(n^{1/3})` APSP bound.
+
+use crate::problem::PairSet;
+use crate::wire::{weight_bits, Wire};
+use crate::ApspError;
+use qcc_congest::{Clique, Envelope, NodeId};
+use qcc_graph::{Labeling, Partition, UGraph};
+
+/// Result of a triangle-listing `FindEdges` run.
+#[derive(Clone, Debug)]
+pub struct DolevReport {
+    /// Pairs of `S` involved in a negative triangle.
+    pub found: PairSet,
+    /// Rounds consumed.
+    pub rounds: u64,
+    /// Block triples processed.
+    pub triples: usize,
+}
+
+/// Solves `FindEdges` by exhaustive distributed triangle listing.
+///
+/// Deterministic and promise-free: the classical yardstick for
+/// experiments E2 and E9.
+///
+/// # Errors
+///
+/// Propagates simulator-level errors.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_apsp::{dolev_find_edges, PairSet};
+/// use qcc_graph::book_graph;
+///
+/// let g = book_graph(12, 3);
+/// let report = dolev_find_edges(&g, &PairSet::all_pairs(12))?;
+/// assert!(report.found.contains(0, 1));
+/// assert!(report.rounds > 0);
+/// # Ok::<(), qcc_apsp::ApspError>(())
+/// ```
+pub fn dolev_find_edges(g: &UGraph, s: &PairSet) -> Result<DolevReport, ApspError> {
+    let n = g.n();
+    let mut net = Clique::new(n)?;
+    let blocks = cube_root_blocks(n);
+    let part = Partition::equal(n, blocks);
+
+    // Unordered block triples with repetition.
+    let mut triples: Vec<(usize, usize, usize)> = Vec::new();
+    for i in 0..blocks {
+        for j in i..blocks {
+            for k in j..blocks {
+                triples.push((i, j, k));
+            }
+        }
+    }
+    let labeling = Labeling::new(triples.len(), n);
+
+    // Each vertex owner streams its edge rows (restricted to the triple's
+    // blocks) to the triple nodes.
+    net.begin_phase("dolev/load-edges");
+    let wb = weight_bits(g.edges().map(|(_, _, w)| w.unsigned_abs()).max().unwrap_or(1));
+    let mut sends: Vec<Envelope<Wire<(usize, usize, i64)>>> = Vec::new();
+    for (t, &(bi, bj, bk)) in triples.iter().enumerate() {
+        let dst = NodeId::new(labeling.node_of(t));
+        let members: Vec<usize> = [bi, bj, bk]
+            .iter()
+            .flat_map(|&b| part.block(b))
+            .collect();
+        for (pos, &u) in members.iter().enumerate() {
+            for &v in &members[pos + 1..] {
+                if u != v {
+                    if let Some(w) = g.weight(u, v).finite() {
+                        let (a, b) = (u.min(v), u.max(v));
+                        sends.push(Envelope::new(
+                            NodeId::new(a),
+                            dst,
+                            Wire::new((a, b, w), crate::wire::pair_bits(n) + wb),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let boxes = net.route(sends)?;
+
+    // Local listing at each triple node, then a gather of the found pairs.
+    net.begin_phase("dolev/report");
+    let mut found = PairSet::new();
+    for host in NodeId::all(n) {
+        // Rebuild this node's local subgraphs per hosted triple.
+        let mut local = UGraph::new(n);
+        for (_src, msg) in boxes.of(host) {
+            let (u, v, w) = msg.value;
+            local.add_edge(u, v, w);
+        }
+        for t in labeling.labels_of(host.index()) {
+            let (bi, bj, bk) = triples[t];
+            let members: Vec<usize> = [bi, bj, bk]
+                .iter()
+                .flat_map(|&b| part.block(b))
+                .collect();
+            let mut dedup = members.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            for (x, &u) in dedup.iter().enumerate() {
+                for (y, &v) in dedup.iter().enumerate().skip(x + 1) {
+                    if !s.contains(u, v) {
+                        continue;
+                    }
+                    for &w in &dedup[y + 1..] {
+                        if local.is_negative_triangle(u, v, w) {
+                            found.insert(u, v);
+                            if s.contains(u, w) {
+                                found.insert(u, w);
+                            }
+                            if s.contains(v, w) {
+                                found.insert(v, w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(DolevReport { found, rounds: net.rounds(), triples: triples.len() })
+}
+
+fn cube_root_blocks(n: usize) -> usize {
+    let mut b = (n as f64).powf(1.0 / 3.0).round() as usize;
+    while b.saturating_pow(3) < n {
+        b += 1;
+    }
+    while b > 1 && (b - 1).pow(3) >= n {
+        b -= 1;
+    }
+    b.clamp(1, n.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::reference_find_edges;
+    use qcc_graph::{book_graph, random_ugraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn listing_matches_reference_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(141);
+        for trial in 0..5 {
+            let g = random_ugraph(14, 0.5, 5, &mut rng);
+            let s = PairSet::all_pairs(14);
+            let report = dolev_find_edges(&g, &s).unwrap();
+            assert_eq!(report.found, reference_find_edges(&g, &s), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn s_restriction_is_respected() {
+        let g = book_graph(12, 3);
+        let mut s = PairSet::new();
+        s.insert(0, 1);
+        let report = dolev_find_edges(&g, &s).unwrap();
+        assert!(report.found.contains(0, 1));
+        assert_eq!(report.found.len(), 1);
+    }
+
+    #[test]
+    fn triple_count_is_cubic_in_blocks() {
+        let g = random_ugraph(27, 0.3, 3, &mut StdRng::seed_from_u64(142));
+        let s = PairSet::all_pairs(27);
+        let report = dolev_find_edges(&g, &s).unwrap();
+        // b = 3: C(3 + 2, 3) = 10 unordered triples with repetition
+        assert_eq!(report.triples, 10);
+        assert!(report.rounds > 0);
+    }
+
+    #[test]
+    fn missed_pair_cannot_happen_because_every_vertex_triple_is_covered() {
+        // all-negative complete graph: every pair is in a triangle
+        let n = 12;
+        let mut g = UGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v, -1);
+            }
+        }
+        let s = PairSet::all_pairs(n);
+        let report = dolev_find_edges(&g, &s).unwrap();
+        assert_eq!(report.found.len(), n * (n - 1) / 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types of the algorithm crate.
+
+use qcc_congest::CongestError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the distributed APSP stack.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ApspError {
+    /// A network-level error (bad addressing); indicates a bug in the
+    /// simulated algorithm, never expected on valid inputs.
+    Congest(CongestError),
+    /// A randomized stage aborted repeatedly (the paper's protocols abort
+    /// on unlucky samples with probability `O(1/n)`; we retry a bounded
+    /// number of times before giving up).
+    StageAborted {
+        /// Which stage kept aborting.
+        stage: &'static str,
+        /// How many attempts were made.
+        attempts: u32,
+    },
+    /// The input graph contains a negative cycle, so APSP is undefined.
+    NegativeCycle,
+    /// Matrix dimensions (or graph sizes) disagree.
+    DimensionMismatch {
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ApspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApspError::Congest(e) => write!(f, "network error: {e}"),
+            ApspError::StageAborted { stage, attempts } => {
+                write!(f, "stage '{stage}' aborted {attempts} times")
+            }
+            ApspError::NegativeCycle => write!(f, "graph contains a negative cycle"),
+            ApspError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for ApspError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ApspError::Congest(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CongestError> for ApspError {
+    fn from(e: CongestError) -> Self {
+        ApspError::Congest(e)
+    }
+}
+
+impl From<qcc_graph::NegativeCycleError> for ApspError {
+    fn from(_: qcc_graph::NegativeCycleError) -> Self {
+        ApspError::NegativeCycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_congest::NodeId;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ApspError::StageAborted { stage: "lambda", attempts: 3 };
+        assert!(e.to_string().contains("lambda"));
+        let e = ApspError::DimensionMismatch { expected: 4, actual: 5 };
+        assert!(e.to_string().contains('4') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn congest_errors_convert_and_chain() {
+        let inner = CongestError::UnknownNode { node: NodeId::new(7), n: 4 };
+        let e: ApspError = inner.clone().into();
+        assert_eq!(e, ApspError::Congest(inner));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn negative_cycle_converts() {
+        let e: ApspError = qcc_graph::NegativeCycleError.into();
+        assert_eq!(e, ApspError::NegativeCycle);
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ApspError>();
+    }
+}

@@ -1,0 +1,385 @@
+//! The distributed evaluation procedures of Figures 4 and 5.
+//!
+//! One joint evaluation answers, for every search node `(u, v, x)` and each
+//! of its queried pairs `{u, v}` with target fine block `w`, whether some
+//! apex in `w` completes a negative triangle — by shipping the pair (and
+//! its weight) to the node that gathered `w`'s weight tables in Step 1 and
+//! shipping one bit back.
+//!
+//! * **Figure 4 (α = 0):** pairs go directly to the triple node
+//!   `(u, v, w)`. The promise `|L^k_w| ≤ 800·√n·log n` bounds every link's
+//!   load, so the exchange takes `O(log n)` rounds.
+//! * **Figure 5 (α > 0):** class-`α` triples may attract `2^α` times more
+//!   queries, but Lemma 4 shows there are `2^α` times *fewer* of them — so
+//!   each triple's data is duplicated onto `≈ 2^α / (720 log n)` fresh
+//!   nodes (Step 0, a one-time `O(n^{1/4})`-round broadcast) and every
+//!   query list is split across the copies, restoring `O(log² n)`-round
+//!   evaluations.
+//!
+//! Exceeding the list bound is precisely the "atypical input" event of
+//! Section 4.2: the procedure refuses (returns
+//! [`AtypicalInputError`]), as the truncated evaluator `C̃m` does.
+
+use crate::gather::GatheredWeights;
+use crate::instance::Instance;
+use crate::lambda::KeptPair;
+use crate::wire::{pair_bits, weight_bits, Wire};
+use qcc_congest::{Clique, CongestError, Envelope, NodeId};
+use qcc_quantum::AtypicalInputError;
+use std::collections::HashMap;
+
+/// One query of a joint evaluation: "does pair `{u, v}` form a negative
+/// triangle with an apex in fine block `target`?", asked by `search_label`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvalQuery {
+    /// The `(u, v, x)` search label asking the question.
+    pub search_label: usize,
+    /// The queried pair with its loaded weight.
+    pub pair: KeptPair,
+    /// The fine block `w` to probe for apexes.
+    pub target: usize,
+}
+
+/// Per-α evaluation context: the duplication layout of Figure 5.
+///
+/// For `α = 0` (or whenever the duplication count is 1) queries go to the
+/// original triple nodes and no Step-0 broadcast happens — Figure 4.
+#[derive(Clone, Debug)]
+pub struct AlphaContext {
+    /// The class this context serves.
+    pub alpha: u32,
+    /// Copies per triple (`max(1, ⌊2^α/(720 log n)⌋)`).
+    pub dup: usize,
+    /// Host of copy `y` of each class-α triple label.
+    copy_node: HashMap<(usize, usize), NodeId>,
+}
+
+impl AlphaContext {
+    /// The node hosting copy `y` of triple `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the triple is not of this context's class or `y ≥ dup`.
+    pub fn copy_node(&self, label: usize, y: usize) -> NodeId {
+        *self
+            .copy_node
+            .get(&(label, y))
+            .unwrap_or_else(|| panic!("triple {label} copy {y} not in this α-context"))
+    }
+
+    /// Builds the context for class `alpha` and, when `dup > 1`, performs
+    /// the Step-0 duplication broadcast of the gathered weight tables
+    /// (charged to the network).
+    ///
+    /// `class_labels` lists the triple labels of class `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CongestError`] only on simulator-level addressing bugs.
+    pub fn build(
+        inst: &Instance<'_>,
+        net: &mut Clique,
+        alpha: u32,
+        class_labels: &[usize],
+    ) -> Result<Self, CongestError> {
+        let n = inst.n();
+        let dup = inst.params.dup_count(n, alpha);
+        let mut copy_node = HashMap::new();
+        // Deterministic relabeling: copies are spread round-robin over all
+        // nodes (the paper assigns the fresh labels (u, v, w, y) to the n
+        // network nodes; Lemma 4 guarantees they fit up to constants).
+        let mut next = 0usize;
+        for &label in class_labels {
+            for y in 0..dup {
+                let node = if dup == 1 {
+                    // Figure 4: queries go to the original triple node.
+                    NodeId::new(inst.triples.labeling().node_of(label))
+                } else {
+                    let node = NodeId::new(next % n);
+                    next += 1;
+                    node
+                };
+                copy_node.insert((label, y), node);
+            }
+        }
+        let ctx = AlphaContext { alpha, dup, copy_node };
+
+        if dup > 1 {
+            // Step 0: broadcast each triple's gathered tables to its copies.
+            net.begin_phase(&format!("step3/alpha{alpha}/duplicate"));
+            let wb = weight_bits(inst.weight_magnitude());
+            let mut sends: Vec<Envelope<Wire<usize>>> = Vec::new();
+            for &label in class_labels {
+                let src = NodeId::new(inst.triples.labeling().node_of(label));
+                let (bu, bv, bw) = inst.triples.decode(label);
+                let table_bits = wb
+                    * ((inst.parts.coarse.block(bu).len() + inst.parts.coarse.block(bv).len())
+                        * inst.parts.fine.block(bw).len()) as u64;
+                for y in 0..dup {
+                    let dst = ctx.copy_node(label, y);
+                    if dst != src {
+                        sends.push(Envelope::new(src, dst, Wire::new(label, table_bits)));
+                    }
+                }
+            }
+            net.route(sends)?;
+        }
+        Ok(ctx)
+    }
+}
+
+/// Executes one joint evaluation (Figure 4 when `actx.dup == 1`, Figure 5
+/// otherwise) for all queries of all search nodes simultaneously.
+///
+/// Returns per-query booleans in input order.
+///
+/// # Errors
+///
+/// Returns [`AtypicalInputError`] — the truncated evaluator's refusal — if
+/// any per-(node, target) list exceeds the `800·2^α·√n·log n` bound, and
+/// propagates [`CongestError`] on simulator-level addressing bugs.
+pub fn evaluate_joint(
+    inst: &Instance<'_>,
+    net: &mut Clique,
+    gathered: &GatheredWeights,
+    actx: &AlphaContext,
+    queries: &[EvalQuery],
+) -> Result<Vec<bool>, EvalJointError> {
+    let cap = inst.params.list_cap(inst.n(), actx.alpha);
+    evaluate_with_cap(inst, net, gathered, actx, queries, cap)
+}
+
+/// [`evaluate_joint`] without the typicality gate: the *classical*
+/// evaluator, which accepts arbitrarily concentrated query loads and simply
+/// pays the congestion in rounds. Used by the classical Step-3 baseline
+/// (and by the congestion ablation, experiment E12).
+///
+/// # Errors
+///
+/// Propagates [`CongestError`] on simulator-level addressing bugs.
+pub fn evaluate_joint_unbounded(
+    inst: &Instance<'_>,
+    net: &mut Clique,
+    gathered: &GatheredWeights,
+    actx: &AlphaContext,
+    queries: &[EvalQuery],
+) -> Result<Vec<bool>, EvalJointError> {
+    evaluate_with_cap(inst, net, gathered, actx, queries, f64::INFINITY)
+}
+
+fn evaluate_with_cap(
+    inst: &Instance<'_>,
+    net: &mut Clique,
+    gathered: &GatheredWeights,
+    actx: &AlphaContext,
+    queries: &[EvalQuery],
+    cap: f64,
+) -> Result<Vec<bool>, EvalJointError> {
+    let n = inst.n();
+
+    // Build the lists L^k_w and enforce the promise (the Υ_β gate).
+    let mut lists: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    for (idx, q) in queries.iter().enumerate() {
+        let list = lists.entry((q.search_label, q.target)).or_default();
+        list.push(idx);
+        if list.len() as f64 > cap {
+            return Err(EvalJointError::Atypical(AtypicalInputError {
+                max_frequency: list.len() as u64,
+                beta: cap,
+            }));
+        }
+    }
+
+    let pb = pair_bits(n);
+    let wb = weight_bits(inst.weight_magnitude());
+    net.begin_phase(&format!("step3/alpha{}/eval-queries", actx.alpha));
+    // Wire content: (query id, triple label, pair endpoints, f(u, v)).
+    // The pair + weight are the `pb + wb` information bits; the ids mirror
+    // addressing information already implied by the link.
+    let mut sends: Vec<Envelope<Wire<(usize, usize, usize, usize, i64)>>> = Vec::new();
+    for ((search_label, target), list) in &lists {
+        let src = NodeId::new(inst.searches.labeling().node_of(*search_label));
+        let (bu, bv, _x) = inst.searches.decode(*search_label);
+        let triple_label = inst.triples.encode(bu, bv, *target);
+        // Figure 5: split the list round-robin across the dup copies.
+        for (pos, &idx) in list.iter().enumerate() {
+            let y = pos % actx.dup;
+            let dst = actx.copy_node(triple_label, y);
+            let q = &queries[idx];
+            sends.push(Envelope::new(
+                src,
+                dst,
+                Wire::new((idx, triple_label, q.pair.u, q.pair.v, q.pair.weight), pb + wb),
+            ));
+        }
+    }
+    let boxes = net.exchange(sends)?;
+
+    // Copy nodes answer from their gathered tables.
+    net.begin_phase(&format!("step3/alpha{}/eval-answers", actx.alpha));
+    let mut replies: Vec<Envelope<Wire<(usize, bool)>>> = Vec::new();
+    for host in NodeId::all(n) {
+        for (asker, msg) in boxes.of(host) {
+            let (idx, triple_label, u, v, f_uv) = msg.value;
+            let answer = gathered.check_negative(inst, triple_label, u, v, f_uv);
+            replies.push(Envelope::new(host, *asker, Wire::new((idx, answer), pb + 1)));
+        }
+    }
+    let answer_boxes = net.exchange(replies)?;
+
+    let mut answers = vec![false; queries.len()];
+    let mut answered = vec![false; queries.len()];
+    for node in NodeId::all(n) {
+        for (_src, msg) in answer_boxes.of(node) {
+            let (idx, ans) = msg.value;
+            answers[idx] = ans;
+            answered[idx] = true;
+        }
+    }
+    debug_assert!(answered.iter().all(|&a| a), "every query must be answered");
+    Ok(answers)
+}
+
+/// Errors of a joint evaluation.
+#[derive(Clone, Debug)]
+pub enum EvalJointError {
+    /// The truncated evaluator refused an atypical query load.
+    Atypical(AtypicalInputError),
+    /// Simulator-level addressing bug.
+    Congest(CongestError),
+}
+
+impl From<CongestError> for EvalJointError {
+    fn from(e: CongestError) -> Self {
+        EvalJointError::Congest(e)
+    }
+}
+
+impl std::fmt::Display for EvalJointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalJointError::Atypical(e) => write!(f, "{e}"),
+            EvalJointError::Congest(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalJointError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gather::gather_weights;
+    use crate::params::Params;
+    use crate::problem::PairSet;
+    use qcc_graph::{book_graph, random_ugraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn all_class0(inst: &Instance<'_>) -> Vec<usize> {
+        (0..inst.triples.labeling().label_count()).collect()
+    }
+
+    #[test]
+    fn answers_match_the_census() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let g = random_ugraph(16, 0.6, 5, &mut rng);
+        let s = PairSet::all_pairs(16);
+        let inst = Instance::new(&g, &s, Params::paper());
+        let mut net = Clique::new(16).unwrap();
+        let gathered = gather_weights(&inst, &mut net).unwrap();
+        let actx = AlphaContext::build(&inst, &mut net, 0, &all_class0(&inst)).unwrap();
+
+        // one query per (edge of S, fine block)
+        let mut queries = Vec::new();
+        let mut expected = Vec::new();
+        for (u, v, w) in g.edges() {
+            let bu = inst.parts.coarse.block_of(u);
+            let bv = inst.parts.coarse.block_of(v);
+            for target in 0..inst.parts.fine.num_blocks() {
+                // x = 0 search label of this block pair
+                let search_label = inst.searches.encode(bu, bv, 0);
+                queries.push(EvalQuery {
+                    search_label,
+                    pair: KeptPair { u, v, weight: w },
+                    target,
+                });
+                expected.push(inst.has_apex_in_block(u, v, target));
+            }
+        }
+        let answers = evaluate_joint(&inst, &mut net, &gathered, &actx, &queries).unwrap();
+        assert_eq!(answers, expected);
+    }
+
+    #[test]
+    fn list_cap_violation_is_atypical() {
+        let g = book_graph(16, 3);
+        let s = PairSet::all_pairs(16);
+        let mut params = Params::paper();
+        params.list_bound = 0.01; // cap < 1: every nonempty list is atypical
+        let inst = Instance::new(&g, &s, params);
+        let mut net = Clique::new(16).unwrap();
+        let gathered = gather_weights(&inst, &mut net).unwrap();
+        let actx = AlphaContext::build(&inst, &mut net, 0, &all_class0(&inst)).unwrap();
+        let queries = vec![EvalQuery {
+            search_label: 0,
+            pair: KeptPair { u: 0, v: 1, weight: -10 },
+            target: 0,
+        }];
+        let rounds_before = net.rounds();
+        match evaluate_joint(&inst, &mut net, &gathered, &actx, &queries) {
+            Err(EvalJointError::Atypical(_)) => {}
+            other => panic!("expected atypical refusal, got {other:?}"),
+        }
+        // refusal happens before any communication
+        assert_eq!(net.rounds(), rounds_before);
+    }
+
+    #[test]
+    fn duplication_spreads_queries_across_copies() {
+        let g = book_graph(16, 3);
+        let s = PairSet::all_pairs(16);
+        let mut params = Params::scaled();
+        params.dup_denominator = 0.1; // alpha = 2 => dup = floor(4 / (0.1·4)) = 10
+        let inst = Instance::new(&g, &s, params);
+        let mut net = Clique::new(16).unwrap();
+        let gathered = gather_weights(&inst, &mut net).unwrap();
+        let labels = all_class0(&inst);
+        let actx = AlphaContext::build(&inst, &mut net, 2, &labels).unwrap();
+        assert!(actx.dup > 1, "dup = {}", actx.dup);
+        assert!(net.metrics().rounds_with_prefix("step3/alpha2/duplicate") > 0);
+
+        // many queries from one search node to one target: they fan out
+        let mut queries = Vec::new();
+        for v in 1..10 {
+            let u = 0;
+            if let Some(w) = g.weight(u, v).finite() {
+                let bu = inst.parts.coarse.block_of(u);
+                let bv = inst.parts.coarse.block_of(v);
+                queries.push(EvalQuery {
+                    search_label: inst.searches.encode(bu.min(bv), bu.max(bv), 0),
+                    pair: KeptPair { u: u.min(v), v: u.max(v), weight: w },
+                    target: 0,
+                });
+            }
+        }
+        let answers = evaluate_joint(&inst, &mut net, &gathered, &actx, &queries).unwrap();
+        for (q, a) in queries.iter().zip(&answers) {
+            assert_eq!(*a, inst.has_apex_in_block(q.pair.u, q.pair.v, q.target));
+        }
+    }
+
+    #[test]
+    fn empty_query_set_is_free() {
+        let g = book_graph(16, 1);
+        let s = PairSet::all_pairs(16);
+        let inst = Instance::new(&g, &s, Params::scaled());
+        let mut net = Clique::new(16).unwrap();
+        let gathered = gather_weights(&inst, &mut net).unwrap();
+        let actx = AlphaContext::build(&inst, &mut net, 0, &all_class0(&inst)).unwrap();
+        let before = net.rounds();
+        let answers = evaluate_joint(&inst, &mut net, &gathered, &actx, &[]).unwrap();
+        assert!(answers.is_empty());
+        assert_eq!(net.rounds(), before);
+    }
+}

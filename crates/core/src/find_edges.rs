@@ -1,0 +1,308 @@
+//! `FindEdges` via the Proposition 1 sampling reduction (Algorithm B).
+//!
+//! `ComputePairs` needs the promise `Γ(u, v) ≤ O(log n)`; general graphs
+//! can have pairs in up to `n − 2` negative triangles. Algorithm B removes
+//! the promise by *edge sampling*: at loop iteration `i` it keeps each edge
+//! with probability `√(60·2^i·log n / n)`, so pairs with
+//! `Γ(u, v) ≈ n/2^i` survive with `Θ(log n)` triangles — inside the
+//! promise — and are detected and set aside. After `O(log n)` iterations
+//! every remaining pair has `Γ ≤ 90 log n` and one final unsampled call
+//! finishes the job.
+
+use crate::compute_pairs::{compute_pairs, ComputePairsReport};
+use crate::params::Params;
+use crate::problem::PairSet;
+use crate::step3::{SearchBackend, Step3Stats};
+use crate::ApspError;
+use qcc_congest::Clique;
+use qcc_graph::UGraph;
+use rand::Rng;
+
+/// Result of a full `FindEdges` run.
+#[derive(Clone, Debug)]
+pub struct FindEdgesReport {
+    /// All pairs of `S` found to be involved in a negative triangle.
+    pub found: PairSet,
+    /// Rounds consumed (on the caller's network).
+    pub rounds: u64,
+    /// Number of `ComputePairs` invocations (the `O(log n)` factor).
+    pub invocations: u32,
+    /// Aggregated Step-3 diagnostics across invocations.
+    pub stats: Step3Stats,
+}
+
+/// Per-iteration diagnostics of the Proposition 1 loop, recording the
+/// quantities its proof reasons about.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopIterationStats {
+    /// Loop index `i` (the final unsampled call is recorded with
+    /// `sampling_probability = 1`).
+    pub iteration: u32,
+    /// The edge-sampling probability `√(60·2^i·log n / n)` used.
+    pub sampling_probability: f64,
+    /// Edges surviving the sample.
+    pub sampled_edges: usize,
+    /// Largest `Γ_{G'}(u, v)` over the remaining `S` in the sampled graph —
+    /// the proof wants this `≤ 90 log n` w.h.p.
+    pub max_gamma_sampled: usize,
+    /// Pairs confirmed (and removed from `S`) this iteration.
+    pub caught: usize,
+    /// `|S|` before this iteration.
+    pub remaining_before: usize,
+}
+
+/// [`find_edges`] with per-iteration instrumentation of the Algorithm B
+/// loop invariant (used by experiment E4 and the Proposition 1 tests).
+///
+/// # Errors
+///
+/// Propagates [`ApspError`] from the underlying `ComputePairs` runs.
+pub fn find_edges_instrumented<R: Rng>(
+    graph: &UGraph,
+    s: &PairSet,
+    params: Params,
+    backend: SearchBackend,
+    net: &mut Clique,
+    rng: &mut R,
+) -> Result<(FindEdgesReport, Vec<LoopIterationStats>), ApspError> {
+    find_edges_inner(graph, s, params, backend, net, rng, true)
+}
+
+/// Solves `FindEdges` on `graph` restricted to `s` (Proposition 1).
+///
+/// # Errors
+///
+/// Propagates [`ApspError`] from the underlying `ComputePairs` runs.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_apsp::{find_edges, PairSet, Params, SearchBackend};
+/// use qcc_congest::Clique;
+/// use qcc_graph::book_graph;
+/// use rand::SeedableRng;
+///
+/// // pair {0,1} sits in 5 negative triangles — more than the scaled
+/// // promise at n = 16, so the sampling loop matters
+/// let g = book_graph(16, 5);
+/// let s = PairSet::all_pairs(16);
+/// let mut net = Clique::new(16)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let report = find_edges(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng)?;
+/// assert!(report.found.contains(0, 1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn find_edges<R: Rng>(
+    graph: &UGraph,
+    s: &PairSet,
+    params: Params,
+    backend: SearchBackend,
+    net: &mut Clique,
+    rng: &mut R,
+) -> Result<FindEdgesReport, ApspError> {
+    find_edges_inner(graph, s, params, backend, net, rng, false).map(|(report, _)| report)
+}
+
+fn find_edges_inner<R: Rng>(
+    graph: &UGraph,
+    s: &PairSet,
+    params: Params,
+    backend: SearchBackend,
+    net: &mut Clique,
+    rng: &mut R,
+    instrument: bool,
+) -> Result<(FindEdgesReport, Vec<LoopIterationStats>), ApspError> {
+    let n = graph.n();
+    let rounds_before = net.rounds();
+    let mut remaining = s.clone();
+    let mut found = PairSet::new();
+    let mut invocations = 0;
+    let mut stats = Step3Stats::default();
+    let mut loop_stats = Vec::new();
+
+    let accumulate = |stats: &mut Step3Stats, report: &ComputePairsReport| {
+        stats.searches += report.stats.searches;
+        stats.iterations += report.stats.iterations;
+        stats.eval_calls += report.stats.eval_calls;
+        stats.typicality_violations += report.stats.typicality_violations;
+        stats.repetitions += report.stats.repetitions;
+    };
+    let max_gamma = |g: &UGraph, s: &PairSet| -> usize {
+        s.iter().map(|(u, v)| g.gamma(u, v)).max().unwrap_or(0)
+    };
+
+    // While-loop of Algorithm B: sampled subgraphs with increasing density.
+    let mut i: u32 = 0;
+    while params.prop1_continues(n, i) {
+        let p = params.prop1_probability(n, i);
+        net.begin_phase(&format!("find-edges/loop{i}"));
+        let sampled = graph.sample_edges(p, rng);
+        if !remaining.is_empty() {
+            let remaining_before = remaining.len();
+            let report = compute_pairs(&sampled, &remaining, params, backend, net, rng)?;
+            if instrument {
+                loop_stats.push(LoopIterationStats {
+                    iteration: i,
+                    sampling_probability: p,
+                    sampled_edges: sampled.edge_count(),
+                    max_gamma_sampled: max_gamma(&sampled, &remaining),
+                    caught: report.found.len(),
+                    remaining_before,
+                });
+            }
+            remaining.subtract(&report.found);
+            found.union_with(&report.found);
+            invocations += 1;
+            accumulate(&mut stats, &report);
+        }
+        i += 1;
+        if i > 64 {
+            break; // safety net; unreachable for sane params
+        }
+    }
+
+    // Final unsampled call on the whole graph.
+    net.begin_phase("find-edges/final");
+    if !remaining.is_empty() {
+        let remaining_before = remaining.len();
+        let report = compute_pairs(graph, &remaining, params, backend, net, rng)?;
+        if instrument {
+            loop_stats.push(LoopIterationStats {
+                iteration: i,
+                sampling_probability: 1.0,
+                sampled_edges: graph.edge_count(),
+                max_gamma_sampled: max_gamma(graph, &remaining),
+                caught: report.found.len(),
+                remaining_before,
+            });
+        }
+        found.union_with(&report.found);
+        invocations += 1;
+        accumulate(&mut stats, &report);
+    }
+
+    Ok((
+        FindEdgesReport { found, rounds: net.rounds() - rounds_before, invocations, stats },
+        loop_stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::reference_find_edges;
+    use qcc_graph::{book_graph, random_ugraph, UGraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_heavy_gamma_pairs_despite_the_promise() {
+        // Γ(0, 1) = 13 at n = 16: well beyond the scaled promise bound
+        let g = book_graph(16, 13);
+        let s = PairSet::all_pairs(16);
+        let mut net = Clique::new(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(91);
+        let report =
+            find_edges(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng)
+                .unwrap();
+        assert_eq!(report.found, reference_find_edges(&g, &s));
+        assert!(report.invocations >= 1);
+    }
+
+    #[test]
+    fn classical_backend_matches_reference_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(92);
+        for trial in 0..3 {
+            let g = random_ugraph(16, 0.5, 4, &mut rng);
+            let s = PairSet::all_pairs(16);
+            let mut net = Clique::new(16).unwrap();
+            let report =
+                find_edges(&g, &s, Params::paper(), SearchBackend::Classical, &mut net, &mut rng)
+                    .unwrap();
+            assert_eq!(report.found, reference_find_edges(&g, &s), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn loop_iterations_follow_the_paper_schedule() {
+        // paper constants: while 60·2^i·log n ≤ n. At n = 16 the loop body
+        // never runs (60·4 > 16): only the final call happens.
+        let g = book_graph(16, 2);
+        let s = PairSet::all_pairs(16);
+        let mut net = Clique::new(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(93);
+        let report =
+            find_edges(&g, &s, Params::paper(), SearchBackend::Classical, &mut net, &mut rng)
+                .unwrap();
+        assert_eq!(report.invocations, 1);
+
+        // scaled constants at n = 16: prop1_base·2^i·log n ≤ n ⟺ 2^i·4 ≤ 16:
+        // i ∈ {0, 1, 2} plus the final call.
+        let mut net = Clique::new(16).unwrap();
+        let report =
+            find_edges(&g, &s, Params::scaled(), SearchBackend::Classical, &mut net, &mut rng)
+                .unwrap();
+        assert_eq!(report.invocations, 4);
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_output() {
+        let g = UGraph::new(16);
+        let s = PairSet::all_pairs(16);
+        let mut net = Clique::new(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(94);
+        let report =
+            find_edges(&g, &s, Params::scaled(), SearchBackend::Quantum, &mut net, &mut rng)
+                .unwrap();
+        assert!(report.found.is_empty());
+    }
+
+    #[test]
+    fn instrumentation_records_the_loop_schedule() {
+        // scaled params at n = 16: iterations i = 0, 1, 2 plus the final call
+        let g = book_graph(16, 13);
+        let s = PairSet::all_pairs(16);
+        let mut net = Clique::new(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(96);
+        let (report, loop_stats) = find_edges_instrumented(
+            &g,
+            &s,
+            Params::scaled(),
+            SearchBackend::Quantum,
+            &mut net,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(report.invocations as usize, loop_stats.len());
+        // sampling probabilities increase with i, final call has p = 1
+        for w in loop_stats.windows(2) {
+            assert!(w[0].sampling_probability <= w[1].sampling_probability + 1e-12);
+        }
+        assert_eq!(loop_stats.last().unwrap().sampling_probability, 1.0);
+        // Proposition 1 invariant direction: sampled graphs are sparser
+        // than the full graph and their max Γ never exceeds the full one
+        let full_gamma = 13;
+        for ls in &loop_stats {
+            assert!(ls.sampled_edges <= g.edge_count());
+            assert!(ls.max_gamma_sampled <= full_gamma);
+            assert!(ls.remaining_before <= s.len());
+        }
+        // everything is eventually caught
+        let caught: usize = loop_stats.iter().map(|ls| ls.caught).sum();
+        assert_eq!(caught, report.found.len());
+    }
+
+    #[test]
+    fn empty_s_short_circuits() {
+        let g = book_graph(16, 3);
+        let s = PairSet::new();
+        let mut net = Clique::new(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(95);
+        let report =
+            find_edges(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng)
+                .unwrap();
+        assert!(report.found.is_empty());
+        assert_eq!(report.invocations, 0);
+        assert_eq!(report.rounds, 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Step 1 of ComputePairs: gathering edge weights at the triple nodes.
+//!
+//! Each node `(u, v, w) ∈ T = V × V × V'` loads the weights `f(u, w)` for
+//! all `{u, w} ∈ P(u, w)` and `f(w, v)` for all `{w, v} ∈ P(w, v)`. Since
+//! `|P(u, w)| = |P(w, v)| = O(n^{5/4})`, Lemma 1 routing delivers the
+//! gather in `O(n^{1/4})` rounds — the dominant setup cost of the
+//! algorithm, and exactly what the simulator measures.
+//!
+//! The gathered tables answer the Step-3 checking queries locally:
+//! `min_{w ∈ w} (f(u, w) + f(w, v)) < −f(u, v)` iff some apex in `w`
+//! completes a negative triangle with `{u, v}`.
+
+use crate::instance::Instance;
+use crate::wire::{weight_bits, Wire};
+use qcc_congest::{Clique, CongestError, Envelope, NodeId};
+
+/// The per-triple weight tables loaded in Step 1.
+#[derive(Clone, Debug)]
+pub struct GatheredWeights {
+    /// `uw[label][i * |w| + j] = f(u_i, w_j)` for `u_i ∈ u`, `w_j ∈ w`.
+    uw: Vec<Vec<Option<i64>>>,
+    /// `wv[label][j * |v| + l] = f(w_j, v_l)` for `w_j ∈ w`, `v_l ∈ v`.
+    wv: Vec<Vec<Option<i64>>>,
+}
+
+impl GatheredWeights {
+    /// Looks up `f(u, w)` in the tables of `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not in the triple's `u`-block or `w` not in its
+    /// fine block.
+    pub fn f_uw(&self, inst: &Instance<'_>, label: usize, u: usize, w: usize) -> Option<i64> {
+        let (bu, _bv, bw) = inst.triples.decode(label);
+        let ublock = inst.parts.coarse.block(bu);
+        let wblock = inst.parts.fine.block(bw);
+        assert!(ublock.contains(&u) && wblock.contains(&w));
+        let i = u - ublock.start;
+        let j = w - wblock.start;
+        self.uw[label][i * wblock.len() + j]
+    }
+
+    /// Looks up `f(w, v)` in the tables of `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not in the triple's `v`-block or `w` not in its
+    /// fine block.
+    pub fn f_wv(&self, inst: &Instance<'_>, label: usize, w: usize, v: usize) -> Option<i64> {
+        let (_bu, bv, bw) = inst.triples.decode(label);
+        let vblock = inst.parts.coarse.block(bv);
+        let wblock = inst.parts.fine.block(bw);
+        assert!(vblock.contains(&v) && wblock.contains(&w));
+        let j = w - wblock.start;
+        let l = v - vblock.start;
+        self.wv[label][j * vblock.len() + l]
+    }
+
+    /// `min_{w ∈ w} (f(u, w) + f(w, v))` over existing apex edges, using
+    /// only the tables gathered at `label`.
+    pub fn min_plus(&self, inst: &Instance<'_>, label: usize, u: usize, v: usize) -> Option<i64> {
+        let (bu, bv, bw) = inst.triples.decode(label);
+        let ublock = inst.parts.coarse.block(bu);
+        let vblock = inst.parts.coarse.block(bv);
+        // Orient the unordered pair to the triple's (u-side, v-side).
+        let (su, sv) = if ublock.contains(&u) && vblock.contains(&v) {
+            (u, v)
+        } else if ublock.contains(&v) && vblock.contains(&u) {
+            (v, u)
+        } else {
+            panic!("pair ({u}, {v}) does not belong to block pair ({bu}, {bv})");
+        };
+        let wblock = inst.parts.fine.block(bw);
+        let i = su - ublock.start;
+        let l = sv - vblock.start;
+        let wlen = wblock.len();
+        let mut best: Option<i64> = None;
+        for j in 0..wlen {
+            // Skip the degenerate "apexes" equal to an endpoint.
+            let w = wblock.start + j;
+            if w == su || w == sv {
+                continue;
+            }
+            if let (Some(a), Some(b)) = (self.uw[label][i * wlen + j], self.wv[label][j * vblock.len() + l])
+            {
+                let sum = a + b;
+                best = Some(best.map_or(sum, |cur: i64| cur.min(sum)));
+            }
+        }
+        best
+    }
+
+    /// The Step-3 checking predicate: does some apex in the triple's fine
+    /// block complete a negative triangle with the edge `{u, v}` of weight
+    /// `f_uv`?
+    ///
+    /// Note: the paper's Inequality (2) prints `min ≤ f(u, v)`, but
+    /// Definition 1 requires `f(u,v) + f(u,w) + f(w,v) < 0`, i.e.
+    /// `min < −f(u, v)` — we implement the definition (the inequality in
+    /// the paper is a typo; the surrounding text confirms the check is
+    /// "is `{u, v, w}` a negative triangle").
+    pub fn check_negative(
+        &self,
+        inst: &Instance<'_>,
+        label: usize,
+        u: usize,
+        v: usize,
+        f_uv: i64,
+    ) -> bool {
+        match self.min_plus(inst, label, u, v) {
+            Some(min_sum) => min_sum < -f_uv,
+            None => false,
+        }
+    }
+}
+
+/// Executes Step 1: every vertex owner streams its relevant weight rows to
+/// the triple nodes via Lemma 1 routing.
+///
+/// # Errors
+///
+/// Returns a [`CongestError`] only on simulator-level addressing bugs.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_apsp::gather::gather_weights;
+/// use qcc_apsp::{Instance, PairSet, Params};
+/// use qcc_congest::Clique;
+/// use qcc_graph::book_graph;
+///
+/// let g = book_graph(16, 2);
+/// let s = PairSet::all_pairs(16);
+/// let inst = Instance::new(&g, &s, Params::paper());
+/// let mut net = Clique::new(16)?;
+/// let gathered = gather_weights(&inst, &mut net)?;
+/// // the triple holding blocks of vertices 0, 1 can answer the spine check
+/// let f_uv = g.weight(0, 1).finite().unwrap();
+/// let bu = inst.parts.coarse.block_of(0);
+/// let bw = inst.parts.fine.block_of(2); // apex 2's block
+/// let label = inst.triples.encode(bu, inst.parts.coarse.block_of(1), bw);
+/// assert!(gathered.check_negative(&inst, label, 0, 1, f_uv));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn gather_weights(inst: &Instance<'_>, net: &mut Clique) -> Result<GatheredWeights, CongestError> {
+    let n = inst.n();
+    let wb = weight_bits(inst.weight_magnitude());
+    net.begin_phase("compute-pairs/step1-gather");
+
+    // Owner `a` sends, for each triple whose u-side (resp. v-side) block
+    // contains `a`, the weights {f(a, w) : w ∈ w} as one message.
+    // Message payload: (label, side, vertex, weights row over the fine block).
+    let mut sends: Vec<Envelope<Wire<(usize, u8, usize, Vec<Option<i64>>)>>> = Vec::new();
+    for (label, (bu, bv, bw)) in inst.triples.triples() {
+        let dst = NodeId::new(inst.triples.labeling().node_of(label));
+        let wblock = inst.parts.fine.block(bw);
+        let row_bits = wb * wblock.len() as u64;
+        for a in inst.parts.coarse.block(bu) {
+            let row: Vec<Option<i64>> =
+                wblock.clone().map(|w| inst.graph.weight(a, w).finite()).collect();
+            sends.push(Envelope::new(
+                NodeId::new(a),
+                dst,
+                Wire::new((label, 0u8, a, row), row_bits),
+            ));
+        }
+        for b in inst.parts.coarse.block(bv) {
+            let row: Vec<Option<i64>> =
+                wblock.clone().map(|w| inst.graph.weight(w, b).finite()).collect();
+            sends.push(Envelope::new(
+                NodeId::new(b),
+                dst,
+                Wire::new((label, 1u8, b, row), row_bits),
+            ));
+        }
+    }
+    let boxes = net.route(sends)?;
+
+    let label_count = inst.triples.labeling().label_count();
+    let mut uw: Vec<Vec<Option<i64>>> = Vec::with_capacity(label_count);
+    let mut wv: Vec<Vec<Option<i64>>> = Vec::with_capacity(label_count);
+    for (label, (bu, bv, bw)) in inst.triples.triples() {
+        let wlen = inst.parts.fine.block(bw).len();
+        uw.push(vec![None; inst.parts.coarse.block(bu).len() * wlen]);
+        wv.push(vec![None; wlen * inst.parts.coarse.block(bv).len()]);
+        let _ = label;
+    }
+    for host in NodeId::all(n) {
+        for (_src, msg) in boxes.of(host) {
+            let (label, side, vertex, row) = &msg.value;
+            let (bu, bv, bw) = inst.triples.decode(*label);
+            debug_assert_eq!(inst.triples.labeling().node_of(*label), host.index());
+            let wlen = inst.parts.fine.block(bw).len();
+            if *side == 0 {
+                let i = vertex - inst.parts.coarse.block(bu).start;
+                for (j, w) in row.iter().enumerate() {
+                    uw[*label][i * wlen + j] = *w;
+                }
+            } else {
+                let l = vertex - inst.parts.coarse.block(bv).start;
+                let vlen = inst.parts.coarse.block(bv).len();
+                for (j, w) in row.iter().enumerate() {
+                    wv[*label][j * vlen + l] = *w;
+                }
+            }
+        }
+    }
+
+    Ok(GatheredWeights { uw, wv })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::problem::PairSet;
+    use qcc_graph::{book_graph, random_ugraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, seed: u64) -> (qcc_graph::UGraph, PairSet) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (random_ugraph(n, 0.6, 5, &mut rng), PairSet::all_pairs(n))
+    }
+
+    #[test]
+    fn gathered_tables_match_the_graph() {
+        let (g, s) = setup(16, 51);
+        let inst = Instance::new(&g, &s, Params::scaled());
+        let mut net = Clique::new(16).unwrap();
+        let gathered = gather_weights(&inst, &mut net).unwrap();
+        for (label, (bu, bv, bw)) in inst.triples.triples() {
+            for u in inst.parts.coarse.block(bu) {
+                for w in inst.parts.fine.block(bw) {
+                    assert_eq!(
+                        gathered.f_uw(&inst, label, u, w),
+                        g.weight(u, w).finite(),
+                        "label {label} f({u},{w})"
+                    );
+                }
+            }
+            for w in inst.parts.fine.block(bw) {
+                for v in inst.parts.coarse.block(bv) {
+                    assert_eq!(gathered.f_wv(&inst, label, w, v), g.weight(w, v).finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_costs_rounds() {
+        let (g, s) = setup(16, 52);
+        let inst = Instance::new(&g, &s, Params::scaled());
+        let mut net = Clique::new(16).unwrap();
+        let _ = gather_weights(&inst, &mut net).unwrap();
+        assert!(net.rounds() > 0);
+        assert!(net.metrics().rounds_with_prefix("compute-pairs/step1") > 0);
+    }
+
+    #[test]
+    fn check_negative_matches_census() {
+        let (g, s) = setup(16, 53);
+        let inst = Instance::new(&g, &s, Params::scaled());
+        let mut net = Clique::new(16).unwrap();
+        let gathered = gather_weights(&inst, &mut net).unwrap();
+        for (label, (bu, bv, bw)) in inst.triples.triples() {
+            for (u, v) in inst.parts.coarse.pair_set(bu, bv) {
+                if let Some(f_uv) = g.weight(u, v).finite() {
+                    let expected = inst
+                        .parts
+                        .fine
+                        .block(bw)
+                        .any(|w| g.is_negative_triangle(u, v, w));
+                    assert_eq!(
+                        gathered.check_negative(&inst, label, u, v, f_uv),
+                        expected,
+                        "label {label} pair ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_plus_skips_endpoint_apexes() {
+        // pair {0, 1} with 2 as apex: blocks are small at n = 16, and when
+        // 0 or 1 sit inside the apex block they must not count as apexes.
+        let g = book_graph(16, 3);
+        let s = PairSet::all_pairs(16);
+        let inst = Instance::new(&g, &s, Params::scaled());
+        let mut net = Clique::new(16).unwrap();
+        let gathered = gather_weights(&inst, &mut net).unwrap();
+        let bu = inst.parts.coarse.block_of(0);
+        let bv = inst.parts.coarse.block_of(1);
+        let bw = inst.parts.fine.block_of(0); // the block containing vertex 0 itself
+        let label = inst.triples.encode(bu, bv, bw);
+        // must not treat w = 0 or w = 1 as an apex for the pair {0, 1}
+        let census = inst
+            .parts
+            .fine
+            .block(bw)
+            .any(|w| g.is_negative_triangle(0, 1, w));
+        let f_uv = g.weight(0, 1).finite().unwrap();
+        assert_eq!(gathered.check_negative(&inst, label, 0, 1, f_uv), census);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn min_plus_rejects_foreign_pairs() {
+        let (g, s) = setup(16, 54);
+        let inst = Instance::new(&g, &s, Params::scaled());
+        let mut net = Clique::new(16).unwrap();
+        let gathered = gather_weights(&inst, &mut net).unwrap();
+        // triple (0, 0, 0) covers only block 0's pairs; vertex 15 is in the
+        // last coarse block
+        let label = inst.triples.encode(0, 0, 0);
+        let _ = gathered.min_plus(&inst, label, 0, 15);
+    }
+}

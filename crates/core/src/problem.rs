@@ -1,0 +1,201 @@
+//! Problem statements: `FindEdges` and `FindEdgesWithPromise` (Section 3).
+
+use qcc_graph::UGraph;
+use std::collections::BTreeSet;
+
+/// A set of unordered vertex pairs, normalized as `(min, max)` and kept
+/// sorted for deterministic iteration.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_apsp::PairSet;
+///
+/// let mut s = PairSet::new();
+/// s.insert(3, 1);
+/// assert!(s.contains(1, 3));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PairSet {
+    pairs: BTreeSet<(usize, usize)>,
+}
+
+impl PairSet {
+    /// Creates an empty pair set.
+    pub fn new() -> Self {
+        PairSet::default()
+    }
+
+    /// The set of *all* unordered pairs over `0..n` (`P(V)` of the paper).
+    pub fn all_pairs(n: usize) -> Self {
+        let mut pairs = BTreeSet::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                pairs.insert((u, v));
+            }
+        }
+        PairSet { pairs }
+    }
+
+    /// Inserts the unordered pair `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`.
+    pub fn insert(&mut self, u: usize, v: usize) {
+        assert_ne!(u, v, "pairs are over distinct vertices");
+        self.pairs.insert((u.min(v), u.max(v)));
+    }
+
+    /// Removes the unordered pair `{u, v}` if present.
+    pub fn remove(&mut self, u: usize, v: usize) {
+        self.pairs.remove(&(u.min(v), u.max(v)));
+    }
+
+    /// Whether the pair `{u, v}` is in the set.
+    pub fn contains(&self, u: usize, v: usize) -> bool {
+        u != v && self.pairs.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over pairs in sorted `(min, max)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Removes every pair present in `other` (`S ← S \ S'` of Prop. 1).
+    pub fn subtract(&mut self, other: &PairSet) {
+        for p in &other.pairs {
+            self.pairs.remove(p);
+        }
+    }
+
+    /// Inserts every pair of `other` (`M ← M ∪ S'` of Prop. 1).
+    pub fn union_with(&mut self, other: &PairSet) {
+        self.pairs.extend(other.pairs.iter().copied());
+    }
+}
+
+impl FromIterator<(usize, usize)> for PairSet {
+    fn from_iter<I: IntoIterator<Item = (usize, usize)>>(iter: I) -> Self {
+        let mut s = PairSet::new();
+        for (u, v) in iter {
+            s.insert(u, v);
+        }
+        s
+    }
+}
+
+impl Extend<(usize, usize)> for PairSet {
+    fn extend<I: IntoIterator<Item = (usize, usize)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.insert(u, v);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PairSet {
+    type Item = (usize, usize);
+    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, (usize, usize)>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.pairs.iter().copied()
+    }
+}
+
+/// Ground truth for `FindEdges`: all pairs of `s` involved in a negative
+/// triangle of `g`, computed by the exhaustive census.
+pub fn reference_find_edges(g: &UGraph, s: &PairSet) -> PairSet {
+    s.iter().filter(|&(u, v)| g.gamma(u, v) > 0).collect()
+}
+
+/// Checks the `FindEdgesWithPromise` promise: `Γ(u, v) ≤ bound` for every
+/// pair of `s`. Returns the first violating pair, if any.
+pub fn promise_violation(g: &UGraph, s: &PairSet, bound: f64) -> Option<(usize, usize, usize)> {
+    for (u, v) in s.iter() {
+        let gamma = g.gamma(u, v);
+        if gamma as f64 > bound {
+            return Some((u, v, gamma));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_graph::book_graph;
+
+    #[test]
+    fn pairs_normalize_order() {
+        let mut s = PairSet::new();
+        s.insert(5, 2);
+        assert!(s.contains(2, 5));
+        assert!(s.contains(5, 2));
+        assert_eq!(s.iter().next(), Some((2, 5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn self_pairs_are_rejected() {
+        PairSet::new().insert(3, 3);
+    }
+
+    #[test]
+    fn all_pairs_has_binomial_size() {
+        assert_eq!(PairSet::all_pairs(6).len(), 15);
+        assert_eq!(PairSet::all_pairs(1).len(), 0);
+    }
+
+    #[test]
+    fn subtract_and_union_mirror_prop1_bookkeeping() {
+        let mut s = PairSet::all_pairs(4);
+        let found: PairSet = [(0, 1), (2, 3)].into_iter().collect();
+        let mut m = PairSet::new();
+        s.subtract(&found);
+        m.union_with(&found);
+        assert_eq!(s.len(), 4);
+        assert_eq!(m.len(), 2);
+        assert!(!s.contains(0, 1));
+        assert!(m.contains(2, 3));
+    }
+
+    #[test]
+    fn reference_find_edges_filters_by_s() {
+        let g = book_graph(8, 3);
+        let all = reference_find_edges(&g, &PairSet::all_pairs(8));
+        assert!(all.contains(0, 1));
+        assert!(all.contains(0, 2));
+        let restricted: PairSet = [(0, 1), (5, 6)].into_iter().collect();
+        let found = reference_find_edges(&g, &restricted);
+        assert_eq!(found.len(), 1);
+        assert!(found.contains(0, 1));
+    }
+
+    #[test]
+    fn promise_violation_detects_heavy_pairs() {
+        let g = book_graph(20, 10);
+        let s = PairSet::all_pairs(20);
+        // Γ(0, 1) = 10 > 5
+        let v = promise_violation(&g, &s, 5.0);
+        assert_eq!(v, Some((0, 1, 10)));
+        assert_eq!(promise_violation(&g, &s, 10.0), None);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: PairSet = vec![(1, 0), (2, 3)].into_iter().collect();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0, 1));
+    }
+}

@@ -1,0 +1,148 @@
+//! Human-readable round-accounting reports.
+//!
+//! The simulator's [`qcc_congest::Metrics`] records a flat list of named
+//! phases; algorithms in this crate label their phases hierarchically
+//! (`compute-pairs/step1-gather`, `step3/alpha0/eval-queries`, …). This
+//! module groups those labels into a breakdown that examples and the
+//! experiment harness print alongside their results.
+
+use qcc_congest::Metrics;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A grouped round breakdown: rounds and traffic per top-level phase group
+/// (the label prefix before the first `/`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundBreakdown {
+    groups: BTreeMap<String, GroupStats>,
+    total_rounds: u64,
+}
+
+/// Aggregated statistics of one phase group.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Rounds consumed by the group.
+    pub rounds: u64,
+    /// Messages transmitted.
+    pub messages: u64,
+    /// Bits transmitted.
+    pub bits: u64,
+    /// Number of phases merged into the group.
+    pub phases: u64,
+}
+
+impl RoundBreakdown {
+    /// Groups the metrics' phases by their top-level label component.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcc_apsp::RoundBreakdown;
+    /// use qcc_congest::Metrics;
+    ///
+    /// let mut m = Metrics::new();
+    /// m.begin_phase("step3/alpha0/eval");
+    /// m.record_exchange(4, 10, 100, 50, 60, 70);
+    /// m.begin_phase("step3/alpha1/eval");
+    /// m.record_exchange(2, 5, 50, 25, 30, 35);
+    /// let b = RoundBreakdown::from_metrics(&m);
+    /// assert_eq!(b.group("step3").unwrap().rounds, 6);
+    /// assert_eq!(b.total_rounds(), 6);
+    /// ```
+    pub fn from_metrics(metrics: &Metrics) -> Self {
+        let mut groups: BTreeMap<String, GroupStats> = BTreeMap::new();
+        for phase in metrics.phases() {
+            let group = phase.label.split('/').next().unwrap_or("(unlabelled)").to_owned();
+            let entry = groups.entry(group).or_default();
+            entry.rounds += phase.rounds;
+            entry.messages += phase.messages;
+            entry.bits += phase.bits;
+            entry.phases += 1;
+        }
+        RoundBreakdown { groups, total_rounds: metrics.total_rounds() }
+    }
+
+    /// Statistics of one group, if present.
+    pub fn group(&self, name: &str) -> Option<&GroupStats> {
+        self.groups.get(name)
+    }
+
+    /// Iterates over `(group name, stats)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &GroupStats)> {
+        self.groups.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total rounds across all groups.
+    pub fn total_rounds(&self) -> u64 {
+        self.total_rounds
+    }
+}
+
+impl fmt::Display for RoundBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<28} {:>10} {:>12} {:>14}", "phase group", "rounds", "messages", "bits")?;
+        for (name, stats) in &self.groups {
+            writeln!(
+                f,
+                "{:<28} {:>10} {:>12} {:>14}",
+                name, stats.rounds, stats.messages, stats.bits
+            )?;
+        }
+        writeln!(f, "{:<28} {:>10}", "TOTAL", self.total_rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics() -> Metrics {
+        let mut m = Metrics::new();
+        m.begin_phase("compute-pairs/step1-gather");
+        m.record_exchange(8, 100, 1000, 10, 10, 10);
+        m.begin_phase("compute-pairs/step2-requests");
+        m.record_exchange(2, 50, 500, 10, 10, 10);
+        m.begin_phase("identify-class/broadcast");
+        m.record_exchange(3, 30, 300, 10, 10, 10);
+        m.begin_phase("step3/alpha0/eval-queries");
+        m.record_exchange(1, 20, 200, 10, 10, 10);
+        m
+    }
+
+    #[test]
+    fn groups_merge_by_prefix() {
+        let b = RoundBreakdown::from_metrics(&sample_metrics());
+        assert_eq!(b.group("compute-pairs").unwrap().rounds, 10);
+        assert_eq!(b.group("compute-pairs").unwrap().phases, 2);
+        assert_eq!(b.group("identify-class").unwrap().rounds, 3);
+        assert_eq!(b.group("step3").unwrap().rounds, 1);
+        assert_eq!(b.total_rounds(), 14);
+    }
+
+    #[test]
+    fn display_lists_every_group_and_the_total() {
+        let b = RoundBreakdown::from_metrics(&sample_metrics());
+        let s = b.to_string();
+        assert!(s.contains("compute-pairs"));
+        assert!(s.contains("identify-class"));
+        assert!(s.contains("step3"));
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("14"));
+    }
+
+    #[test]
+    fn empty_metrics_produce_an_empty_breakdown() {
+        let b = RoundBreakdown::from_metrics(&Metrics::new());
+        assert_eq!(b.total_rounds(), 0);
+        assert_eq!(b.iter().count(), 0);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let b = RoundBreakdown::from_metrics(&sample_metrics());
+        let names: Vec<&str> = b.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

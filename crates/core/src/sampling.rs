@@ -1,0 +1,107 @@
+//! Reservoir-free Bernoulli subset sampling via geometric skips.
+//!
+//! The algorithms sample every element of large universes independently
+//! with a small probability `p` (pair sets of size `n^{3/2}`, edge sets of
+//! size `n²`). Drawing one uniform per element would dominate the
+//! simulation, so we draw geometric gaps instead: the index of the next
+//! selected element is `i + 1 + ⌊ln U / ln(1 − p)⌋`, giving `O(expected
+//! selected)` work — distributionally identical to per-element Bernoulli
+//! draws.
+
+use rand::Rng;
+
+/// Returns the indices of a Bernoulli(`p`) sample of `0..universe`, in
+/// increasing order, using geometric skip sampling.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]` or is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let picked = qcc_apsp::sample_indices(1000, 0.01, &mut rng);
+/// assert!(picked.len() < 100);
+/// assert!(picked.windows(2).all(|w| w[0] < w[1]));
+/// ```
+pub fn sample_indices<R: Rng>(universe: usize, p: f64, rng: &mut R) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    if p <= 0.0 || universe == 0 {
+        return Vec::new();
+    }
+    if p >= 1.0 {
+        return (0..universe).collect();
+    }
+    let log_q = (1.0 - p).ln();
+    let mut out = Vec::with_capacity(((universe as f64) * p * 1.2) as usize + 4);
+    let mut i: usize = 0;
+    loop {
+        // gap ~ Geometric(p): number of failures before the next success
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap = (u.ln() / log_q).floor() as usize;
+        i = match i.checked_add(gap) {
+            Some(next) => next,
+            None => break,
+        };
+        if i >= universe {
+            break;
+        }
+        out.push(i);
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn p_zero_selects_nothing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_indices(100, 0.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn p_one_selects_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_indices(5, 1.0, &mut rng), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_universe_selects_nothing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_indices(0, 0.5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sample_mean_matches_p() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let universe = 200_000;
+        let p = 0.03;
+        let picked = sample_indices(universe, p, &mut rng);
+        let freq = picked.len() as f64 / universe as f64;
+        assert!((freq - p).abs() < 0.005, "freq {freq}");
+    }
+
+    #[test]
+    fn indices_are_strictly_increasing_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let picked = sample_indices(500, 0.2, &mut rng);
+            assert!(picked.windows(2).all(|w| w[0] < w[1]));
+            assert!(picked.iter().all(|&i| i < 500));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        sample_indices(10, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,135 @@
+//! Single-source shortest paths via the APSP pipeline.
+//!
+//! The paper observes (Section 1) that its APSP bound is *also* the best
+//! known exact bound for SSSP in the CONGEST-CLIQUE — no faster dedicated
+//! single-source algorithm is known. This module exposes that corollary as
+//! an API: run the selected APSP algorithm and project the source row,
+//! with per-vertex path extraction when the witnessed pipeline is used.
+
+use crate::apsp::{apsp, ApspAlgorithm};
+use crate::apsp_paths::apsp_with_paths;
+use crate::params::Params;
+use crate::step3::SearchBackend;
+use crate::ApspError;
+use qcc_graph::{DiGraph, ExtWeight, PathOracle};
+use rand::Rng;
+
+/// Result of a single-source run.
+#[derive(Clone, Debug)]
+pub struct SsspReport {
+    /// The source vertex.
+    pub source: usize,
+    /// Distances from the source (`dist[v]`).
+    pub distances: Vec<ExtWeight>,
+    /// Rounds on the physical network.
+    pub rounds: u64,
+}
+
+/// Single-source distances through the chosen APSP algorithm.
+///
+/// # Errors
+///
+/// Propagates [`ApspError`] (including [`ApspError::NegativeCycle`]).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_apsp::{sssp, ApspAlgorithm, Params};
+/// use qcc_graph::{DiGraph, ExtWeight};
+/// use rand::SeedableRng;
+///
+/// let mut g = DiGraph::new(4);
+/// g.add_arc(0, 1, 3);
+/// g.add_arc(1, 2, -1);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let r = sssp(&g, 0, Params::paper(), ApspAlgorithm::NaiveBroadcast, &mut rng)?;
+/// assert_eq!(r.distances[2], ExtWeight::from(2));
+/// assert_eq!(r.distances[3], ExtWeight::PosInf);
+/// # Ok::<(), qcc_apsp::ApspError>(())
+/// ```
+pub fn sssp<R: Rng>(
+    g: &DiGraph,
+    source: usize,
+    params: Params,
+    algorithm: ApspAlgorithm,
+    rng: &mut R,
+) -> Result<SsspReport, ApspError> {
+    assert!(source < g.n(), "source out of range");
+    let report = apsp(g, params, algorithm, rng)?;
+    let distances = (0..g.n()).map(|v| report.distances[(source, v)]).collect();
+    Ok(SsspReport { source, distances, rounds: report.rounds })
+}
+
+/// Single-source shortest-path *tree*: distances plus an explicit path to
+/// every reachable vertex, through the witnessed pipeline.
+///
+/// Returns the report and the path oracle (paths from any pair, but the
+/// caller asked about `source`).
+///
+/// # Errors
+///
+/// Propagates [`ApspError`].
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn sssp_with_paths<R: Rng>(
+    g: &DiGraph,
+    source: usize,
+    params: Params,
+    backend: SearchBackend,
+    rng: &mut R,
+) -> Result<(SsspReport, PathOracle), ApspError> {
+    assert!(source < g.n(), "source out of range");
+    let report = apsp_with_paths(g, params, backend, rng)?;
+    let distances: Vec<ExtWeight> =
+        (0..g.n()).map(|v| report.oracle.distances()[(source, v)]).collect();
+    Ok((SsspReport { source, distances, rounds: report.rounds }, report.oracle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_graph::{bellman_ford, path_weight, random_reweighted_digraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sssp_matches_bellman_ford() {
+        let mut rng = StdRng::seed_from_u64(801);
+        let g = random_reweighted_digraph(10, 0.4, 6, &mut rng);
+        let bf = bellman_ford(&g, 3).unwrap();
+        let r = sssp(&g, 3, Params::paper(), ApspAlgorithm::SemiringSquaring, &mut rng).unwrap();
+        assert_eq!(r.distances, bf);
+        assert_eq!(r.source, 3);
+    }
+
+    #[test]
+    fn sssp_paths_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(802);
+        let g = random_reweighted_digraph(7, 0.5, 4, &mut rng);
+        let (r, oracle) =
+            sssp_with_paths(&g, 0, Params::paper(), SearchBackend::Classical, &mut rng).unwrap();
+        for v in 1..7 {
+            match oracle.path(0, v) {
+                Some(path) => {
+                    let w = path_weight(&g, &path).expect("valid hops");
+                    assert_eq!(ExtWeight::from(w), r.distances[v], "v = {v}");
+                }
+                None => assert_eq!(r.distances[v], ExtWeight::PosInf),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn out_of_range_source_is_rejected() {
+        let g = DiGraph::new(3);
+        let mut rng = StdRng::seed_from_u64(803);
+        let _ = sssp(&g, 5, Params::paper(), ApspAlgorithm::NaiveBroadcast, &mut rng);
+    }
+}

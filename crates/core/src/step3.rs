@@ -1,0 +1,443 @@
+//! Step 3 of ComputePairs: the parallel searches (Figure 3).
+//!
+//! After `IdentifyClass` partitions the triples into classes `{T_α}`, each
+//! search node `(u, v, x)` runs, for every kept pair `{u, v}`, one search
+//! per class: "is there a fine block `w ∈ T_α[u, v]` containing an apex of
+//! a negative triangle through `{u, v}`?". The quantum implementation runs
+//! all these searches as lockstep Grover iterations sharing the joint
+//! evaluation procedures of Figures 4–5 (`O~(n^{1/4})` rounds total); the
+//! classical baseline simply scans every fine block (`O~(√n)` rounds).
+
+use crate::eval_procedure::{
+    evaluate_joint, evaluate_joint_unbounded, AlphaContext, EvalJointError, EvalQuery,
+};
+use crate::gather::GatheredWeights;
+use crate::identify_class::ClassAssignment;
+use crate::instance::Instance;
+use crate::lambda::{KeptPair, LambdaCover};
+use crate::problem::PairSet;
+use crate::ApspError;
+use qcc_quantum::{repetitions_for_target, GroverAmplitudes};
+use rand::Rng;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Which Step-3 implementation to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchBackend {
+    /// Lockstep parallel Grover searches (Theorem 2, `O~(n^{1/4})` rounds).
+    Quantum,
+    /// Exhaustive scan over the fine blocks (`O~(√n)` rounds).
+    Classical,
+}
+
+/// A confirmed pair together with the fine block whose apex witnessed it.
+///
+/// Witnesses come straight from the verified measurement (quantum) or the
+/// confirming scan step (classical); `block` always contains at least one
+/// apex completing a negative triangle with `{u, v}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FoundWitness {
+    /// Smaller endpoint of the pair.
+    pub u: usize,
+    /// Larger endpoint of the pair.
+    pub v: usize,
+    /// Index of the witnessing fine block.
+    pub block: usize,
+}
+
+/// Full result of a Step-3 run.
+#[derive(Clone, Debug)]
+pub struct Step3Output {
+    /// The pairs confirmed to sit in a negative triangle.
+    pub found: PairSet,
+    /// One witnessing fine block per confirmation event (a pair may appear
+    /// with several blocks; every listed block holds a real apex).
+    pub witnesses: Vec<FoundWitness>,
+    /// Run diagnostics.
+    pub stats: Step3Stats,
+}
+
+/// Diagnostics of a Step-3 run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Step3Stats {
+    /// Total parallel searches executed.
+    pub searches: usize,
+    /// Lockstep Grover iterations (0 for the classical backend).
+    pub iterations: u64,
+    /// Joint evaluation calls.
+    pub eval_calls: u64,
+    /// Queries the truncated evaluator rejected as atypical.
+    pub typicality_violations: u64,
+    /// Amplification repetitions (per class, summed).
+    pub repetitions: u64,
+}
+
+struct Search {
+    search_label: usize,
+    pair: KeptPair,
+    domain: Rc<Vec<usize>>,
+    solutions: Vec<usize>,
+    non_solutions: Vec<usize>,
+    amp: GroverAmplitudes,
+    found: bool,
+}
+
+impl Search {
+    fn sample_target<R: Rng>(&self, k: u64, rng: &mut R) -> usize {
+        let p = self.amp.query_solution_probability(k);
+        let take_solution = if self.solutions.is_empty() {
+            false
+        } else if self.non_solutions.is_empty() {
+            true
+        } else {
+            rng.gen_bool(p.clamp(0.0, 1.0))
+        };
+        let side = if take_solution { &self.solutions } else { &self.non_solutions };
+        self.domain[side[rng.gen_range(0..side.len())]]
+    }
+}
+
+/// Runs the quantum Step 3 over a prepared class assignment.
+///
+/// Returns the found pairs and run diagnostics.
+///
+/// # Errors
+///
+/// Propagates simulator-level errors; typicality refusals are *not* errors
+/// (they are counted in the stats, as Theorem 3's analysis prescribes).
+pub fn run_step3_quantum<R: Rng>(
+    inst: &Instance<'_>,
+    net: &mut qcc_congest::Clique,
+    cover: &LambdaCover,
+    gathered: &GatheredWeights,
+    classes: &ClassAssignment,
+    rng: &mut R,
+) -> Result<Step3Output, ApspError> {
+    let mut found = PairSet::new();
+    let mut witnesses: Vec<FoundWitness> = Vec::new();
+    let mut stats = Step3Stats::default();
+
+    for alpha in 0..=classes.max_class() {
+        let class_labels: Vec<usize> = (0..inst.triples.labeling().label_count())
+            .filter(|&t| classes.class_of[t] == alpha)
+            .collect();
+        if class_labels.is_empty() {
+            continue;
+        }
+        let actx = AlphaContext::build(inst, net, alpha, &class_labels)
+            .map_err(ApspError::from)?;
+
+        // Assemble the searches: one per (search node, kept pair) whose
+        // block pair has class-α targets.
+        let mut domains: HashMap<(usize, usize), Rc<Vec<usize>>> = HashMap::new();
+        let mut searches: Vec<Search> = Vec::new();
+        for (label, (bu, bv, _x)) in inst.searches.triples() {
+            let domain = domains
+                .entry((bu, bv))
+                .or_insert_with(|| Rc::new(classes.t_alpha(inst, bu, bv, alpha)))
+                .clone();
+            if domain.is_empty() {
+                continue;
+            }
+            for pair in &cover.kept[label] {
+                let mut solutions = Vec::new();
+                let mut non_solutions = Vec::new();
+                for (i, &bw) in domain.iter().enumerate() {
+                    if inst.has_apex_in_block(pair.u, pair.v, bw) {
+                        solutions.push(i);
+                    } else {
+                        non_solutions.push(i);
+                    }
+                }
+                let amp = GroverAmplitudes::new(domain.len(), solutions.len());
+                searches.push(Search {
+                    search_label: label,
+                    pair: *pair,
+                    domain: domain.clone(),
+                    solutions,
+                    non_solutions,
+                    amp,
+                    found: false,
+                });
+            }
+        }
+        if searches.is_empty() {
+            continue;
+        }
+        stats.searches += searches.len();
+
+        let max_domain = searches.iter().map(|s| s.domain.len()).max().unwrap_or(1);
+        let k_max = GroverAmplitudes::max_useful_iterations(max_domain);
+        let reps = inst
+            .params
+            .search_repetitions
+            .unwrap_or_else(|| repetitions_for_target(searches.len()));
+
+        for _ in 0..reps {
+            stats.repetitions += 1;
+            let k = rng.gen_range(0..=k_max);
+            for i in 0..k {
+                let queries: Vec<EvalQuery> = searches
+                    .iter()
+                    .map(|s| EvalQuery {
+                        search_label: s.search_label,
+                        pair: s.pair,
+                        target: s.sample_target(i, rng),
+                    })
+                    .collect();
+                stats.eval_calls += 1;
+                stats.iterations += 1;
+                match evaluate_joint(inst, net, gathered, &actx, &queries) {
+                    Ok(answers) => {
+                        debug_assert!(queries.iter().zip(&answers).all(|(q, &a)| {
+                            a == inst.has_apex_in_block(q.pair.u, q.pair.v, q.target)
+                        }));
+                    }
+                    Err(EvalJointError::Atypical(_)) => stats.typicality_violations += 1,
+                    Err(EvalJointError::Congest(e)) => return Err(e.into()),
+                }
+            }
+            // Measure every search and verify the measured tuple jointly.
+            let queries: Vec<EvalQuery> = searches
+                .iter()
+                .map(|s| EvalQuery {
+                    search_label: s.search_label,
+                    pair: s.pair,
+                    target: s.sample_target(k, rng),
+                })
+                .collect();
+            stats.eval_calls += 1;
+            match evaluate_joint(inst, net, gathered, &actx, &queries) {
+                Ok(answers) => {
+                    for (s, (q, &a)) in searches.iter_mut().zip(queries.iter().zip(&answers)) {
+                        if a {
+                            s.found = true;
+                            found.insert(q.pair.u, q.pair.v);
+                            witnesses.push(FoundWitness {
+                                u: q.pair.u.min(q.pair.v),
+                                v: q.pair.u.max(q.pair.v),
+                                block: q.target,
+                            });
+                        }
+                    }
+                }
+                Err(EvalJointError::Atypical(_)) => stats.typicality_violations += 1,
+                Err(EvalJointError::Congest(e)) => return Err(e.into()),
+            }
+            if searches.iter().all(|s| s.found || s.solutions.is_empty()) {
+                break;
+            }
+        }
+    }
+    witnesses.sort_unstable();
+    witnesses.dedup();
+    Ok(Step3Output { found, witnesses, stats })
+}
+
+/// Runs the classical Step 3: every search node checks every fine block of
+/// `V'` in sequence, with no class machinery and no load balancing.
+///
+/// # Errors
+///
+/// Propagates simulator-level errors.
+pub fn run_step3_classical(
+    inst: &Instance<'_>,
+    net: &mut qcc_congest::Clique,
+    cover: &LambdaCover,
+    gathered: &GatheredWeights,
+) -> Result<Step3Output, ApspError> {
+    let mut found = PairSet::new();
+    let mut witnesses: Vec<FoundWitness> = Vec::new();
+    let mut stats = Step3Stats { searches: cover.total_kept(), ..Step3Stats::default() };
+
+    // A trivial context: every triple keeps its own data (no duplication).
+    let all_labels: Vec<usize> = (0..inst.triples.labeling().label_count()).collect();
+    let actx = AlphaContext::build(inst, net, 0, &all_labels).map_err(ApspError::from)?;
+
+    for bw in 0..inst.parts.fine.num_blocks() {
+        let queries: Vec<EvalQuery> = cover
+            .kept
+            .iter()
+            .enumerate()
+            .flat_map(|(label, pairs)| {
+                pairs.iter().map(move |pair| EvalQuery {
+                    search_label: label,
+                    pair: *pair,
+                    target: bw,
+                })
+            })
+            .collect();
+        if queries.is_empty() {
+            continue;
+        }
+        stats.eval_calls += 1;
+        match evaluate_joint_unbounded(inst, net, gathered, &actx, &queries) {
+            Ok(answers) => {
+                for (q, &a) in queries.iter().zip(&answers) {
+                    if a {
+                        found.insert(q.pair.u, q.pair.v);
+                        witnesses.push(FoundWitness {
+                            u: q.pair.u.min(q.pair.v),
+                            v: q.pair.u.max(q.pair.v),
+                            block: q.target,
+                        });
+                    }
+                }
+            }
+            Err(EvalJointError::Atypical(e)) => {
+                unreachable!("unbounded evaluator cannot reject: {e}")
+            }
+            Err(EvalJointError::Congest(e)) => return Err(e.into()),
+        }
+    }
+    stats.iterations = inst.parts.fine.num_blocks() as u64;
+    witnesses.sort_unstable();
+    witnesses.dedup();
+    Ok(Step3Output { found, witnesses, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gather::gather_weights;
+    use crate::identify_class::identify_class_with_retry;
+    use crate::lambda::build_lambda_cover_with_retry;
+    use crate::params::Params;
+    use crate::problem::{reference_find_edges, PairSet};
+    use qcc_congest::Clique;
+    use qcc_graph::{book_graph, congestion_hotspot, random_ugraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_quantum(
+        g: &qcc_graph::UGraph,
+        s: &PairSet,
+        params: Params,
+        seed: u64,
+    ) -> (PairSet, Step3Stats, u64) {
+        let inst = Instance::new(g, s, params);
+        let mut net = Clique::new(g.n()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gathered = gather_weights(&inst, &mut net).unwrap();
+        let cover = build_lambda_cover_with_retry(&inst, &mut net, 30, &mut rng).unwrap();
+        let classes = identify_class_with_retry(&inst, &mut net, 30, &mut rng).unwrap();
+        let out =
+            run_step3_quantum(&inst, &mut net, &cover, &gathered, &classes, &mut rng).unwrap();
+        for w in &out.witnesses {
+            assert!(
+                inst.has_apex_in_block(w.u, w.v, w.block),
+                "witness block {} holds no apex for ({}, {})",
+                w.block,
+                w.u,
+                w.v
+            );
+        }
+        (out.found, out.stats, net.rounds())
+    }
+
+    fn run_classical(
+        g: &qcc_graph::UGraph,
+        s: &PairSet,
+        params: Params,
+        seed: u64,
+    ) -> (PairSet, Step3Stats, u64) {
+        let inst = Instance::new(g, s, params);
+        let mut net = Clique::new(g.n()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gathered = gather_weights(&inst, &mut net).unwrap();
+        let cover = build_lambda_cover_with_retry(&inst, &mut net, 30, &mut rng).unwrap();
+        let out = run_step3_classical(&inst, &mut net, &cover, &gathered).unwrap();
+        for w in &out.witnesses {
+            assert!(inst.has_apex_in_block(w.u, w.v, w.block));
+        }
+        (out.found, out.stats, net.rounds())
+    }
+
+    #[test]
+    fn quantum_step3_finds_planted_pairs_with_paper_constants() {
+        let g = book_graph(16, 4);
+        let s = PairSet::all_pairs(16);
+        let (found, stats, rounds) = run_quantum(&g, &s, Params::paper(), 71);
+        let expected = reference_find_edges(&g, &s);
+        assert_eq!(found, expected);
+        assert!(stats.searches > 0);
+        assert!(rounds > 0);
+    }
+
+    #[test]
+    fn classical_step3_is_exact() {
+        let mut rng = StdRng::seed_from_u64(72);
+        for _ in 0..3 {
+            let g = random_ugraph(16, 0.5, 4, &mut rng);
+            let s = PairSet::all_pairs(16);
+            let (found, _stats, _) = run_classical(&g, &s, Params::paper(), 73);
+            assert_eq!(found, reference_find_edges(&g, &s));
+        }
+    }
+
+    #[test]
+    fn quantum_matches_classical_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(74);
+        for trial in 0..3 {
+            let g = random_ugraph(16, 0.45, 4, &mut rng);
+            let s = PairSet::all_pairs(16);
+            let (q, _, _) = run_quantum(&g, &s, Params::paper(), 75 + trial);
+            let (c, _, _) = run_classical(&g, &s, Params::paper(), 75 + trial);
+            assert_eq!(q, c, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn restricting_s_restricts_the_output() {
+        let g = book_graph(16, 4);
+        let mut s = PairSet::new();
+        s.insert(0, 1);
+        s.insert(9, 10); // not in any triangle
+        let (found, _, _) = run_quantum(&g, &s, Params::paper(), 76);
+        assert!(found.contains(0, 1));
+        assert!(!found.contains(9, 10));
+        // pairs outside S never appear even though they are in triangles
+        assert!(!found.contains(0, 2));
+    }
+
+    #[test]
+    fn hotspot_instance_exercises_higher_classes() {
+        let (g, base_pairs) = congestion_hotspot(16, 4, 6);
+        let s = PairSet::all_pairs(16);
+        let mut params = Params::paper();
+        params.class_threshold = 0.25;
+        let (found, stats, _) = run_quantum(&g, &s, params, 77);
+        for &(u, v) in &base_pairs {
+            assert!(found.contains(u, v), "base pair ({u},{v})");
+        }
+        assert!(stats.eval_calls > 0);
+    }
+
+    #[test]
+    fn quantum_uses_fewer_sequential_probes_than_classical_scan() {
+        // The classical backend scans all √n fine blocks; the quantum
+        // backend's iteration count is O(√(√n)) per repetition. At n = 256
+        // (fine blocks: 16) the gap shows in the per-search probe depth.
+        let mut rng = StdRng::seed_from_u64(78);
+        let g = random_ugraph(81, 0.3, 4, &mut rng);
+        let s = PairSet::all_pairs(81);
+        let mut params = Params::paper();
+        params.search_repetitions = Some(12);
+        let (q, qs, _) = run_quantum(&g, &s, params, 79);
+        let (c, cs, _) = run_classical(&g, &s, Params::paper(), 79);
+        assert_eq!(q, c);
+        // classical probes every one of the 9 fine blocks
+        assert_eq!(cs.iterations, 9);
+        assert!(qs.iterations > 0);
+    }
+
+    #[test]
+    fn empty_graph_finds_nothing() {
+        let g = qcc_graph::UGraph::new(16);
+        let s = PairSet::all_pairs(16);
+        let (found, stats, _) = run_quantum(&g, &s, Params::paper(), 80);
+        assert!(found.is_empty());
+        assert_eq!(stats.searches, 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Wire-format helpers: payloads with explicit bit sizes.
+
+use qcc_congest::Payload;
+
+/// A payload wrapper carrying an explicit wire size in bits.
+///
+/// The CONGEST-CLIQUE model charges by bits; field widths depend on the
+/// instance (`⌈log₂ n⌉` per vertex id, `⌈log₂ W⌉` per weight), so the
+/// senders compute sizes at call sites and attach them here.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_apsp::Wire;
+/// use qcc_congest::Payload;
+///
+/// let msg = Wire::new((3usize, 5usize), 16);
+/// assert_eq!(msg.bit_size(), 16);
+/// assert_eq!(msg.value, (3, 5));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Wire<T> {
+    /// The message content.
+    pub value: T,
+    /// Declared wire size in bits.
+    pub bits: u64,
+}
+
+impl<T> Wire<T> {
+    /// Wraps `value` with its wire size.
+    pub fn new(value: T, bits: u64) -> Self {
+        Wire { value, bits }
+    }
+}
+
+impl<T: Clone> Payload for Wire<T> {
+    fn bit_size(&self) -> u64 {
+        self.bits
+    }
+}
+
+/// Wire size of one unordered vertex pair over `n` vertices.
+pub fn pair_bits(n: usize) -> u64 {
+    2 * qcc_congest::bits_for_count(n)
+}
+
+/// Wire size of one signed weight with magnitude at most `w_mag`.
+pub fn weight_bits(w_mag: u64) -> u64 {
+    qcc_congest::bits_for_weight_range(w_mag.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_reports_declared_bits() {
+        let w = Wire::new(vec![1u8, 2], 100);
+        assert_eq!(w.bit_size(), 100);
+    }
+
+    #[test]
+    fn pair_bits_scale_with_log_n() {
+        assert_eq!(pair_bits(256), 16);
+        assert_eq!(pair_bits(257), 18);
+    }
+
+    #[test]
+    fn weight_bits_cover_sign_and_infinity() {
+        assert!(weight_bits(8) >= 5);
+        assert!(weight_bits(0) >= 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-figure semantic tests: each algorithm box of the paper, checked
+//! against its stated contract on randomized instances.
+
+use qcc_apsp::eval_procedure::{evaluate_joint, AlphaContext, EvalQuery};
+use qcc_apsp::gather::gather_weights;
+use qcc_apsp::identify_class::identify_class_with_retry;
+use qcc_apsp::lambda::{build_lambda_cover_with_retry, KeptPair};
+use qcc_apsp::{compute_pairs, Instance, PairSet, Params, SearchBackend};
+use qcc_congest::Clique;
+use qcc_graph::{random_ugraph, PaperPartitions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Figure 1 contract: the three steps appear, in order, in the phase log.
+#[test]
+fn figure1_steps_execute_in_order() {
+    let mut rng = StdRng::seed_from_u64(5001);
+    let g = random_ugraph(16, 0.5, 4, &mut rng);
+    let s = PairSet::all_pairs(16);
+    let mut net = Clique::new(16).unwrap();
+    compute_pairs(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng).unwrap();
+    let labels: Vec<&str> =
+        net.metrics().phases().iter().map(|p| p.label.as_str()).collect();
+    let pos = |prefix: &str| labels.iter().position(|l| l.starts_with(prefix));
+    let step1 = pos("compute-pairs/step1").expect("step 1 ran");
+    let step2 = pos("compute-pairs/step2").expect("step 2 ran");
+    let identify = pos("identify-class").expect("IdentifyClass ran");
+    let step3 = pos("step3/").expect("step 3 ran");
+    assert!(step1 < step2 && step2 < identify && identify < step3);
+}
+
+/// Figure 2 contract: R is a subset of the S-edges, every node's draw is
+/// below the abort bound, and d counts only R-pairs.
+#[test]
+fn figure2_r_is_bounded_and_contained() {
+    let mut rng = StdRng::seed_from_u64(5002);
+    let g = random_ugraph(16, 0.6, 4, &mut rng);
+    let mut s = PairSet::new();
+    for (u, v, _) in g.edges().take(30) {
+        s.insert(u, v);
+    }
+    let mut params = Params::paper();
+    params.identify_rate = 2.0; // sub-unit sampling at n = 16 (p = 0.5)
+    let inst = Instance::new(&g, &s, params);
+    assert!(params.identify_probability(16) < 1.0);
+    let mut net = Clique::new(16).unwrap();
+    let a = identify_class_with_retry(&inst, &mut net, 20, &mut rng).unwrap();
+    let bound = params.identify_abort_bound(16);
+    let mut per_vertex = vec![0usize; 16];
+    for &(u, v, w) in &a.r {
+        assert!(s.contains(u, v), "R ⊆ S");
+        assert!(g.has_edge(u, v), "R pairs are edges");
+        assert_eq!(g.weight(u, v).finite(), Some(w));
+        per_vertex[u] += 1;
+    }
+    for (u, &count) in per_vertex.iter().enumerate() {
+        assert!((count as f64) <= bound, "vertex {u} drew {count} > bound {bound}");
+    }
+    // d counts R-members only: d ≤ |R ∩ P(u,v)| always
+    for (label, (bu, bv, _)) in inst.triples.triples() {
+        let r_in_block = a
+            .r
+            .iter()
+            .filter(|&&(u, v, _)| {
+                let (cu, cv) = (inst.parts.coarse.block_of(u), inst.parts.coarse.block_of(v));
+                (cu == bu && cv == bv) || (cu == bv && cv == bu)
+            })
+            .count();
+        assert!(a.d[label] <= r_in_block);
+    }
+}
+
+/// Figures 4–5 contract: the evaluation answer equals the negative-triangle
+/// census for *every* query, across random α contexts and duplication
+/// factors.
+#[test]
+fn figures45_answers_equal_census_across_contexts() {
+    let mut rng = StdRng::seed_from_u64(5003);
+    let g = random_ugraph(16, 0.55, 5, &mut rng);
+    let s = PairSet::all_pairs(16);
+    for dup_denominator in [720.0, 0.5, 0.05] {
+        let mut params = Params::paper();
+        params.dup_denominator = dup_denominator;
+        let inst = Instance::new(&g, &s, params);
+        let mut net = Clique::new(16).unwrap();
+        let gathered = gather_weights(&inst, &mut net).unwrap();
+        let labels: Vec<usize> = (0..inst.triples.labeling().label_count()).collect();
+        for alpha in [0u32, 2, 5] {
+            let actx = AlphaContext::build(&inst, &mut net, alpha, &labels).unwrap();
+            let mut queries = Vec::new();
+            for (u, v, w) in g.edges() {
+                let bu = inst.parts.coarse.block_of(u);
+                let bv = inst.parts.coarse.block_of(v);
+                queries.push(EvalQuery {
+                    search_label: inst.searches.encode(
+                        bu.min(bv),
+                        bu.max(bv),
+                        rng.gen_range(0..inst.parts.fine.num_blocks()),
+                    ),
+                    pair: KeptPair { u: u.min(v), v: u.max(v), weight: w },
+                    target: rng.gen_range(0..inst.parts.fine.num_blocks()),
+                });
+            }
+            let answers = evaluate_joint(&inst, &mut net, &gathered, &actx, &queries).unwrap();
+            for (q, &a) in queries.iter().zip(&answers) {
+                assert_eq!(
+                    a,
+                    inst.has_apex_in_block(q.pair.u, q.pair.v, q.target),
+                    "alpha {alpha}, dup_denominator {dup_denominator}, pair ({}, {})",
+                    q.pair.u,
+                    q.pair.v
+                );
+            }
+        }
+    }
+}
+
+/// Step 2 contract (Lemma 2 consequence): every kept pair is an S-edge
+/// with its true weight, and the per-label lists respect the balance cap.
+#[test]
+fn step2_kept_lists_respect_the_contract() {
+    let mut rng = StdRng::seed_from_u64(5004);
+    let g = random_ugraph(81, 0.2, 4, &mut rng);
+    let s = PairSet::all_pairs(81);
+    let inst = Instance::new(&g, &s, Params::paper());
+    let mut net = Clique::new(81).unwrap();
+    let cover = build_lambda_cover_with_retry(&inst, &mut net, 10, &mut rng).unwrap();
+    let cap = inst.params.balance_cap(81);
+    for (label, list) in cover.kept.iter().enumerate() {
+        let mut per_vertex = std::collections::HashMap::new();
+        for kp in list {
+            assert!(g.has_edge(kp.u, kp.v));
+            assert_eq!(g.weight(kp.u, kp.v).finite(), Some(kp.weight));
+            *per_vertex.entry(kp.u).or_insert(0usize) += 1;
+            *per_vertex.entry(kp.v).or_insert(0usize) += 1;
+        }
+        for (&vtx, &count) in &per_vertex {
+            assert!(
+                (count as f64) <= cap,
+                "label {label}, vertex {vtx}: {count} > cap {cap}"
+            );
+        }
+    }
+}
+
+/// The Section 5.1 geometry: the triple and search labelings address the
+/// same block structure, and pair sets tile the full pair universe.
+#[test]
+fn section51_geometry_is_consistent() {
+    for n in [16usize, 81, 100, 256] {
+        let parts = PaperPartitions::new(n);
+        let q = parts.coarse.num_blocks();
+        // every vertex pair lives in exactly one unordered block pair
+        let mut total = 0usize;
+        for a in 0..q {
+            for b in a..q {
+                total += parts.coarse.pair_set(a, b).len();
+            }
+        }
+        assert_eq!(total, n * (n - 1) / 2, "n = {n}");
+    }
+}

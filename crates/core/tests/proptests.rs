@@ -1,0 +1,145 @@
+//! Property-based tests for the algorithm crate.
+
+use proptest::prelude::*;
+use qcc_apsp::{
+    apsp, dolev_find_edges, reference_find_edges, ApspAlgorithm, PairSet, Params, Wire,
+};
+use qcc_congest::Payload;
+use qcc_graph::{floyd_warshall, random_reweighted_digraph, random_ugraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Dolev listing baseline is exact on arbitrary random graphs.
+    #[test]
+    fn dolev_is_exact(seed in 0u64..1000, n in 4usize..16, density in 0.1f64..0.9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_ugraph(n, density, 5, &mut rng);
+        let s = PairSet::all_pairs(n);
+        let report = dolev_find_edges(&g, &s).unwrap();
+        prop_assert_eq!(report.found, reference_find_edges(&g, &s));
+    }
+
+    /// Naive and semiring APSP agree with Floyd–Warshall on random
+    /// negative-cycle-free digraphs.
+    #[test]
+    fn baselines_agree_with_oracle(seed in 0u64..500, n in 2usize..14) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_reweighted_digraph(n, 0.5, 6, &mut rng);
+        let oracle = floyd_warshall(&g.adjacency_matrix()).unwrap();
+        let naive = apsp(&g, Params::paper(), ApspAlgorithm::NaiveBroadcast, &mut rng).unwrap();
+        prop_assert_eq!(&naive.distances, &oracle);
+        let semi = apsp(&g, Params::paper(), ApspAlgorithm::SemiringSquaring, &mut rng).unwrap();
+        prop_assert_eq!(&semi.distances, &oracle);
+    }
+
+    /// PairSet set algebra: subtract then union restores a superset.
+    #[test]
+    fn pairset_algebra(pairs in proptest::collection::vec((0usize..12, 0usize..12), 0..40)) {
+        let mut s = PairSet::new();
+        for (u, v) in pairs {
+            if u != v {
+                s.insert(u, v);
+            }
+        }
+        let half: PairSet = s.iter().take(s.len() / 2).collect();
+        let mut rest = s.clone();
+        rest.subtract(&half);
+        prop_assert_eq!(rest.len() + half.len(), s.len());
+        let mut merged = rest.clone();
+        merged.union_with(&half);
+        prop_assert_eq!(merged, s);
+    }
+
+    /// Wire payloads report exactly their declared bits.
+    #[test]
+    fn wire_bits_are_exact(bits in 1u64..10_000) {
+        let w = Wire::new((1usize, 2usize), bits);
+        prop_assert_eq!(w.bit_size(), bits);
+    }
+}
+
+/// Full quantum pipeline equals the oracle on a batch of seeds (moderate
+/// sizes keep the end-to-end run fast; larger sweeps live in the benches).
+#[test]
+fn quantum_apsp_is_correct_across_seeds() {
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let g = random_reweighted_digraph(7, 0.5, 4, &mut rng);
+        let oracle = floyd_warshall(&g.adjacency_matrix()).unwrap();
+        let report = apsp(&g, Params::paper(), ApspAlgorithm::QuantumTriangle, &mut rng).unwrap();
+        assert_eq!(report.distances, oracle, "seed {seed}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Quantized APSP: error within (n−1)q, monotone in q, exact at q = 1.
+    #[test]
+    fn quantization_error_bound_holds(seed in 0u64..300, q in 1i64..64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = qcc_graph::random_nonneg_digraph(7, 0.5, 60, &mut rng);
+        let exact = floyd_warshall(&g.adjacency_matrix()).unwrap();
+        let report = qcc_apsp::quantized_apsp(
+            &g,
+            q,
+            Params::paper(),
+            qcc_apsp::SearchBackend::Classical,
+            &mut rng,
+        )
+        .unwrap();
+        let err = qcc_apsp::max_additive_error(&exact, &report.distances);
+        prop_assert!(err <= 6 * q, "q = {}: err {}", q, err);
+        if q == 1 {
+            prop_assert_eq!(report.distances, exact);
+        }
+    }
+
+    /// Witnessed APSP paths: every reconstructed path realizes its distance.
+    #[test]
+    fn witnessed_paths_realize_distances(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_reweighted_digraph(6, 0.5, 5, &mut rng);
+        let fw = floyd_warshall(&g.adjacency_matrix()).unwrap();
+        let report = qcc_apsp::apsp_with_paths(
+            &g,
+            Params::paper(),
+            qcc_apsp::SearchBackend::Classical,
+            &mut rng,
+        )
+        .unwrap();
+        prop_assert_eq!(report.oracle.distances(), &fw);
+        for u in 0..6 {
+            for v in 0..6 {
+                if u == v { continue; }
+                match report.oracle.path(u, v) {
+                    Some(p) => {
+                        let w = qcc_graph::path_weight(&g, &p).expect("valid hops");
+                        prop_assert_eq!(qcc_graph::ExtWeight::from(w), fw[(u, v)]);
+                        prop_assert!(p.len() <= 6);
+                    }
+                    None => prop_assert_eq!(fw[(u, v)], qcc_graph::ExtWeight::PosInf),
+                }
+            }
+        }
+    }
+
+    /// The sampling helper is distributionally sound at the tails.
+    #[test]
+    fn sample_indices_tail_bounds(seed in 0u64..500, p in 0.01f64..0.99) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let universe = 5000;
+        let picked = qcc_apsp::sample_indices(universe, p, &mut rng);
+        let mean = universe as f64 * p;
+        let sigma = (universe as f64 * p * (1.0 - p)).sqrt();
+        prop_assert!(
+            ((picked.len() as f64) - mean).abs() <= 6.0 * sigma + 2.0,
+            "picked {} vs mean {:.1}",
+            picked.len(),
+            mean
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! Sequential all-pairs shortest path oracles.
+//!
+//! These run on a single machine and serve as ground truth for the
+//! distributed algorithms: Floyd–Warshall (negative weights, cycle
+//! detection), Bellman–Ford (single source), and Johnson's algorithm
+//! (reweighting + Dijkstra, asymptotically faster on sparse graphs and an
+//! independent cross-check of Floyd–Warshall).
+
+use crate::digraph::DiGraph;
+use crate::matrix::WeightMatrix;
+use crate::weight::ExtWeight;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+/// The input graph contains a negative cycle, so shortest distances are
+/// undefined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NegativeCycleError;
+
+impl fmt::Display for NegativeCycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph contains a negative cycle")
+    }
+}
+
+impl Error for NegativeCycleError {}
+
+/// Floyd–Warshall on an adjacency matrix (`A_G[i,i] = 0`).
+///
+/// Returns the full distance matrix, or an error if a negative cycle is
+/// detected (negative diagonal after relaxation).
+///
+/// # Examples
+///
+/// ```
+/// use qcc_graph::{floyd_warshall, DiGraph, ExtWeight};
+///
+/// let mut g = DiGraph::new(3);
+/// g.add_arc(0, 1, 2);
+/// g.add_arc(1, 2, -1);
+/// let d = floyd_warshall(&g.adjacency_matrix())?;
+/// assert_eq!(d[(0, 2)], ExtWeight::from(1));
+/// # Ok::<(), qcc_graph::NegativeCycleError>(())
+/// ```
+pub fn floyd_warshall(adj: &WeightMatrix) -> Result<WeightMatrix, NegativeCycleError> {
+    let n = adj.n();
+    let mut d = adj.clone();
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[(i, k)];
+            if dik == ExtWeight::PosInf {
+                continue;
+            }
+            for j in 0..n {
+                let cand = dik + d[(k, j)];
+                if cand < d[(i, j)] {
+                    d[(i, j)] = cand;
+                }
+            }
+        }
+    }
+    for i in 0..n {
+        if d[(i, i)] < ExtWeight::ZERO {
+            return Err(NegativeCycleError);
+        }
+    }
+    Ok(d)
+}
+
+/// Bellman–Ford single-source shortest paths.
+///
+/// Returns the distance vector from `src`, or an error if a negative cycle
+/// is reachable from `src`.
+///
+/// # Panics
+///
+/// Panics if `src` is out of range.
+pub fn bellman_ford(g: &DiGraph, src: usize) -> Result<Vec<ExtWeight>, NegativeCycleError> {
+    let n = g.n();
+    assert!(src < n);
+    let mut dist = vec![ExtWeight::PosInf; n];
+    dist[src] = ExtWeight::ZERO;
+    let arcs: Vec<_> = g.arcs().collect();
+    for _ in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for &(u, v, w) in &arcs {
+            let cand = dist[u] + ExtWeight::from(w);
+            if cand < dist[v] {
+                dist[v] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for &(u, v, w) in &arcs {
+        if dist[u] + ExtWeight::from(w) < dist[v] {
+            return Err(NegativeCycleError);
+        }
+    }
+    Ok(dist)
+}
+
+/// Dijkstra on nonnegative arc weights.
+///
+/// # Panics
+///
+/// Panics if `src` is out of range or any arc weight is negative.
+pub fn dijkstra(g: &DiGraph, src: usize) -> Vec<ExtWeight> {
+    let n = g.n();
+    assert!(src < n);
+    let mut dist = vec![ExtWeight::PosInf; n];
+    dist[src] = ExtWeight::ZERO;
+    let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((du, u))) = heap.pop() {
+        if ExtWeight::from(du) > dist[u] {
+            continue;
+        }
+        for (v, w) in g.out_neighbors(u) {
+            assert!(w >= 0, "dijkstra requires nonnegative weights");
+            let cand = du + w;
+            if ExtWeight::from(cand) < dist[v] {
+                dist[v] = ExtWeight::from(cand);
+                heap.push(Reverse((cand, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Johnson's algorithm: full APSP with negative arcs via Bellman–Ford
+/// reweighting plus `n` Dijkstra runs.
+///
+/// Returns the distance matrix, or an error if the graph has a negative
+/// cycle.
+pub fn johnson(g: &DiGraph) -> Result<WeightMatrix, NegativeCycleError> {
+    let n = g.n();
+    // Virtual source n with zero-weight arcs to every vertex.
+    let mut aug = DiGraph::new(n + 1);
+    for (u, v, w) in g.arcs() {
+        aug.add_arc(u, v, w);
+    }
+    for v in 0..n {
+        aug.add_arc(n, v, 0);
+    }
+    let h = bellman_ford(&aug, n)?;
+    let mut reweighted = DiGraph::new(n);
+    for (u, v, w) in g.arcs() {
+        let hu = h[u].finite().expect("virtual source reaches every vertex");
+        let hv = h[v].finite().expect("virtual source reaches every vertex");
+        reweighted.add_arc(u, v, w + hu - hv);
+    }
+    let mut dist = WeightMatrix::filled(n, ExtWeight::PosInf);
+    for u in 0..n {
+        let du = dijkstra(&reweighted, u);
+        let hu = h[u].finite().expect("reachable");
+        for v in 0..n {
+            dist[(u, v)] = if u == v {
+                ExtWeight::ZERO
+            } else {
+                match du[v] {
+                    ExtWeight::Finite(x) => {
+                        let hv = h[v].finite().expect("reachable");
+                        ExtWeight::from(x - hu + hv)
+                    }
+                    other => other,
+                }
+            };
+        }
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random_reweighted_digraph;
+    use crate::matrix::distance_power;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_graph() -> DiGraph {
+        let mut g = DiGraph::new(4);
+        g.add_arc(0, 1, 1);
+        g.add_arc(1, 2, 2);
+        g.add_arc(2, 3, 3);
+        g
+    }
+
+    #[test]
+    fn floyd_warshall_on_a_line() {
+        let d = floyd_warshall(&line_graph().adjacency_matrix()).unwrap();
+        assert_eq!(d[(0, 3)], ExtWeight::from(6));
+        assert_eq!(d[(3, 0)], ExtWeight::PosInf);
+        assert_eq!(d[(2, 2)], ExtWeight::ZERO);
+    }
+
+    #[test]
+    fn floyd_warshall_detects_negative_cycle() {
+        let mut g = DiGraph::new(3);
+        g.add_arc(0, 1, 1);
+        g.add_arc(1, 0, -2);
+        assert_eq!(floyd_warshall(&g.adjacency_matrix()), Err(NegativeCycleError));
+    }
+
+    #[test]
+    fn floyd_warshall_uses_negative_shortcuts() {
+        let mut g = DiGraph::new(3);
+        g.add_arc(0, 1, 10);
+        g.add_arc(0, 2, 1);
+        g.add_arc(2, 1, -5);
+        let d = floyd_warshall(&g.adjacency_matrix()).unwrap();
+        assert_eq!(d[(0, 1)], ExtWeight::from(-4));
+    }
+
+    #[test]
+    fn bellman_ford_matches_floyd_warshall() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..5 {
+            let g = random_reweighted_digraph(9, 0.5, 15, &mut rng);
+            let fw = floyd_warshall(&g.adjacency_matrix()).unwrap();
+            for src in 0..9 {
+                let bf = bellman_ford(&g, src).unwrap();
+                for v in 0..9 {
+                    assert_eq!(bf[v], fw[(src, v)], "src {src} v {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bellman_ford_detects_reachable_negative_cycle() {
+        let mut g = DiGraph::new(4);
+        g.add_arc(0, 1, 1);
+        g.add_arc(1, 2, -3);
+        g.add_arc(2, 1, 1);
+        assert_eq!(bellman_ford(&g, 0), Err(NegativeCycleError));
+        // unreachable from 3: fine
+        assert!(bellman_ford(&g, 3).is_ok());
+    }
+
+    #[test]
+    fn johnson_matches_floyd_warshall() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let g = random_reweighted_digraph(10, 0.4, 12, &mut rng);
+            let fw = floyd_warshall(&g.adjacency_matrix()).unwrap();
+            let jo = johnson(&g).unwrap();
+            assert_eq!(fw, jo);
+        }
+    }
+
+    #[test]
+    fn johnson_detects_negative_cycle() {
+        let mut g = DiGraph::new(2);
+        g.add_arc(0, 1, -1);
+        g.add_arc(1, 0, -1);
+        assert_eq!(johnson(&g), Err(NegativeCycleError));
+    }
+
+    #[test]
+    fn dijkstra_on_nonnegative_weights() {
+        let d = dijkstra(&line_graph(), 0);
+        assert_eq!(d[3], ExtWeight::from(6));
+        assert_eq!(d[0], ExtWeight::ZERO);
+    }
+
+    #[test]
+    fn distance_power_matches_floyd_warshall() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = random_reweighted_digraph(8, 0.5, 10, &mut rng);
+        let adj = g.adjacency_matrix();
+        let fw = floyd_warshall(&adj).unwrap();
+        let pow = distance_power(&adj, 7);
+        assert_eq!(fw, pow);
+    }
+
+    #[test]
+    fn error_type_displays() {
+        assert!(NegativeCycleError.to_string().contains("negative cycle"));
+    }
+}

@@ -1,0 +1,345 @@
+//! Workload generators for experiments and tests.
+//!
+//! The paper evaluates nothing empirically, so the reproduction defines its
+//! own workloads (see `DESIGN.md`, experiments E1–E13). This module
+//! provides:
+//!
+//! * random weighted digraphs guaranteed free of negative cycles (for APSP
+//!   instances with negative arcs, via the potential-reweighting trick),
+//! * random undirected graphs for negative-triangle stress tests,
+//! * *planted* instances where `Γ(u, v)` is controlled exactly (to exercise
+//!   the `FindEdgesWithPromise` promise and the class machinery of
+//!   Section 5.2),
+//! * adversarial instances concentrating all negative triangles on a single
+//!   coarse-block pair (the congestion hot-spot scenario the paper's load
+//!   balancing is designed for).
+
+use crate::digraph::DiGraph;
+use crate::ugraph::UGraph;
+use rand::Rng;
+
+/// Random directed graph with arc probability `density` and weights drawn
+/// uniformly from `[0, w_max]` (no negative arcs, hence no negative cycle).
+///
+/// # Panics
+///
+/// Panics if `density` is not in `[0, 1]`.
+pub fn random_nonneg_digraph<R: Rng>(n: usize, density: f64, w_max: u64, rng: &mut R) -> DiGraph {
+    assert!((0.0..=1.0).contains(&density));
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(density) {
+                g.add_arc(u, v, rng.gen_range(0..=w_max) as i64);
+            }
+        }
+    }
+    g
+}
+
+/// Random directed graph with *negative* arcs but no negative cycle.
+///
+/// Arcs get weight `c(u,v) + p(u) − p(v)` where `c ≥ 0` is a random base
+/// cost and `p` is a random vertex potential: every cycle's weight equals
+/// its (nonnegative) base cost, so no negative cycle exists, yet individual
+/// arcs can be strongly negative.
+///
+/// # Panics
+///
+/// Panics if `density` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_graph::{floyd_warshall, random_reweighted_digraph};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let g = random_reweighted_digraph(10, 0.5, 20, &mut rng);
+/// assert!(floyd_warshall(&g.adjacency_matrix()).is_ok()); // no negative cycle
+/// ```
+pub fn random_reweighted_digraph<R: Rng>(
+    n: usize,
+    density: f64,
+    w_max: u64,
+    rng: &mut R,
+) -> DiGraph {
+    assert!((0.0..=1.0).contains(&density));
+    let potentials: Vec<i64> = (0..n).map(|_| rng.gen_range(0..=w_max) as i64).collect();
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(density) {
+                let base = rng.gen_range(0..=w_max) as i64;
+                g.add_arc(u, v, base + potentials[u] - potentials[v]);
+            }
+        }
+    }
+    g
+}
+
+/// Random undirected graph with edge probability `density` and weights
+/// drawn uniformly from `[-w_mag, w_mag]`.
+///
+/// # Panics
+///
+/// Panics if `density` is not in `[0, 1]`.
+pub fn random_ugraph<R: Rng>(n: usize, density: f64, w_mag: i64, rng: &mut R) -> UGraph {
+    assert!((0.0..=1.0).contains(&density));
+    let mut g = UGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(density) {
+                g.add_edge(u, v, rng.gen_range(-w_mag..=w_mag));
+            }
+        }
+    }
+    g
+}
+
+/// Builds a "book" instance: the pair `{0, 1}` is in exactly `gamma`
+/// negative triangles (one per apex `2 .. 2 + gamma`), every apex pair is
+/// in exactly one, and every other pair in none.
+///
+/// Used to exercise `Γ` counting and the `IdentifyClass` bands with exact
+/// ground truth.
+///
+/// # Panics
+///
+/// Panics if `n < 2 + gamma`.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_graph::book_graph;
+///
+/// let g = book_graph(10, 4);
+/// assert_eq!(g.gamma(0, 1), 4);
+/// assert_eq!(g.gamma(0, 2), 1);
+/// assert_eq!(g.gamma(2, 3), 0);
+/// ```
+pub fn book_graph(n: usize, gamma: usize) -> UGraph {
+    assert!(n >= 2 + gamma, "need {} vertices for a {gamma}-page book", 2 + gamma);
+    let mut g = UGraph::new(n);
+    g.add_edge(0, 1, -10);
+    for w in 2..(2 + gamma) {
+        g.add_edge(0, w, 4);
+        g.add_edge(1, w, 4);
+    }
+    g
+}
+
+/// Plants `count` vertex-disjoint negative triangles into an `n`-vertex
+/// graph whose remaining edges (added with probability `filler_density`)
+/// are heavy enough never to create further negative triangles.
+///
+/// Each planted pair has `Γ = 1`; every other pair has `Γ = 0`.
+///
+/// # Panics
+///
+/// Panics if `3 * count > n` or `filler_density ∉ [0, 1]`.
+pub fn planted_disjoint_triangles<R: Rng>(
+    n: usize,
+    count: usize,
+    filler_density: f64,
+    rng: &mut R,
+) -> (UGraph, Vec<(usize, usize, usize)>) {
+    assert!(3 * count <= n, "need 3·{count} ≤ {n} vertices");
+    assert!((0.0..=1.0).contains(&filler_density));
+    let mut g = UGraph::new(n);
+    // Heavy filler edges first: weight +10 each, so any triangle that uses
+    // at least one filler edge has sum ≥ 10 − 1 − 1 > 0.
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(filler_density) {
+                g.add_edge(u, v, 10);
+            }
+        }
+    }
+    let mut triangles = Vec::with_capacity(count);
+    for t in 0..count {
+        let (a, b, c) = (3 * t, 3 * t + 1, 3 * t + 2);
+        g.add_edge(a, b, -1);
+        g.add_edge(a, c, -1);
+        g.add_edge(b, c, -1);
+        triangles.push((a, b, c));
+    }
+    (g, triangles)
+}
+
+/// Adversarial congestion instance: all negative triangles share apexes in
+/// one fine block and base pairs in one coarse-block pair, concentrating
+/// the checking traffic of `ComputePairs` onto a few `(u, v, w)` nodes.
+///
+/// `pages` base pairs each form `apexes` negative triangles. Returns the
+/// graph and the list of base pairs (each with `Γ = apexes`).
+///
+/// # Panics
+///
+/// Panics if `2 * pages + apexes > n`.
+pub fn congestion_hotspot(n: usize, pages: usize, apexes: usize) -> (UGraph, Vec<(usize, usize)>) {
+    assert!(2 * pages + apexes <= n);
+    let mut g = UGraph::new(n);
+    let apex_start = 2 * pages;
+    let mut base_pairs = Vec::with_capacity(pages);
+    for p in 0..pages {
+        let (u, v) = (2 * p, 2 * p + 1);
+        g.add_edge(u, v, -10);
+        for a in 0..apexes {
+            let w = apex_start + a;
+            g.add_edge(u, w, 4);
+            g.add_edge(v, w, 4);
+        }
+        base_pairs.push((u, v));
+    }
+    (g, base_pairs)
+}
+
+/// Directed path `0 → 1 → … → n−1` with unit weights: `dist(i, j) = j − i`
+/// forward, `+∞` backward. A structured oracle for distance tests.
+pub fn path_digraph(n: usize) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for i in 0..n.saturating_sub(1) {
+        g.add_arc(i, i + 1, 1);
+    }
+    g
+}
+
+/// Directed cycle `0 → 1 → … → n−1 → 0` with unit weights:
+/// `dist(i, j) = (j − i) mod n`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn cycle_digraph(n: usize) -> DiGraph {
+    assert!(n >= 2, "a cycle needs at least two vertices");
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        g.add_arc(i, (i + 1) % n, 1);
+    }
+    g
+}
+
+/// Complete digraph with `w(u, v) = base + |u − v|` — every distance is
+/// realized by the direct arc, making expected values trivial.
+pub fn complete_digraph(n: usize, base: i64) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                g.add_arc(u, v, base + (u.abs_diff(v)) as i64);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apsp_ref::floyd_warshall;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nonneg_digraph_has_no_negative_arcs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_nonneg_digraph(12, 0.5, 9, &mut rng);
+        assert!(g.arcs().all(|(_, _, w)| (0..=9).contains(&w)));
+    }
+
+    #[test]
+    fn reweighted_digraph_has_negative_arcs_but_no_negative_cycle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut any_negative = false;
+        for _ in 0..5 {
+            let g = random_reweighted_digraph(12, 0.7, 30, &mut rng);
+            any_negative |= g.arcs().any(|(_, _, w)| w < 0);
+            assert!(floyd_warshall(&g.adjacency_matrix()).is_ok());
+        }
+        assert!(any_negative, "reweighting should produce some negative arcs");
+    }
+
+    #[test]
+    fn random_ugraph_respects_magnitude() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_ugraph(10, 0.8, 5, &mut rng);
+        assert!(g.edges().all(|(_, _, w)| (-5..=5).contains(&w)));
+    }
+
+    #[test]
+    fn book_graph_gamma_is_exact() {
+        let g = book_graph(12, 7);
+        assert_eq!(g.gamma(0, 1), 7);
+        for w in 2..9 {
+            assert_eq!(g.gamma(0, w), 1);
+            assert_eq!(g.gamma(1, w), 1);
+        }
+        assert_eq!(g.negative_triangles().len(), 7);
+    }
+
+    #[test]
+    fn planted_triangles_have_unit_gamma() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (g, triangles) = planted_disjoint_triangles(15, 4, 0.5, &mut rng);
+        assert_eq!(triangles.len(), 4);
+        let expected: std::collections::HashSet<_> = triangles
+            .iter()
+            .flat_map(|&(a, b, c)| [(a, b), (a, c), (b, c)])
+            .collect();
+        let found: std::collections::HashSet<_> =
+            g.negative_triangle_pairs().into_iter().collect();
+        assert_eq!(found, expected);
+        for &(a, b, c) in &triangles {
+            assert_eq!(g.gamma(a, b), 1);
+            assert_eq!(g.gamma(a, c), 1);
+            assert_eq!(g.gamma(b, c), 1);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_gamma() {
+        let (g, base_pairs) = congestion_hotspot(20, 3, 5);
+        for &(u, v) in &base_pairs {
+            assert_eq!(g.gamma(u, v), 5);
+        }
+        assert_eq!(g.negative_triangles().len(), 15);
+    }
+
+    #[test]
+    fn path_distances_are_index_differences() {
+        let g = path_digraph(6);
+        let d = floyd_warshall(&g.adjacency_matrix()).unwrap();
+        assert_eq!(d[(0, 5)], crate::ExtWeight::from(5));
+        assert_eq!(d[(2, 4)], crate::ExtWeight::from(2));
+        assert_eq!(d[(4, 2)], crate::ExtWeight::PosInf);
+    }
+
+    #[test]
+    fn cycle_distances_wrap() {
+        let g = cycle_digraph(5);
+        let d = floyd_warshall(&g.adjacency_matrix()).unwrap();
+        assert_eq!(d[(3, 1)], crate::ExtWeight::from(3)); // 3 -> 4 -> 0 -> 1
+        assert_eq!(d[(1, 3)], crate::ExtWeight::from(2));
+    }
+
+    #[test]
+    fn complete_digraph_distances_are_direct() {
+        let g = complete_digraph(6, 1);
+        let d = floyd_warshall(&g.adjacency_matrix()).unwrap();
+        for u in 0..6 {
+            for v in 0..6 {
+                if u != v {
+                    assert_eq!(d[(u, v)], crate::ExtWeight::from(1 + u.abs_diff(v) as i64));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vertices")]
+    fn planted_triangles_reject_overfull_request() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = planted_disjoint_triangles(5, 2, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,314 @@
+//! Dense square matrices and the tropical distance product.
+//!
+//! The distance product (Definition 2 of the paper) of `A` and `B` is the
+//! matrix `C` with `C[i,j] = min_k (A[i,k] + B[k,j])` — matrix
+//! multiplication over the `(min, +)` semiring. Shortest-path distances are
+//! the `n`-th distance-product power of the weighted adjacency matrix
+//! (Proposition 3). This module provides the sequential reference
+//! implementations the distributed algorithms are verified against.
+
+use crate::weight::ExtWeight;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `n × n` matrix in row-major order.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_graph::{ExtWeight, SquareMatrix};
+///
+/// let mut m = SquareMatrix::filled(2, ExtWeight::PosInf);
+/// m[(0, 1)] = ExtWeight::from(5);
+/// assert_eq!(m[(0, 1)], ExtWeight::from(5));
+/// assert_eq!(m.n(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct SquareMatrix<T> {
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone> SquareMatrix<T> {
+    /// Creates an `n × n` matrix with every entry set to `fill`.
+    pub fn filled(n: usize, fill: T) -> Self {
+        SquareMatrix { n, data: vec![fill; n * n] }
+    }
+
+    /// Creates a matrix from a row-major entry generator.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcc_graph::SquareMatrix;
+    ///
+    /// let m = SquareMatrix::from_fn(3, |i, j| (i * 10 + j) as u64);
+    /// assert_eq!(m[(2, 1)], 21);
+    /// ```
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                data.push(f(i, j));
+            }
+        }
+        SquareMatrix { n, data }
+    }
+
+    /// Side length of the matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Mutable row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Iterates over `(i, j, &entry)` in row-major order.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, &T)> {
+        self.data.iter().enumerate().map(move |(k, t)| (k / self.n, k % self.n, t))
+    }
+}
+
+impl<T> Index<(usize, usize)> for SquareMatrix<T> {
+    type Output = T;
+
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for SquareMatrix<T> {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SquareMatrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SquareMatrix(n={})", self.n)?;
+        for i in 0..self.n {
+            write!(f, "  [")?;
+            for j in 0..self.n {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:?}", self.data[i * self.n + j])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A weight matrix over the extended integers.
+pub type WeightMatrix = SquareMatrix<ExtWeight>;
+
+impl WeightMatrix {
+    /// The identity of the distance product: `0` on the diagonal, `+∞` elsewhere.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcc_graph::{distance_product, ExtWeight, WeightMatrix};
+    ///
+    /// let id = WeightMatrix::distance_identity(3);
+    /// let a = WeightMatrix::from_fn(3, |i, j| ExtWeight::from((i + j) as i64));
+    /// assert_eq!(distance_product(&a, &id), a);
+    /// ```
+    pub fn distance_identity(n: usize) -> Self {
+        SquareMatrix::from_fn(n, |i, j| if i == j { ExtWeight::ZERO } else { ExtWeight::PosInf })
+    }
+
+    /// Largest finite magnitude among the entries (0 if none).
+    pub fn max_finite_magnitude(&self) -> u64 {
+        self.data.iter().map(|w| w.magnitude()).max().unwrap_or(0)
+    }
+}
+
+/// Sequential distance product `A ⋆ B` (Definition 2): `C[i,j] = min_k (A[i,k] + B[k,j])`.
+///
+/// Reference implementation in `O(n³)` time; the distributed algorithms are
+/// validated against it.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_graph::{distance_product, ExtWeight, WeightMatrix};
+///
+/// let a = WeightMatrix::from_fn(2, |i, j| ExtWeight::from((i as i64) + 1 + j as i64));
+/// let c = distance_product(&a, &a);
+/// // C[0][0] = min(a00+a00, a01+a10) = min(2, 4) = 2
+/// assert_eq!(c[(0, 0)], ExtWeight::from(2));
+/// ```
+pub fn distance_product(a: &WeightMatrix, b: &WeightMatrix) -> WeightMatrix {
+    assert_eq!(a.n(), b.n(), "distance product requires equal dimensions");
+    let n = a.n();
+    let mut c = WeightMatrix::filled(n, ExtWeight::PosInf);
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[(i, k)];
+            if aik == ExtWeight::PosInf {
+                continue;
+            }
+            let brow = b.row(k);
+            let crow = c.row_mut(i);
+            for j in 0..n {
+                let cand = aik + brow[j];
+                if cand < crow[j] {
+                    crow[j] = cand;
+                }
+            }
+        }
+    }
+    c
+}
+
+/// `p`-th power of `a` with respect to the distance product, by repeated
+/// squaring (`O(log p)` products).
+///
+/// `distance_power(a, n-1)` (or any exponent `≥ n − 1`) of a weighted
+/// adjacency matrix yields all-pairs shortest distances when the graph has
+/// no negative cycle.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_graph::{distance_power, ExtWeight, WeightMatrix};
+///
+/// // path 0 -> 1 -> 2 with unit weights
+/// let mut a = WeightMatrix::distance_identity(3);
+/// a[(0, 1)] = ExtWeight::from(1);
+/// a[(1, 2)] = ExtWeight::from(1);
+/// let d = distance_power(&a, 2);
+/// assert_eq!(d[(0, 2)], ExtWeight::from(2));
+/// ```
+pub fn distance_power(a: &WeightMatrix, p: u64) -> WeightMatrix {
+    let mut result = WeightMatrix::distance_identity(a.n());
+    let mut base = a.clone();
+    let mut exp = p;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = distance_product(&result, &base);
+        }
+        exp >>= 1;
+        if exp > 0 {
+            base = distance_product(&base, &base);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(x: i64) -> ExtWeight {
+        ExtWeight::from(x)
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut m = SquareMatrix::filled(3, 0u64);
+        m[(1, 2)] = 42;
+        assert_eq!(m[(1, 2)], 42);
+        assert_eq!(m.row(1), &[0, 0, 42]);
+    }
+
+    #[test]
+    fn entries_iterates_in_row_major_order() {
+        let m = SquareMatrix::from_fn(2, |i, j| i * 2 + j);
+        let coords: Vec<(usize, usize, usize)> =
+            m.entries().map(|(i, j, &x)| (i, j, x)).collect();
+        assert_eq!(coords, vec![(0, 0, 0), (0, 1, 1), (1, 0, 2), (1, 1, 3)]);
+    }
+
+    #[test]
+    fn identity_is_neutral_on_both_sides() {
+        let a = WeightMatrix::from_fn(4, |i, j| w((3 * i + j) as i64 - 5));
+        let id = WeightMatrix::distance_identity(4);
+        assert_eq!(distance_product(&a, &id), a);
+        assert_eq!(distance_product(&id, &a), a);
+    }
+
+    #[test]
+    fn product_respects_infinities() {
+        let mut a = WeightMatrix::filled(2, ExtWeight::PosInf);
+        a[(0, 0)] = w(1);
+        let b = WeightMatrix::filled(2, ExtWeight::PosInf);
+        let c = distance_product(&a, &b);
+        assert!(c.entries().all(|(_, _, &x)| x == ExtWeight::PosInf));
+    }
+
+    #[test]
+    fn product_handles_negative_weights() {
+        let mut a = WeightMatrix::distance_identity(2);
+        a[(0, 1)] = w(-7);
+        a[(1, 0)] = w(3);
+        let c = distance_product(&a, &a);
+        assert_eq!(c[(0, 0)], w(-4)); // 0->1->0 = -7 + 3
+    }
+
+    #[test]
+    fn power_zero_is_identity() {
+        let a = WeightMatrix::from_fn(3, |_, _| w(1));
+        assert_eq!(distance_power(&a, 0), WeightMatrix::distance_identity(3));
+    }
+
+    #[test]
+    fn power_matches_iterated_product() {
+        let a = WeightMatrix::from_fn(4, |i, j| {
+            if (i + 2 * j) % 3 == 0 { w((i as i64) - (j as i64)) } else { ExtWeight::PosInf }
+        });
+        let mut iter = WeightMatrix::distance_identity(4);
+        for _ in 0..5 {
+            iter = distance_product(&iter, &a);
+        }
+        assert_eq!(distance_power(&a, 5), iter);
+    }
+
+    #[test]
+    fn power_computes_path_distances() {
+        // cycle 0 -> 1 -> 2 -> 3 -> 0, unit weights
+        let n = 4;
+        let mut a = WeightMatrix::distance_identity(n);
+        for i in 0..n {
+            a[(i, (i + 1) % n)] = w(1);
+        }
+        let d = distance_power(&a, (n - 1) as u64);
+        assert_eq!(d[(0, 3)], w(3));
+        assert_eq!(d[(3, 0)], w(1));
+        assert_eq!(d[(2, 1)], w(3));
+    }
+
+    #[test]
+    fn max_finite_magnitude_ignores_infinities() {
+        let mut a = WeightMatrix::filled(2, ExtWeight::PosInf);
+        a[(0, 1)] = w(-9);
+        assert_eq!(a.max_finite_magnitude(), 9);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let m = SquareMatrix::filled(1, 5u8);
+        assert!(format!("{m:?}").contains('5'));
+    }
+}

@@ -1,0 +1,195 @@
+//! Extended integer weights for the tropical (min-plus) semiring.
+//!
+//! Distance-product computations (Definition 2 of the paper) work over
+//! matrices with entries in `Z ∪ {−∞, +∞}`: `+∞` encodes "no edge / no
+//! path", `−∞` appears transiently inside the Vassilevska Williams–Williams
+//! binary search. [`ExtWeight`] implements this extended number line with
+//! the saturation conventions of shortest-path algebra.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Add;
+
+/// An integer weight extended with `−∞` and `+∞`.
+///
+/// Addition follows min-plus shortest-path conventions: `+∞` is absorbing
+/// (`+∞ + x = +∞` for every `x`, including `−∞`, since a missing edge kills
+/// a path regardless of what else the path contains), and `−∞ + finite =
+/// −∞`. Finite additions are checked: overflow panics in debug and
+/// saturates in release via `i64::saturating_add`.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_graph::ExtWeight;
+///
+/// let a = ExtWeight::from(3);
+/// assert_eq!(a + ExtWeight::from(-5), ExtWeight::from(-2));
+/// assert_eq!(a + ExtWeight::PosInf, ExtWeight::PosInf);
+/// assert_eq!(ExtWeight::NegInf + a, ExtWeight::NegInf);
+/// assert!(ExtWeight::NegInf < a && a < ExtWeight::PosInf);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ExtWeight {
+    /// Negative infinity (smaller than every finite weight).
+    NegInf,
+    /// A finite integer weight.
+    Finite(i64),
+    /// Positive infinity ("no edge" / "no path").
+    PosInf,
+}
+
+impl ExtWeight {
+    /// The additive identity of min-plus multiplication.
+    pub const ZERO: ExtWeight = ExtWeight::Finite(0);
+
+    /// Returns the finite value, if any.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcc_graph::ExtWeight;
+    /// assert_eq!(ExtWeight::from(7).finite(), Some(7));
+    /// assert_eq!(ExtWeight::PosInf.finite(), None);
+    /// ```
+    pub fn finite(self) -> Option<i64> {
+        match self {
+            ExtWeight::Finite(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Whether this weight is finite.
+    pub fn is_finite(self) -> bool {
+        matches!(self, ExtWeight::Finite(_))
+    }
+
+    /// Min-plus "sum" (the semiring's additive operation): the minimum.
+    pub fn min_with(self, other: ExtWeight) -> ExtWeight {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The magnitude of the finite value, or 0 for infinities.
+    pub fn magnitude(self) -> u64 {
+        match self {
+            ExtWeight::Finite(x) => x.unsigned_abs(),
+            _ => 0,
+        }
+    }
+}
+
+impl Default for ExtWeight {
+    /// The default weight is `+∞` ("no edge").
+    fn default() -> Self {
+        ExtWeight::PosInf
+    }
+}
+
+impl From<i64> for ExtWeight {
+    fn from(x: i64) -> Self {
+        ExtWeight::Finite(x)
+    }
+}
+
+impl PartialOrd for ExtWeight {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ExtWeight {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use ExtWeight::*;
+        match (self, other) {
+            (NegInf, NegInf) | (PosInf, PosInf) => Ordering::Equal,
+            (NegInf, _) | (_, PosInf) => Ordering::Less,
+            (PosInf, _) | (_, NegInf) => Ordering::Greater,
+            (Finite(a), Finite(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl Add for ExtWeight {
+    type Output = ExtWeight;
+
+    fn add(self, rhs: ExtWeight) -> ExtWeight {
+        use ExtWeight::*;
+        match (self, rhs) {
+            // +inf is absorbing: a path through a missing edge does not exist.
+            (PosInf, _) | (_, PosInf) => PosInf,
+            (NegInf, _) | (_, NegInf) => NegInf,
+            (Finite(a), Finite(b)) => {
+                debug_assert!(a.checked_add(b).is_some(), "weight overflow: {a} + {b}");
+                Finite(a.saturating_add(b))
+            }
+        }
+    }
+}
+
+impl fmt::Display for ExtWeight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtWeight::NegInf => write!(f, "-inf"),
+            ExtWeight::Finite(x) => write!(f, "{x}"),
+            ExtWeight::PosInf => write!(f, "inf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_spans_the_extended_line() {
+        assert!(ExtWeight::NegInf < ExtWeight::Finite(i64::MIN));
+        assert!(ExtWeight::Finite(i64::MAX) < ExtWeight::PosInf);
+        assert!(ExtWeight::Finite(-1) < ExtWeight::Finite(0));
+        assert_eq!(ExtWeight::PosInf.cmp(&ExtWeight::PosInf), Ordering::Equal);
+    }
+
+    #[test]
+    fn pos_inf_is_absorbing() {
+        assert_eq!(ExtWeight::PosInf + ExtWeight::NegInf, ExtWeight::PosInf);
+        assert_eq!(ExtWeight::NegInf + ExtWeight::PosInf, ExtWeight::PosInf);
+        assert_eq!(ExtWeight::PosInf + ExtWeight::from(5), ExtWeight::PosInf);
+    }
+
+    #[test]
+    fn neg_inf_dominates_finite() {
+        assert_eq!(ExtWeight::NegInf + ExtWeight::from(100), ExtWeight::NegInf);
+    }
+
+    #[test]
+    fn finite_addition_is_exact() {
+        assert_eq!(ExtWeight::from(4) + ExtWeight::from(-9), ExtWeight::from(-5));
+    }
+
+    #[test]
+    fn min_with_picks_smaller() {
+        assert_eq!(ExtWeight::from(3).min_with(ExtWeight::from(-1)), ExtWeight::from(-1));
+        assert_eq!(ExtWeight::PosInf.min_with(ExtWeight::from(7)), ExtWeight::from(7));
+    }
+
+    #[test]
+    fn default_is_no_edge() {
+        assert_eq!(ExtWeight::default(), ExtWeight::PosInf);
+    }
+
+    #[test]
+    fn display_covers_all_variants() {
+        assert_eq!(ExtWeight::NegInf.to_string(), "-inf");
+        assert_eq!(ExtWeight::from(-3).to_string(), "-3");
+        assert_eq!(ExtWeight::PosInf.to_string(), "inf");
+    }
+
+    #[test]
+    fn magnitude_of_infinities_is_zero() {
+        assert_eq!(ExtWeight::PosInf.magnitude(), 0);
+        assert_eq!(ExtWeight::from(-17).magnitude(), 17);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use qcc_graph::{
+    bellman_ford, distance_power, distance_product, floyd_warshall, johnson, DiGraph, ExtWeight,
+    PaperPartitions, Partition, UGraph, WeightMatrix,
+};
+
+fn arb_weight() -> impl Strategy<Value = ExtWeight> {
+    prop_oneof![
+        4 => (-50i64..50).prop_map(ExtWeight::from),
+        1 => Just(ExtWeight::PosInf),
+    ]
+}
+
+fn arb_matrix(n: usize) -> impl Strategy<Value = WeightMatrix> {
+    vec(arb_weight(), n * n).prop_map(move |entries| {
+        let mut it = entries.into_iter();
+        WeightMatrix::from_fn(n, |_, _| it.next().expect("enough entries"))
+    })
+}
+
+proptest! {
+    /// min-plus addition is commutative and monotone, +inf absorbing.
+    #[test]
+    fn weight_algebra_laws(a in arb_weight(), b in arb_weight(), c in arb_weight()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + ExtWeight::PosInf, ExtWeight::PosInf);
+        prop_assert_eq!(a.min_with(b), b.min_with(a));
+        // monotonicity of + in each argument (no -inf in arb_weight)
+        if a <= b {
+            prop_assert!(a + c <= b + c);
+        }
+    }
+
+    /// The distance product is associative.
+    #[test]
+    fn distance_product_is_associative(
+        a in arb_matrix(5),
+        b in arb_matrix(5),
+        c in arb_matrix(5),
+    ) {
+        let left = distance_product(&distance_product(&a, &b), &c);
+        let right = distance_product(&a, &distance_product(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// Repeated squaring agrees with iterated products.
+    #[test]
+    fn distance_power_matches_iteration(a in arb_matrix(4), p in 0u64..7) {
+        let mut iter = WeightMatrix::distance_identity(4);
+        for _ in 0..p {
+            iter = distance_product(&iter, &a);
+        }
+        prop_assert_eq!(distance_power(&a, p), iter);
+    }
+
+    /// Floyd–Warshall equals Johnson equals Bellman–Ford on random
+    /// negative-cycle-free digraphs.
+    #[test]
+    fn apsp_oracles_agree(seed in 0u64..500) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = qcc_graph::random_reweighted_digraph(8, 0.45, 12, &mut rng);
+        let fw = floyd_warshall(&g.adjacency_matrix()).expect("no negative cycle");
+        let jo = johnson(&g).expect("no negative cycle");
+        prop_assert_eq!(&fw, &jo);
+        for src in 0..8 {
+            let bf = bellman_ford(&g, src).expect("no negative cycle");
+            for v in 0..8 {
+                prop_assert_eq!(bf[v], fw[(src, v)]);
+            }
+        }
+    }
+
+    /// gamma() agrees with brute-force triangle enumeration.
+    #[test]
+    fn gamma_matches_triangle_listing(seed in 0u64..300) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = qcc_graph::random_ugraph(9, 0.6, 4, &mut rng);
+        let triangles = g.negative_triangles();
+        for u in 0..9 {
+            for v in (u + 1)..9 {
+                let count = triangles
+                    .iter()
+                    .filter(|&&(a, b, c)| {
+                        let set = [a, b, c];
+                        set.contains(&u) && set.contains(&v)
+                    })
+                    .count();
+                prop_assert_eq!(g.gamma(u, v), count, "pair ({}, {})", u, v);
+            }
+        }
+    }
+
+    /// Edge sampling keeps a subset of edges with original weights.
+    #[test]
+    fn sampling_yields_subgraph(seed in 0u64..100, p in 0.0f64..1.0) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = qcc_graph::random_ugraph(8, 0.7, 5, &mut rng);
+        let s = g.sample_edges(p, &mut rng);
+        for (u, v, w) in s.edges() {
+            prop_assert_eq!(g.weight(u, v), ExtWeight::from(w));
+        }
+        prop_assert!(s.edge_count() <= g.edge_count());
+    }
+
+    /// Partitions cover every item exactly once with near-equal sizes.
+    #[test]
+    fn partition_is_balanced(n in 1usize..200, blocks in 1usize..20) {
+        let blocks = blocks.min(n);
+        let p = Partition::equal(n, blocks);
+        let mut count = 0usize;
+        let mut min_size = usize::MAX;
+        let mut max_size = 0usize;
+        for b in 0..p.num_blocks() {
+            let size = p.block_size(b);
+            min_size = min_size.min(size);
+            max_size = max_size.max(size);
+            count += size;
+        }
+        prop_assert_eq!(count, n);
+        prop_assert!(max_size - min_size <= 1);
+    }
+
+    /// The paper partitions always cover the vertex set.
+    #[test]
+    fn paper_partitions_cover(n in 1usize..700) {
+        let parts = PaperPartitions::new(n);
+        prop_assert_eq!(parts.coarse.n_items(), n);
+        prop_assert_eq!(parts.fine.n_items(), n);
+        let q = parts.coarse.num_blocks();
+        let s = parts.fine.num_blocks();
+        // block counts are the rounded roots
+        prop_assert!(q.pow(4) >= n);
+        prop_assert!(s.pow(2) >= n);
+    }
+}
+
+#[test]
+fn negative_triangle_pairs_on_complete_negative_graph() {
+    // all edges -1: every triple is a negative triangle
+    let n = 7;
+    let mut g = UGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v, -1);
+        }
+    }
+    let pairs = g.negative_triangle_pairs();
+    assert_eq!(pairs.len(), n * (n - 1) / 2);
+    assert_eq!(g.gamma(0, 1), n - 2);
+}
+
+#[test]
+fn digraph_apsp_on_disconnected_graph() {
+    let g = DiGraph::new(5);
+    let d = floyd_warshall(&g.adjacency_matrix()).unwrap();
+    for i in 0..5 {
+        for j in 0..5 {
+            let expected = if i == j { ExtWeight::ZERO } else { ExtWeight::PosInf };
+            assert_eq!(d[(i, j)], expected);
+        }
+    }
+}

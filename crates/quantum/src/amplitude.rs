@@ -1,0 +1,190 @@
+//! Exact amplitude evolution of Grover's algorithm.
+//!
+//! Grover's search over a domain `X` with solution set `A¹` stays, for its
+//! entire run, inside the two-dimensional subspace spanned by the uniform
+//! superpositions `|ψ⁰⟩` (non-solutions) and `|ψ¹⟩` (solutions) — see
+//! Section 4.1 of the paper. Each iteration is a rotation by `2θ` where
+//! `sin θ = √(|A¹| / |X|)`. The state after `k` iterations is therefore
+//! known *exactly*:
+//!
+//! ```text
+//! |Φ_k⟩ = cos((2k+1)θ)·|ψ⁰⟩ + sin((2k+1)θ)·|ψ¹⟩
+//! ```
+//!
+//! This module tracks that rotation with ordinary floating point — no
+//! state-vector simulation is needed, which is what makes the reproduction
+//! exact rather than approximate.
+
+use rand::Rng;
+
+/// The exact quantum state of one Grover search, identified by its rotation
+/// angle.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_quantum::GroverAmplitudes;
+///
+/// // 1 solution among 64 items
+/// let g = GroverAmplitudes::new(64, 1);
+/// let k = g.optimal_iterations();
+/// assert!(g.success_probability(k) > 0.99);
+/// assert!(g.success_probability(0) < 0.05);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroverAmplitudes {
+    domain_size: usize,
+    solution_count: usize,
+    theta: f64,
+}
+
+impl GroverAmplitudes {
+    /// Creates the amplitude tracker for `solution_count` solutions in a
+    /// domain of `domain_size` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain_size == 0` or `solution_count > domain_size`.
+    pub fn new(domain_size: usize, solution_count: usize) -> Self {
+        assert!(domain_size > 0, "empty search domain");
+        assert!(solution_count <= domain_size);
+        let theta = ((solution_count as f64) / (domain_size as f64)).sqrt().asin();
+        GroverAmplitudes { domain_size, solution_count, theta }
+    }
+
+    /// `|X|`, the size of the search domain.
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// `|A¹|`, the number of solutions.
+    pub fn solution_count(&self) -> usize {
+        self.solution_count
+    }
+
+    /// The rotation half-angle `θ` with `sin θ = √(|A¹|/|X|)`.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Probability that measuring after `k` iterations yields a solution:
+    /// `sin²((2k+1)θ)`.
+    pub fn success_probability(&self, k: u64) -> f64 {
+        if self.solution_count == 0 {
+            return 0.0;
+        }
+        let angle = (2.0 * k as f64 + 1.0) * self.theta;
+        angle.sin().powi(2)
+    }
+
+    /// The iteration count maximizing the success probability:
+    /// `⌊π / (4θ)⌋` (0 when there are no solutions, or when solutions are
+    /// so plentiful that the initial state already measures well).
+    pub fn optimal_iterations(&self) -> u64 {
+        if self.solution_count == 0 || self.theta >= std::f64::consts::FRAC_PI_4 {
+            return 0;
+        }
+        (std::f64::consts::FRAC_PI_4 / self.theta).floor() as u64
+    }
+
+    /// Upper bound on the iterations any search over this domain needs:
+    /// `⌈(π/4)·√|X|⌉` (the single-solution worst case).
+    pub fn max_useful_iterations(domain_size: usize) -> u64 {
+        (std::f64::consts::FRAC_PI_4 * (domain_size as f64).sqrt()).ceil() as u64
+    }
+
+    /// Samples a measurement outcome after `k` iterations: `true` means
+    /// "a solution was observed".
+    pub fn measure<R: Rng>(&self, k: u64, rng: &mut R) -> bool {
+        rng.gen_bool(self.success_probability(k).clamp(0.0, 1.0))
+    }
+
+    /// Probability that a *query* sampled from the state after `k`
+    /// iterations addresses a solution item. Identical to
+    /// [`Self::success_probability`]; exposed separately because queries
+    /// are sampled *during* the run while measurement happens at the end.
+    pub fn query_solution_probability(&self, k: u64) -> f64 {
+        self.success_probability(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_domain_is_rejected() {
+        GroverAmplitudes::new(0, 0);
+    }
+
+    #[test]
+    fn no_solution_never_succeeds() {
+        let g = GroverAmplitudes::new(100, 0);
+        assert_eq!(g.success_probability(0), 0.0);
+        assert_eq!(g.success_probability(57), 0.0);
+        assert_eq!(g.optimal_iterations(), 0);
+    }
+
+    #[test]
+    fn all_solutions_always_succeed() {
+        let g = GroverAmplitudes::new(8, 8);
+        assert!((g.success_probability(0) - 1.0).abs() < 1e-12);
+        assert_eq!(g.optimal_iterations(), 0);
+    }
+
+    #[test]
+    fn single_solution_quadratic_speedup() {
+        for &n in &[16usize, 64, 256, 1024] {
+            let g = GroverAmplitudes::new(n, 1);
+            let k = g.optimal_iterations();
+            // k ≈ (π/4)√n
+            let expected = std::f64::consts::FRAC_PI_4 * (n as f64).sqrt();
+            assert!((k as f64 - expected).abs() <= 1.0, "n = {n}: k = {k}");
+            assert!(g.success_probability(k) > 1.0 - 1.0 / n as f64);
+        }
+    }
+
+    #[test]
+    fn initial_probability_matches_uniform_sampling() {
+        let g = GroverAmplitudes::new(50, 5);
+        assert!((g.success_probability(0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_oscillates_past_the_optimum() {
+        let g = GroverAmplitudes::new(64, 1);
+        let k = g.optimal_iterations();
+        // overshooting by ~k rotates past the solution state
+        assert!(g.success_probability(2 * k + 1) < g.success_probability(k));
+    }
+
+    #[test]
+    fn majority_solutions_measure_immediately() {
+        let g = GroverAmplitudes::new(10, 8);
+        assert_eq!(g.optimal_iterations(), 0);
+        assert!(g.success_probability(0) >= 0.8 - 1e-12);
+    }
+
+    #[test]
+    fn measurement_frequency_tracks_probability() {
+        let g = GroverAmplitudes::new(32, 2);
+        let k = g.optimal_iterations();
+        let p = g.success_probability(k);
+        let mut rng = StdRng::seed_from_u64(99);
+        let trials = 20_000;
+        let hits = (0..trials).filter(|_| g.measure(k, &mut rng)).count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - p).abs() < 0.02, "freq {freq} vs p {p}");
+    }
+
+    #[test]
+    fn max_useful_iterations_covers_optimum() {
+        for &n in &[4usize, 100, 900] {
+            let g = GroverAmplitudes::new(n, 1);
+            assert!(g.optimal_iterations() <= GroverAmplitudes::max_useful_iterations(n));
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Distributed single quantum search (the Le Gall–Magniez framework).
+//!
+//! Section 4.1 of the paper: a node `u` holds a function `g : X → {0, 1}`
+//! whose evaluation on one input takes `r` rounds of a classical
+//! distributed procedure `C`. Grover's algorithm finds an `x` with
+//! `g(x) = 1` in `O~(r·√|X|)` rounds instead of the classical `r·|X|`.
+//!
+//! The simulation is exact at the amplitude level (see
+//! [`GroverAmplitudes`](crate::GroverAmplitudes)) and *honest* at the
+//! communication level: every Grover iteration invokes the distributed
+//! evaluation procedure once, on a query sampled from the current
+//! superposition, so the network sees exactly the per-iteration traffic the
+//! quantum algorithm would generate, and the reported round counts come
+//! from executed schedules.
+
+use crate::amplitude::GroverAmplitudes;
+use rand::Rng;
+
+/// A search problem whose predicate is evaluated by a distributed procedure.
+///
+/// Items are indices `0 .. domain_size()`. [`SearchOracle::truth`] is the
+/// ground-truth predicate used for the exact amplitude census (never
+/// charged to the network — see "Honesty note" in `DESIGN.md`);
+/// [`SearchOracle::evaluate_distributed`] must run the real message
+/// schedule on the simulated network and agree with `truth`.
+pub trait SearchOracle {
+    /// `|X|`, the size of the search domain.
+    fn domain_size(&self) -> usize;
+
+    /// Ground-truth predicate `g(x)` (local, free).
+    fn truth(&mut self, item: usize) -> bool;
+
+    /// Distributed evaluation of `g(x)`; must charge its network and agree
+    /// with [`SearchOracle::truth`].
+    fn evaluate_distributed(&mut self, item: usize) -> bool;
+}
+
+/// Result of a distributed Grover search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroverOutcome {
+    /// A verified solution item, if the search succeeded.
+    pub found: Option<usize>,
+    /// Total Grover iterations executed (across repetitions).
+    pub iterations: u64,
+    /// Number of distributed evaluation calls (= iterations + one
+    /// verification per repetition).
+    pub distributed_calls: u64,
+    /// Repetitions used until success (or the configured maximum).
+    pub repetitions: u64,
+}
+
+/// Runs one repetition of Grover's algorithm with the optimal iteration
+/// count for the (exactly known) solution census.
+///
+/// Returns a verified solution with probability `sin²((2k+1)θ) ≈ 1` when
+/// solutions exist; always returns `None` when none exist.
+pub fn grover_search<O: SearchOracle, R: Rng>(oracle: &mut O, rng: &mut R) -> GroverOutcome {
+    grover_search_amplified(oracle, 1, rng)
+}
+
+/// Runs up to `max_repetitions` repetitions of Grover's algorithm,
+/// stopping at the first verified solution.
+///
+/// With `t` repetitions the failure probability given a nonempty solution
+/// set is at most `(1 − p)^t` where `p` is the single-run success
+/// probability (close to 1 for exact iteration counts), matching the
+/// paper's "repeat a logarithmic number of times" amplification.
+///
+/// # Panics
+///
+/// Panics if `max_repetitions == 0` or the oracle's distributed evaluation
+/// disagrees with its ground truth.
+pub fn grover_search_amplified<O: SearchOracle, R: Rng>(
+    oracle: &mut O,
+    max_repetitions: u64,
+    rng: &mut R,
+) -> GroverOutcome {
+    assert!(max_repetitions > 0);
+    let x = oracle.domain_size();
+    let mut solutions = Vec::new();
+    let mut non_solutions = Vec::new();
+    for item in 0..x {
+        if oracle.truth(item) {
+            solutions.push(item);
+        } else {
+            non_solutions.push(item);
+        }
+    }
+    let amp = GroverAmplitudes::new(x.max(1), solutions.len());
+    let k = amp.optimal_iterations();
+
+    let mut iterations = 0;
+    let mut distributed_calls = 0;
+    for rep in 1..=max_repetitions {
+        // Execute k Grover iterations; each queries the distributed
+        // evaluation procedure on an input sampled from the current state.
+        for i in 0..k {
+            let query = sample_side(&solutions, &non_solutions, amp.query_solution_probability(i), rng);
+            let answer = oracle.evaluate_distributed(query);
+            assert_eq!(
+                answer,
+                oracle.truth(query),
+                "distributed evaluation disagrees with ground truth on item {query}"
+            );
+            iterations += 1;
+            distributed_calls += 1;
+        }
+        // Measure, then classically verify the measured candidate.
+        let candidate = sample_side(&solutions, &non_solutions, amp.success_probability(k), rng);
+        distributed_calls += 1;
+        if oracle.evaluate_distributed(candidate) {
+            return GroverOutcome {
+                found: Some(candidate),
+                iterations,
+                distributed_calls,
+                repetitions: rep,
+            };
+        }
+        if solutions.is_empty() && rep >= 2 {
+            // Two failed verifications with an empty census: report absence
+            // early (the caller's analysis already tolerates 1/poly error).
+            return GroverOutcome { found: None, iterations, distributed_calls, repetitions: rep };
+        }
+    }
+    GroverOutcome { found: None, iterations, distributed_calls, repetitions: max_repetitions }
+}
+
+fn sample_side<R: Rng>(
+    solutions: &[usize],
+    non_solutions: &[usize],
+    p_solution: f64,
+    rng: &mut R,
+) -> usize {
+    let take_solution = if solutions.is_empty() {
+        false
+    } else if non_solutions.is_empty() {
+        true
+    } else {
+        rng.gen_bool(p_solution.clamp(0.0, 1.0))
+    };
+    let side = if take_solution { solutions } else { non_solutions };
+    side[rng.gen_range(0..side.len())]
+}
+
+/// Classical exhaustive search baseline: evaluates every domain item with
+/// the distributed procedure, in order, stopping at the first hit.
+///
+/// Costs `r·|X|` rounds in the worst case versus Grover's `O~(r·√|X|)` —
+/// the quadratic gap measured by experiment E10.
+pub fn classical_search<O: SearchOracle>(oracle: &mut O) -> GroverOutcome {
+    let mut calls = 0;
+    for item in 0..oracle.domain_size() {
+        calls += 1;
+        if oracle.evaluate_distributed(item) {
+            return GroverOutcome {
+                found: Some(item),
+                iterations: calls,
+                distributed_calls: calls,
+                repetitions: 1,
+            };
+        }
+    }
+    GroverOutcome { found: None, iterations: calls, distributed_calls: calls, repetitions: 1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Toy oracle: marked items, counts calls, no real network.
+    struct ToyOracle {
+        marked: Vec<bool>,
+        distributed_calls: u64,
+    }
+
+    impl ToyOracle {
+        fn new(n: usize, marked: &[usize]) -> Self {
+            let mut m = vec![false; n];
+            for &i in marked {
+                m[i] = true;
+            }
+            ToyOracle { marked: m, distributed_calls: 0 }
+        }
+    }
+
+    impl SearchOracle for ToyOracle {
+        fn domain_size(&self) -> usize {
+            self.marked.len()
+        }
+        fn truth(&mut self, item: usize) -> bool {
+            self.marked[item]
+        }
+        fn evaluate_distributed(&mut self, item: usize) -> bool {
+            self.distributed_calls += 1;
+            self.marked[item]
+        }
+    }
+
+    #[test]
+    fn finds_the_unique_solution() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut oracle = ToyOracle::new(64, &[37]);
+        let out = grover_search_amplified(&mut oracle, 10, &mut rng);
+        assert_eq!(out.found, Some(37));
+    }
+
+    #[test]
+    fn reports_absence_when_no_solution() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut oracle = ToyOracle::new(32, &[]);
+        let out = grover_search_amplified(&mut oracle, 5, &mut rng);
+        assert_eq!(out.found, None);
+        // early exit after two failed repetitions
+        assert!(out.repetitions <= 2);
+    }
+
+    #[test]
+    fn iteration_count_is_quadratically_smaller() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 1024;
+        let mut oracle = ToyOracle::new(n, &[100]);
+        let out = grover_search_amplified(&mut oracle, 20, &mut rng);
+        assert_eq!(out.found, Some(100));
+        // O(√n) iterations per repetition: allow a few repetitions' slack
+        assert!(
+            out.iterations <= 5 * (n as f64).sqrt() as u64,
+            "iterations = {}",
+            out.iterations
+        );
+    }
+
+    #[test]
+    fn many_solutions_found_quickly() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let marked: Vec<usize> = (0..32).map(|i| i * 2).collect();
+        let mut oracle = ToyOracle::new(64, &marked);
+        let out = grover_search_amplified(&mut oracle, 10, &mut rng);
+        let found = out.found.expect("half the domain is marked");
+        assert!(found % 2 == 0);
+        assert!(out.iterations <= 2 * 10);
+    }
+
+    #[test]
+    fn classical_search_scans_linearly() {
+        let mut oracle = ToyOracle::new(50, &[49]);
+        let out = classical_search(&mut oracle);
+        assert_eq!(out.found, Some(49));
+        assert_eq!(out.distributed_calls, 50);
+    }
+
+    #[test]
+    fn classical_search_reports_absence() {
+        let mut oracle = ToyOracle::new(10, &[]);
+        let out = classical_search(&mut oracle);
+        assert_eq!(out.found, None);
+        assert_eq!(out.distributed_calls, 10);
+    }
+
+    #[test]
+    fn success_rate_matches_amplitude_prediction() {
+        // statistical check: single repetition success frequency ≈ sin²((2k+1)θ)
+        let n = 64;
+        let solution = 11;
+        let mut hits = 0;
+        let trials = 500;
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..trials {
+            let mut oracle = ToyOracle::new(n, &[solution]);
+            let out = grover_search(&mut oracle, &mut rng);
+            if out.found == Some(solution) {
+                hits += 1;
+            }
+        }
+        let amp = GroverAmplitudes::new(n, 1);
+        let p = amp.success_probability(amp.optimal_iterations());
+        let freq = f64::from(hits) / trials as f64;
+        assert!((freq - p).abs() < 0.05, "freq {freq} vs p {p}");
+    }
+}

@@ -1,0 +1,64 @@
+//! # qcc-quantum — exact simulation of distributed quantum search
+//!
+//! Quantum substrate for the reproduction of *"Quantum Distributed
+//! Algorithm for the All-Pairs Shortest Path Problem in the CONGEST-CLIQUE
+//! Model"* (Izumi & Le Gall, PODC 2019).
+//!
+//! A classical machine cannot run superposed network queries, but it does
+//! not need to: Grover's algorithm never leaves the two-dimensional
+//! subspace spanned by the uniform superpositions over solutions and
+//! non-solutions, so its state is a single rotation angle that
+//! [`GroverAmplitudes`] tracks *exactly*. The communication side stays
+//! honest by executing the distributed evaluation procedure once per
+//! Grover iteration on a query sampled from the current superposition (see
+//! the "Honesty note" in `DESIGN.md`).
+//!
+//! * [`grover_search`] / [`grover_search_amplified`] — the single
+//!   distributed search of Section 4.1 (Le Gall–Magniez framework).
+//! * [`multi_grover_search`] — `m` parallel searches in lockstep with a
+//!   joint truncated evaluator, Theorem 3's "multiple searches only using
+//!   typical inputs".
+//! * [`typicality`] — the `Υ_β(m, X)` membership test and the analytic
+//!   bounds of Lemma 5 / Theorem 3.
+//! * [`classical_search`] / [`classical_multi_search`] — linear-scan
+//!   baselines for the quadratic-speedup experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use qcc_quantum::{grover_search_amplified, SearchOracle};
+//! use rand::SeedableRng;
+//!
+//! struct Toy;
+//! impl SearchOracle for Toy {
+//!     fn domain_size(&self) -> usize { 64 }
+//!     fn truth(&mut self, item: usize) -> bool { item == 37 }
+//!     fn evaluate_distributed(&mut self, item: usize) -> bool { item == 37 }
+//! }
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let out = grover_search_amplified(&mut Toy, 10, &mut rng);
+//! assert_eq!(out.found, Some(37));
+//! // O(sqrt(64)) iterations per repetition, not 64
+//! assert!(out.iterations < 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod amplitude;
+mod estimation;
+mod grover;
+mod minimum;
+mod multi_search;
+pub mod typicality;
+
+pub use amplitude::GroverAmplitudes;
+pub use estimation::{quantum_count, AmplitudeEstimator, EstimateOutcome};
+pub use minimum::{quantum_maximum, quantum_minimum, ExtremumOutcome};
+pub use grover::{classical_search, grover_search, grover_search_amplified, GroverOutcome, SearchOracle};
+pub use multi_search::{
+    classical_multi_search, multi_grover_search, repetitions_for_target, AtypicalInputError,
+    MultiOracle, MultiSearchOutcome,
+};
+pub use typicality::{frequency_histogram, is_typical, max_frequency, TypicalityBounds};

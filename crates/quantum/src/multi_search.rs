@@ -1,0 +1,433 @@
+//! Multiple parallel distributed quantum searches (Sections 4.1–4.2).
+//!
+//! A node runs `m` independent Grover searches over a common domain `X`,
+//! all sharing one joint evaluation procedure `C̃m` that answers a whole
+//! query tuple `(x₁, …, x_m)` at once — but is only guaranteed correct on
+//! *β-typical* tuples (`Υ_β(m, X)`, see [`crate::typicality`]). Theorem 3
+//! shows the truncation is harmless when `β` comfortably exceeds the
+//! typical frequency `m/|X|` and all solution tuples are `β/2`-typical.
+//!
+//! The driver below implements the lockstep parallel search with
+//! BBHT-style amplification (uniformly random iteration counts per
+//! repetition, which succeed with constant probability for *any* solution
+//! count), exact per-search amplitude tracking, and per-iteration execution
+//! of the joint distributed evaluation on tuples sampled from the current
+//! product superposition.
+
+use crate::amplitude::GroverAmplitudes;
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// The truncated evaluator rejected a query tuple outside `Υ_β(m, X)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AtypicalInputError {
+    /// Largest observed per-element frequency in the rejected tuple.
+    pub max_frequency: u64,
+    /// The evaluator's frequency cap `β`.
+    pub beta: f64,
+}
+
+impl fmt::Display for AtypicalInputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "query tuple outside Υ_β: element frequency {} exceeds β = {}",
+            self.max_frequency, self.beta
+        )
+    }
+}
+
+impl Error for AtypicalInputError {}
+
+/// A bundle of `m` search problems over a common domain, evaluated jointly
+/// by one distributed procedure.
+pub trait MultiOracle {
+    /// `|X|`, the common domain size.
+    fn domain_size(&self) -> usize;
+
+    /// `m`, the number of parallel searches.
+    fn num_searches(&self) -> usize;
+
+    /// Ground truth `g_ℓ(x)` (local, free; used for the amplitude census).
+    fn truth(&mut self, search: usize, item: usize) -> bool;
+
+    /// Joint distributed evaluation `C̃m` of a query tuple
+    /// (`tuple[ℓ] ∈ 0..domain_size()` is search `ℓ`'s query).
+    ///
+    /// Implementations must run the real message schedule, charge their
+    /// network, and reject tuples outside `Υ_β(m, X)` with
+    /// [`AtypicalInputError`] — exactly the truncated evaluator of
+    /// Section 4.2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtypicalInputError`] if the tuple is not β-typical.
+    fn evaluate(&mut self, tuple: &[usize]) -> Result<Vec<bool>, AtypicalInputError>;
+
+    /// Unrestricted classical evaluation of the constant tuple
+    /// `(x, x, …, x)` — used only by the classical baseline, which pays the
+    /// congestion the quantum algorithm's load balancing avoids.
+    fn evaluate_classical(&mut self, item: usize) -> Vec<bool>;
+}
+
+/// Result of a parallel multi-search run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiSearchOutcome {
+    /// Per-search verified witness (`None` when the search has no solution
+    /// or amplification failed).
+    pub found: Vec<Option<usize>>,
+    /// Total Grover iterations executed (shared across all searches).
+    pub iterations: u64,
+    /// Joint distributed evaluation calls.
+    pub eval_calls: u64,
+    /// Query tuples the truncated evaluator rejected.
+    pub typicality_violations: u64,
+    /// Repetitions executed.
+    pub repetitions: u64,
+}
+
+impl MultiSearchOutcome {
+    /// Number of searches that returned a witness.
+    pub fn success_count(&self) -> usize {
+        self.found.iter().filter(|f| f.is_some()).count()
+    }
+}
+
+/// Repetition count sufficient for overall success probability
+/// `≥ 1 − 2/m²` under the BBHT per-repetition success bound of 1/4.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_quantum::repetitions_for_target;
+///
+/// assert!(repetitions_for_target(2) >= 3);
+/// assert!(repetitions_for_target(1_000) > repetitions_for_target(10));
+/// ```
+pub fn repetitions_for_target(m: usize) -> u64 {
+    let m = m.max(2) as f64;
+    // m · (3/4)^t ≤ 2/m²  ⟺  t ≥ ln(m³/2) / ln(4/3)
+    ((m.powi(3) / 2.0).ln() / (4.0f64 / 3.0).ln()).ceil().max(3.0) as u64
+}
+
+/// Runs `m` parallel Grover searches with BBHT amplification.
+///
+/// Per repetition, an iteration count `k` is drawn uniformly from
+/// `0 ..= ⌈(π/4)√|X|⌉`; all searches advance `k` Grover iterations in
+/// lockstep (each iteration executes one joint distributed evaluation on a
+/// tuple sampled from the current product superposition), then every
+/// still-unsatisfied search measures and the measured tuple is verified
+/// with one more joint evaluation. For any solution count `≥ 1`, a
+/// repetition verifies a witness with probability `≥ 1/4`, so
+/// [`repetitions_for_target`] repetitions push the overall failure below
+/// `2/m²` — the guarantee of Theorem 3.
+///
+/// # Panics
+///
+/// Panics if the oracle has no searches or an empty domain, or if a
+/// distributed evaluation disagrees with ground truth on a typical tuple.
+pub fn multi_grover_search<O: MultiOracle, R: Rng>(
+    oracle: &mut O,
+    max_repetitions: u64,
+    rng: &mut R,
+) -> MultiSearchOutcome {
+    let x = oracle.domain_size();
+    let m = oracle.num_searches();
+    assert!(x > 0, "empty search domain");
+    assert!(m > 0, "no searches to run");
+
+    // Census: exact solution sets, used for exact amplitude evolution.
+    let mut solutions: Vec<Vec<usize>> = Vec::with_capacity(m);
+    let mut non_solutions: Vec<Vec<usize>> = Vec::with_capacity(m);
+    let mut amps: Vec<GroverAmplitudes> = Vec::with_capacity(m);
+    for s in 0..m {
+        let mut sol = Vec::new();
+        let mut non = Vec::new();
+        for item in 0..x {
+            if oracle.truth(s, item) {
+                sol.push(item);
+            } else {
+                non.push(item);
+            }
+        }
+        amps.push(GroverAmplitudes::new(x, sol.len()));
+        solutions.push(sol);
+        non_solutions.push(non);
+    }
+
+    let k_max = GroverAmplitudes::max_useful_iterations(x);
+    let mut found: Vec<Option<usize>> = vec![None; m];
+    let mut iterations = 0u64;
+    let mut eval_calls = 0u64;
+    let mut typicality_violations = 0u64;
+    let mut repetitions = 0u64;
+
+    for _ in 0..max_repetitions {
+        repetitions += 1;
+        let k = rng.gen_range(0..=k_max);
+        for i in 0..k {
+            let tuple: Vec<usize> = (0..m)
+                .map(|s| {
+                    sample_side(
+                        &solutions[s],
+                        &non_solutions[s],
+                        amps[s].query_solution_probability(i),
+                        rng,
+                    )
+                })
+                .collect();
+            eval_calls += 1;
+            iterations += 1;
+            match oracle.evaluate(&tuple) {
+                Ok(answers) => {
+                    for (s, &item) in tuple.iter().enumerate() {
+                        debug_assert_eq!(
+                            answers[s],
+                            oracle.truth(s, item),
+                            "joint evaluation disagrees with truth (search {s}, item {item})"
+                        );
+                    }
+                }
+                Err(_) => typicality_violations += 1,
+            }
+        }
+        // Measure every search, then verify the measured tuple jointly.
+        let measured: Vec<usize> = (0..m)
+            .map(|s| match found[s] {
+                Some(witness) => witness,
+                None => sample_side(
+                    &solutions[s],
+                    &non_solutions[s],
+                    amps[s].success_probability(k),
+                    rng,
+                ),
+            })
+            .collect();
+        eval_calls += 1;
+        match oracle.evaluate(&measured) {
+            Ok(answers) => {
+                for s in 0..m {
+                    if found[s].is_none() && answers[s] {
+                        found[s] = Some(measured[s]);
+                    }
+                }
+            }
+            Err(_) => typicality_violations += 1,
+        }
+        if found.iter().zip(&solutions).all(|(f, sol)| f.is_some() || sol.is_empty()) {
+            break;
+        }
+    }
+
+    MultiSearchOutcome { found, iterations, eval_calls, typicality_violations, repetitions }
+}
+
+/// Classical baseline: scans the whole domain, evaluating the constant
+/// tuple `(x, …, x)` for every `x ∈ X` via the unrestricted evaluator.
+///
+/// This is the `O(√n)`-round Step 3 the paper contrasts against; the
+/// constant tuples are maximally atypical, so it also demonstrates the
+/// congestion the quantum algorithm's typicality machinery avoids.
+pub fn classical_multi_search<O: MultiOracle>(oracle: &mut O) -> MultiSearchOutcome {
+    let x = oracle.domain_size();
+    let m = oracle.num_searches();
+    let mut found: Vec<Option<usize>> = vec![None; m];
+    let mut eval_calls = 0u64;
+    for item in 0..x {
+        let answers = oracle.evaluate_classical(item);
+        eval_calls += 1;
+        for s in 0..m {
+            if found[s].is_none() && answers[s] {
+                found[s] = Some(item);
+            }
+        }
+    }
+    MultiSearchOutcome {
+        found,
+        iterations: x as u64,
+        eval_calls,
+        typicality_violations: 0,
+        repetitions: 1,
+    }
+}
+
+fn sample_side<R: Rng>(
+    solutions: &[usize],
+    non_solutions: &[usize],
+    p_solution: f64,
+    rng: &mut R,
+) -> usize {
+    let take_solution = if solutions.is_empty() {
+        false
+    } else if non_solutions.is_empty() {
+        true
+    } else {
+        rng.gen_bool(p_solution.clamp(0.0, 1.0))
+    };
+    let side = if take_solution { solutions } else { non_solutions };
+    side[rng.gen_range(0..side.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typicality::{is_typical, max_frequency};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Toy joint oracle with a β-typicality gate and call counting.
+    struct ToyMultiOracle {
+        domain: usize,
+        marked: Vec<Vec<bool>>, // [search][item]
+        beta: f64,
+        eval_calls: u64,
+        classical_calls: u64,
+    }
+
+    impl ToyMultiOracle {
+        fn new(domain: usize, marked_items: &[Vec<usize>], beta: f64) -> Self {
+            let marked = marked_items
+                .iter()
+                .map(|items| {
+                    let mut v = vec![false; domain];
+                    for &i in items {
+                        v[i] = true;
+                    }
+                    v
+                })
+                .collect();
+            ToyMultiOracle { domain, marked, beta, eval_calls: 0, classical_calls: 0 }
+        }
+    }
+
+    impl MultiOracle for ToyMultiOracle {
+        fn domain_size(&self) -> usize {
+            self.domain
+        }
+        fn num_searches(&self) -> usize {
+            self.marked.len()
+        }
+        fn truth(&mut self, search: usize, item: usize) -> bool {
+            self.marked[search][item]
+        }
+        fn evaluate(&mut self, tuple: &[usize]) -> Result<Vec<bool>, AtypicalInputError> {
+            self.eval_calls += 1;
+            let freq = max_frequency(tuple, self.domain);
+            if !is_typical(tuple, self.domain, self.beta) {
+                return Err(AtypicalInputError { max_frequency: freq, beta: self.beta });
+            }
+            Ok(tuple.iter().enumerate().map(|(s, &i)| self.marked[s][i]).collect())
+        }
+        fn evaluate_classical(&mut self, item: usize) -> Vec<bool> {
+            self.classical_calls += 1;
+            self.marked.iter().map(|v| v[item]).collect()
+        }
+    }
+
+    #[test]
+    fn all_searches_find_their_witnesses() {
+        let domain = 16;
+        let m = 48;
+        let marked: Vec<Vec<usize>> = (0..m).map(|s| vec![s % domain]).collect();
+        let beta = 9.0 * m as f64 / domain as f64; // comfortably above m/|X|
+        let mut oracle = ToyMultiOracle::new(domain, &marked, beta);
+        let mut rng = StdRng::seed_from_u64(21);
+        let out = multi_grover_search(&mut oracle, repetitions_for_target(m), &mut rng);
+        for (s, f) in out.found.iter().enumerate() {
+            assert_eq!(*f, Some(s % domain), "search {s}");
+        }
+        assert_eq!(out.typicality_violations, 0, "sampled tuples should be typical");
+    }
+
+    #[test]
+    fn searches_without_solutions_return_none() {
+        let domain = 8;
+        let marked = vec![vec![3], vec![], vec![5]];
+        let mut oracle = ToyMultiOracle::new(domain, &marked, 1e9);
+        let mut rng = StdRng::seed_from_u64(22);
+        let out = multi_grover_search(&mut oracle, 20, &mut rng);
+        assert_eq!(out.found[0], Some(3));
+        assert_eq!(out.found[1], None);
+        assert_eq!(out.found[2], Some(5));
+    }
+
+    #[test]
+    fn shared_iterations_do_not_scale_with_m() {
+        // Iterations depend on |X|, not on m: doubling m leaves the
+        // iteration budget unchanged.
+        let domain = 64;
+        let mut totals = Vec::new();
+        for &m in &[8usize, 16] {
+            let marked: Vec<Vec<usize>> = (0..m).map(|s| vec![(3 * s) % domain]).collect();
+            let mut oracle = ToyMultiOracle::new(domain, &marked, 1e9);
+            let mut rng = StdRng::seed_from_u64(23);
+            // One repetition: k is drawn before any tuple sampling, so the
+            // iteration count is a function of |X| and the seed only.
+            let out = multi_grover_search(&mut oracle, 1, &mut rng);
+            totals.push(out.iterations);
+        }
+        assert_eq!(totals[0], totals[1]);
+    }
+
+    #[test]
+    fn classical_baseline_scans_whole_domain() {
+        let domain = 32;
+        let marked = vec![vec![31], vec![0]];
+        let mut oracle = ToyMultiOracle::new(domain, &marked, 1e9);
+        let out = classical_multi_search(&mut oracle);
+        assert_eq!(out.found, vec![Some(31), Some(0)]);
+        assert_eq!(out.eval_calls, 32);
+        assert_eq!(oracle.classical_calls, 32);
+    }
+
+    #[test]
+    fn tight_beta_rejects_constant_tuples() {
+        let domain = 4;
+        let m = 64;
+        let marked: Vec<Vec<usize>> = (0..m).map(|_| vec![0]).collect();
+        let beta = 2.0; // far below m/|X| = 16: everything is atypical
+        let mut oracle = ToyMultiOracle::new(domain, &marked, beta);
+        let mut rng = StdRng::seed_from_u64(24);
+        let out = multi_grover_search(&mut oracle, 3, &mut rng);
+        assert!(out.typicality_violations > 0);
+    }
+
+    #[test]
+    fn repetition_targets_grow_logarithmically() {
+        let r10 = repetitions_for_target(10);
+        let r100 = repetitions_for_target(100);
+        let r10000 = repetitions_for_target(10_000);
+        assert!(r10 < r100 && r100 < r10000);
+        assert!(r10000 < 150, "repetitions stay polylogarithmic: {r10000}");
+    }
+
+    #[test]
+    fn success_rate_meets_theorem3_target() {
+        // Empirical check of the 1 − 2/m² guarantee on a small instance.
+        let domain = 8;
+        let m = 12;
+        let marked: Vec<Vec<usize>> = (0..m).map(|s| vec![(5 * s + 1) % domain]).collect();
+        let beta = 9.0 * m as f64 / domain as f64;
+        let reps = repetitions_for_target(m);
+        let mut rng = StdRng::seed_from_u64(25);
+        let trials = 60;
+        let mut full_success = 0;
+        for _ in 0..trials {
+            let mut oracle = ToyMultiOracle::new(domain, &marked, beta);
+            let out = multi_grover_search(&mut oracle, reps, &mut rng);
+            if out.success_count() == m {
+                full_success += 1;
+            }
+        }
+        // target 1 - 2/144 ≈ 0.986; allow sampling slack
+        assert!(full_success >= trials - 3, "{full_success}/{trials}");
+    }
+
+    #[test]
+    fn atypical_error_displays_frequencies() {
+        let e = AtypicalInputError { max_frequency: 9, beta: 4.0 };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+    }
+}

@@ -1,0 +1,194 @@
+//! The "typical inputs" machinery of Section 4.2 and the appendix.
+//!
+//! A query tuple `x = (x₁, …, x_m) ∈ X^m` is *β-typical* — a member of
+//! `Υ_β(m, X)` — if no element of `X` appears more than `β` times in it.
+//! Theorem 3 shows that a truncated evaluator `C̃m`, correct only on
+//! `Υ_β(m, X)`, suffices for the parallel Grover searches provided
+//!
+//! * `|X| < m / (36 log m)`,
+//! * `β > 8m / |X|`, and
+//! * every solution tuple lies in `Υ_{β/2}(m, X)`;
+//!
+//! the run deviates from the untruncated algorithm by at most
+//! `2k·√|X|·exp(−m/(9|X|))` in ℓ₂ norm after `k` iterations, so the final
+//! measurement is unchanged with probability `≥ 1 − 1/m²`.
+//!
+//! This module provides the membership test, the analytic bounds, and a
+//! histogram helper used by the evaluation procedures to detect (and
+//! refuse) atypical tuples exactly as `C̃m` does.
+
+/// Frequency histogram of a query tuple over a domain of size `domain_size`.
+///
+/// # Panics
+///
+/// Panics if any tuple entry is `≥ domain_size`.
+pub fn frequency_histogram(tuple: &[usize], domain_size: usize) -> Vec<u64> {
+    let mut hist = vec![0u64; domain_size];
+    for &x in tuple {
+        assert!(x < domain_size, "tuple entry {x} outside domain of size {domain_size}");
+        hist[x] += 1;
+    }
+    hist
+}
+
+/// The largest frequency of any single element in the tuple.
+pub fn max_frequency(tuple: &[usize], domain_size: usize) -> u64 {
+    frequency_histogram(tuple, domain_size).into_iter().max().unwrap_or(0)
+}
+
+/// Whether `tuple ∈ Υ_β(m, X)`: every element appears at most `β` times.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_quantum::is_typical;
+///
+/// assert!(is_typical(&[0, 1, 2, 0], 3, 2.0));
+/// assert!(!is_typical(&[0, 0, 0, 1], 3, 2.0));
+/// ```
+pub fn is_typical(tuple: &[usize], domain_size: usize, beta: f64) -> bool {
+    max_frequency(tuple, domain_size) as f64 <= beta
+}
+
+/// Analytic bounds of Theorem 3 and Lemma 5 for a multi-search instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TypicalityBounds {
+    /// Number of parallel searches `m`.
+    pub m: usize,
+    /// Domain size `|X|`.
+    pub domain_size: usize,
+    /// Frequency cap `β` of the truncated evaluator.
+    pub beta: f64,
+}
+
+impl TypicalityBounds {
+    /// Creates the bound calculator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `domain_size == 0`.
+    pub fn new(m: usize, domain_size: usize, beta: f64) -> Self {
+        assert!(m > 0 && domain_size > 0);
+        TypicalityBounds { m, domain_size, beta }
+    }
+
+    /// Whether the quantitative assumptions of Theorem 3 hold:
+    /// `|X| < m / (36 log m)` and `β > 8m / |X|`.
+    pub fn assumptions_hold(&self) -> bool {
+        let m = self.m as f64;
+        let x = self.domain_size as f64;
+        x < m / (36.0 * m.ln().max(1.0)) && self.beta > 8.0 * m / x
+    }
+
+    /// Lemma 5: for any state in the invariant subspace, the squared mass
+    /// outside `Υ_β(m, X)` is below `|X| · exp(−2m / (9|X|))`.
+    pub fn projection_mass_bound(&self) -> f64 {
+        let m = self.m as f64;
+        let x = self.domain_size as f64;
+        x * (-2.0 * m / (9.0 * x)).exp()
+    }
+
+    /// Theorem 3 proof: ℓ₂ deviation between the truncated and exact runs
+    /// after `k` iterations is at most `2k·√|X|·exp(−m / (9|X|))`.
+    pub fn deviation_bound(&self, k: u64) -> f64 {
+        let m = self.m as f64;
+        let x = self.domain_size as f64;
+        2.0 * k as f64 * x.sqrt() * (-m / (9.0 * x)).exp()
+    }
+
+    /// Theorem 3: success probability of the truncated multi-search, when
+    /// the assumptions hold, is at least `1 − 2/m²`.
+    pub fn success_lower_bound(&self) -> f64 {
+        1.0 - 2.0 / (self.m as f64).powi(2)
+    }
+
+    /// Expected maximum frequency of a uniformly random tuple, `m / |X|` —
+    /// the "typical" frequency scale that `β` must dominate.
+    pub fn expected_frequency(&self) -> f64 {
+        self.m as f64 / self.domain_size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn histogram_counts_occurrences() {
+        assert_eq!(frequency_histogram(&[0, 2, 2, 1, 2], 3), vec![1, 1, 3]);
+        assert_eq!(max_frequency(&[0, 2, 2, 1, 2], 3), 3);
+        assert_eq!(max_frequency(&[], 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_entries_are_rejected() {
+        frequency_histogram(&[3], 3);
+    }
+
+    #[test]
+    fn typicality_boundary_is_inclusive() {
+        assert!(is_typical(&[1, 1], 2, 2.0));
+        assert!(!is_typical(&[1, 1, 1], 2, 2.0));
+    }
+
+    #[test]
+    fn uniform_random_tuples_are_typical_with_generous_beta() {
+        // m = 8·|X|·log: β = 8m/|X| should admit almost all random tuples
+        let domain = 16usize;
+        let m = 16 * 200;
+        let beta = 8.0 * m as f64 / domain as f64;
+        let mut rng = StdRng::seed_from_u64(7);
+        let violations = (0..200)
+            .filter(|_| {
+                let tuple: Vec<usize> = (0..m).map(|_| rng.gen_range(0..domain)).collect();
+                !is_typical(&tuple, domain, beta)
+            })
+            .count();
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn assumptions_hold_in_the_paper_regime() {
+        // ComputePairs regime: m = 100 n log n, |X| ≤ √n
+        let n: usize = 256;
+        let m = 100 * n * (n as f64).log2() as usize;
+        let x = (n as f64).sqrt() as usize;
+        let beta = 9.0 * m as f64 / x as f64;
+        let b = TypicalityBounds::new(m, x, beta);
+        assert!(b.assumptions_hold());
+        assert!(b.projection_mass_bound() < 1e-300);
+        assert!(b.deviation_bound(1000) < 1e-250);
+        assert!(b.success_lower_bound() > 0.999_999);
+    }
+
+    #[test]
+    fn assumptions_fail_when_domain_is_too_large() {
+        let b = TypicalityBounds::new(100, 100, 1e9);
+        assert!(!b.assumptions_hold());
+    }
+
+    #[test]
+    fn assumptions_fail_when_beta_is_too_small() {
+        let m = 100_000;
+        let x = 10;
+        let b = TypicalityBounds::new(m, x, 4.0 * m as f64 / x as f64);
+        assert!(!b.assumptions_hold());
+    }
+
+    #[test]
+    fn deviation_grows_linearly_in_k() {
+        let b = TypicalityBounds::new(10_000, 16, 1e4);
+        let d1 = b.deviation_bound(10);
+        let d2 = b.deviation_bound(20);
+        assert!((d2 / d1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_frequency_is_m_over_x() {
+        let b = TypicalityBounds::new(800, 16, 100.0);
+        assert!((b.expected_frequency() - 50.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the quantum search substrate.
+
+use proptest::prelude::*;
+use qcc_quantum::{
+    classical_search, grover_search_amplified, is_typical, max_frequency, GroverAmplitudes,
+    SearchOracle, TypicalityBounds,
+};
+
+struct MarkedOracle {
+    marked: Vec<bool>,
+}
+
+impl SearchOracle for MarkedOracle {
+    fn domain_size(&self) -> usize {
+        self.marked.len()
+    }
+    fn truth(&mut self, item: usize) -> bool {
+        self.marked[item]
+    }
+    fn evaluate_distributed(&mut self, item: usize) -> bool {
+        self.marked[item]
+    }
+}
+
+proptest! {
+    /// Probabilities are always in [0, 1] and the optimum beats sampling.
+    #[test]
+    fn amplitude_probabilities_are_valid(
+        domain in 1usize..2000,
+        frac in 0.0f64..1.0,
+        k in 0u64..100,
+    ) {
+        let solutions = ((domain as f64) * frac) as usize;
+        let g = GroverAmplitudes::new(domain, solutions);
+        let p = g.success_probability(k);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        if solutions > 0 {
+            let opt = g.optimal_iterations();
+            // the optimal iteration count is at least as good as measuring
+            // the initial state
+            prop_assert!(g.success_probability(opt) + 1e-12 >= g.success_probability(0));
+        }
+    }
+
+    /// Grover with amplification finds a marked item whenever one exists.
+    #[test]
+    fn amplified_search_is_reliable(seed in 0u64..200, domain in 2usize..128, target_raw in 0usize..128) {
+        use rand::SeedableRng;
+        let target = target_raw % domain;
+        let mut marked = vec![false; domain];
+        marked[target] = true;
+        let mut oracle = MarkedOracle { marked };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let out = grover_search_amplified(&mut oracle, 30, &mut rng);
+        prop_assert_eq!(out.found, Some(target));
+    }
+
+    /// Classical search agrees with Grover on presence/absence.
+    #[test]
+    fn classical_and_quantum_agree_on_existence(
+        seed in 0u64..100,
+        marked in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        use rand::SeedableRng;
+        let any_marked = marked.iter().any(|&b| b);
+        let mut oracle = MarkedOracle { marked: marked.clone() };
+        let classical = classical_search(&mut oracle);
+        let mut oracle2 = MarkedOracle { marked };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let quantum = grover_search_amplified(&mut oracle2, 40, &mut rng);
+        prop_assert_eq!(classical.found.is_some(), any_marked);
+        prop_assert_eq!(quantum.found.is_some(), any_marked);
+    }
+
+    /// Υ_β membership is monotone in β and matches the max frequency.
+    #[test]
+    fn typicality_is_monotone(
+        tuple in proptest::collection::vec(0usize..8, 0..64),
+        beta in 0.0f64..20.0,
+    ) {
+        let freq = max_frequency(&tuple, 8);
+        prop_assert_eq!(is_typical(&tuple, 8, beta), freq as f64 <= beta);
+        if is_typical(&tuple, 8, beta) {
+            prop_assert!(is_typical(&tuple, 8, beta + 1.0));
+        }
+    }
+
+    /// The Theorem 3 analytic bounds are finite, nonnegative, and the
+    /// deviation bound is monotone in k.
+    #[test]
+    fn theorem3_bounds_behave(m in 1usize..100_000, x in 1usize..1000, k in 0u64..10_000) {
+        let b = TypicalityBounds::new(m, x, 8.0 * m as f64 / x as f64 + 1.0);
+        prop_assert!(b.projection_mass_bound() >= 0.0);
+        prop_assert!(b.deviation_bound(k) >= 0.0);
+        prop_assert!(b.deviation_bound(k) <= b.deviation_bound(k + 1));
+        prop_assert!(b.success_lower_bound() <= 1.0);
+    }
+}

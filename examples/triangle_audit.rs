@@ -1,0 +1,67 @@
+//! Domain scenario: auditing a clearing network for loss triangles.
+//!
+//! A clearing house models bilateral netting agreements as an undirected
+//! weighted graph: `f(u, v)` is the net exposure of settling the pair
+//! `{u, v}` directly. A *negative triangle* — three institutions whose
+//! pairwise settlements sum below zero — is a loss cycle the auditor must
+//! flag, and for every flagged pair the desk wants to know it participates
+//! in one. That is exactly `FindEdges`, and this example runs the paper's
+//! quantum `ComputePairs` machinery (with the Proposition 1 sampling loop)
+//! against the exhaustive census.
+//!
+//! Run with: `cargo run --release --example triangle_audit`
+
+use qcc::algo::{
+    find_edges, reference_find_edges, PairSet, Params, RoundBreakdown, SearchBackend,
+};
+use qcc::congest::Clique;
+use qcc::graph::UGraph;
+use rand::{Rng, SeedableRng};
+
+fn clearing_network(n: usize, rng: &mut impl Rng) -> UGraph {
+    let mut g = UGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(0.55) {
+                // exposures lean positive, with occasional deep discounts
+                let w = if rng.gen_bool(0.2) { rng.gen_range(-9..0) } else { rng.gen_range(0..7) };
+                g.add_edge(u, v, w);
+            }
+        }
+    }
+    g
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 16;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let g = clearing_network(n, &mut rng);
+    let s = PairSet::all_pairs(n);
+    println!("clearing network: {n} institutions, {} netting agreements", g.edge_count());
+
+    let mut net = Clique::new(n)?;
+    let report = find_edges(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng)?;
+    println!(
+        "quantum audit: {} flagged pairs in {} rounds ({} ComputePairs calls, \
+         {} Grover iterations, {} typicality refusals)",
+        report.found.len(),
+        report.rounds,
+        report.invocations,
+        report.stats.iterations,
+        report.stats.typicality_violations,
+    );
+
+    let expected = reference_find_edges(&g, &s);
+    assert_eq!(report.found, expected, "audit must match the exhaustive census");
+    println!("verified against the exhaustive O(n^3) census");
+
+    println!("\nflagged pairs (in at least one loss triangle):");
+    for (u, v) in report.found.iter() {
+        let gamma = g.gamma(u, v);
+        println!("  institutions {u:>2} - {v:<2}   loss triangles: {gamma}");
+    }
+
+    println!("\ncommunication bill by phase group:");
+    print!("{}", RoundBreakdown::from_metrics(net.metrics()));
+    Ok(())
+}

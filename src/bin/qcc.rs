@@ -1,0 +1,23 @@
+//! `qcc` — the command-line front-end. See `qcc help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match qcc::cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", qcc::cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut stdout = std::io::stdout();
+    match qcc::cli::run(&cmd, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

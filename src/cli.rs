@@ -1,0 +1,342 @@
+//! Command-line front-end (argument parsing and dispatch for `qcc`).
+//!
+//! Kept dependency-free: a small hand-rolled `--flag value` parser feeding
+//! typed commands. The binary in `src/bin/qcc.rs` is a thin wrapper so the
+//! parsing and dispatch logic stays unit-testable.
+
+use crate::algo::{
+    apsp, apsp_with_paths, compute_pairs, quantum_gamma_count, reference_find_edges,
+    ApspAlgorithm, PairSet, Params, SearchBackend,
+};
+use crate::congest::Clique;
+use crate::graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Run APSP on a random instance and report rounds.
+    Apsp {
+        /// Vertex count.
+        n: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Algorithm selection.
+        algorithm: ApspAlgorithm,
+        /// Maximum weight magnitude.
+        w_max: u64,
+    },
+    /// Run `FindEdgesWithPromise` on a planted instance.
+    FindEdges {
+        /// Vertex count.
+        n: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Quantum or classical Step 3.
+        backend: SearchBackend,
+    },
+    /// Reconstruct explicit shortest routes.
+    Paths {
+        /// Vertex count.
+        n: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Count negative triangles through sample pairs by quantum counting.
+    Gamma {
+        /// Vertex count.
+        n: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Phase-register bits.
+        bits: u32,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A CLI parsing error with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text shown by `qcc help`.
+pub const USAGE: &str = "\
+qcc — quantum distributed APSP in the CONGEST-CLIQUE model
+
+USAGE:
+    qcc <COMMAND> [--n N] [--seed S] [flags]
+
+COMMANDS:
+    apsp        run all-pairs shortest paths          [--algorithm quantum|classical|naive|semiring] [--wmax W]
+    find-edges  run FindEdgesWithPromise              [--backend quantum|classical]
+    paths       APSP with explicit route extraction
+    gamma       quantum triangle counting             [--bits B]
+    help        show this message
+
+Defaults: --n 8 (apsp/paths), --n 16 (find-edges/gamma), --seed 7.
+";
+
+fn get_flag(args: &[String], name: &str) -> Result<Option<String>, CliError> {
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+                _ => Err(CliError(format!("flag {name} needs a value"))),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn parse_num<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match get_flag(args, name)? {
+        Some(v) => v.parse().map_err(|_| CliError(format!("invalid value for {name}: {v}"))),
+        None => Ok(default),
+    }
+}
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown commands, unknown enum values, or
+/// malformed numbers.
+///
+/// # Examples
+///
+/// ```
+/// use qcc::cli::{parse, Command};
+/// use qcc::algo::ApspAlgorithm;
+///
+/// let cmd = parse(&["apsp".into(), "--n".into(), "12".into()]).unwrap();
+/// assert_eq!(
+///     cmd,
+///     Command::Apsp { n: 12, seed: 7, algorithm: ApspAlgorithm::QuantumTriangle, w_max: 8 }
+/// );
+/// ```
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some(command) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "apsp" => {
+            let algorithm = match get_flag(args, "--algorithm")?.as_deref() {
+                None | Some("quantum") => ApspAlgorithm::QuantumTriangle,
+                Some("classical") => ApspAlgorithm::ClassicalTriangle,
+                Some("naive") => ApspAlgorithm::NaiveBroadcast,
+                Some("semiring") => ApspAlgorithm::SemiringSquaring,
+                Some(other) => return Err(CliError(format!("unknown algorithm: {other}"))),
+            };
+            Ok(Command::Apsp {
+                n: parse_num(args, "--n", 8)?,
+                seed: parse_num(args, "--seed", 7)?,
+                algorithm,
+                w_max: parse_num(args, "--wmax", 8)?,
+            })
+        }
+        "find-edges" => {
+            let backend = match get_flag(args, "--backend")?.as_deref() {
+                None | Some("quantum") => SearchBackend::Quantum,
+                Some("classical") => SearchBackend::Classical,
+                Some(other) => return Err(CliError(format!("unknown backend: {other}"))),
+            };
+            Ok(Command::FindEdges {
+                n: parse_num(args, "--n", 16)?,
+                seed: parse_num(args, "--seed", 7)?,
+                backend,
+            })
+        }
+        "paths" => Ok(Command::Paths {
+            n: parse_num(args, "--n", 8)?,
+            seed: parse_num(args, "--seed", 7)?,
+        }),
+        "gamma" => Ok(Command::Gamma {
+            n: parse_num(args, "--n", 16)?,
+            seed: parse_num(args, "--seed", 7)?,
+            bits: parse_num(args, "--bits", 9)?,
+        }),
+        other => Err(CliError(format!("unknown command: {other} (try `qcc help`)"))),
+    }
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Propagates algorithm errors and I/O errors.
+pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::error::Error>> {
+    match *cmd {
+        Command::Help => {
+            write!(out, "{USAGE}")?;
+        }
+        Command::Apsp { n, seed, algorithm, w_max } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::random_reweighted_digraph(n, 0.5, w_max, &mut rng);
+            let report = apsp(&g, Params::paper(), algorithm, &mut rng)?;
+            writeln!(
+                out,
+                "{algorithm:?} APSP on n={n} (seed {seed}): {} rounds, {} products",
+                report.rounds, report.products
+            )?;
+            let finite = report
+                .distances
+                .entries()
+                .filter(|(_, _, w)| w.is_finite())
+                .count();
+            writeln!(out, "{finite}/{} pairs reachable", n * n)?;
+        }
+        Command::FindEdges { n, seed, backend } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (g, _) = generators::planted_disjoint_triangles(
+                n,
+                n / 8,
+                (8.0 / n as f64).min(0.5),
+                &mut rng,
+            );
+            let s = PairSet::all_pairs(n);
+            let mut net = Clique::new(n)?;
+            let report = compute_pairs(&g, &s, Params::paper(), backend, &mut net, &mut rng)?;
+            let exact = report.found == reference_find_edges(&g, &s);
+            writeln!(
+                out,
+                "{backend:?} FindEdgesWithPromise on n={n}: {} pairs in {} rounds (exact: {exact})",
+                report.found.len(),
+                report.rounds
+            )?;
+        }
+        Command::Paths { n, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::random_reweighted_digraph(n, 0.5, 6, &mut rng);
+            let report =
+                apsp_with_paths(&g, Params::paper(), SearchBackend::Classical, &mut rng)?;
+            writeln!(out, "witnessed APSP on n={n}: {} rounds", report.rounds)?;
+            for v in 1..n.min(4) {
+                match report.oracle.path(0, v) {
+                    Some(p) => {
+                        let d = report.oracle.distances()[(0, v)];
+                        writeln!(out, "  0 -> {v}: dist {d}, route {p:?}")?;
+                    }
+                    None => writeln!(out, "  0 -> {v}: unreachable")?,
+                }
+            }
+        }
+        Command::Gamma { n, seed, bits } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::random_ugraph(n, 0.5, 5, &mut rng);
+            let pairs: PairSet = g.edges().map(|(u, v, _)| (u, v)).take(5).collect();
+            if pairs.is_empty() {
+                writeln!(out, "instance has no edges; nothing to count")?;
+                return Ok(());
+            }
+            let mut net = Clique::new(n)?;
+            let report = quantum_gamma_count(&g, &pairs, bits, 5, &mut net, &mut rng)?;
+            for &(u, v, est, truth) in &report.estimates {
+                writeln!(out, "  Gamma({u}, {v}) ~= {est} (true {truth})")?;
+            }
+            writeln!(
+                out,
+                "{} oracle queries/pair, {} rounds",
+                report.oracle_queries, report.rounds
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_and_help_parse_to_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn apsp_flags_parse() {
+        let cmd = parse(&argv("apsp --n 12 --seed 3 --algorithm semiring --wmax 99")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Apsp {
+                n: 12,
+                seed: 3,
+                algorithm: ApspAlgorithm::SemiringSquaring,
+                w_max: 99
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_values_are_rejected() {
+        assert!(parse(&argv("apsp --algorithm warp")).is_err());
+        assert!(parse(&argv("find-edges --backend analog")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("apsp --n")).is_err());
+        assert!(parse(&argv("apsp --n twelve")).is_err());
+    }
+
+    #[test]
+    fn run_help_prints_usage() {
+        let mut buf = Vec::new();
+        run(&Command::Help, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn run_apsp_smoke() {
+        let mut buf = Vec::new();
+        let cmd = Command::Apsp {
+            n: 6,
+            seed: 1,
+            algorithm: ApspAlgorithm::NaiveBroadcast,
+            w_max: 5,
+        };
+        run(&cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("NaiveBroadcast"));
+        assert!(text.contains("rounds"));
+    }
+
+    #[test]
+    fn run_find_edges_smoke() {
+        let mut buf = Vec::new();
+        let cmd = Command::FindEdges { n: 16, seed: 2, backend: SearchBackend::Classical };
+        run(&cmd, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("exact: true"));
+    }
+
+    #[test]
+    fn run_paths_smoke() {
+        let mut buf = Vec::new();
+        run(&Command::Paths { n: 6, seed: 3 }, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("witnessed APSP"));
+    }
+
+    #[test]
+    fn run_gamma_smoke() {
+        let mut buf = Vec::new();
+        run(&Command::Gamma { n: 12, seed: 4, bits: 6 }, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("Gamma("));
+    }
+}

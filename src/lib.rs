@@ -1,0 +1,59 @@
+//! # qcc — quantum distributed APSP in the CONGEST-CLIQUE model
+//!
+//! Facade crate re-exporting the full reproduction of *"Quantum Distributed
+//! Algorithm for the All-Pairs Shortest Path Problem in the CONGEST-CLIQUE
+//! Model"* (Izumi & Le Gall, PODC 2019):
+//!
+//! * [`congest`] — the synchronous, bit-accounted network simulator;
+//! * [`graph`] — weighted graphs, tropical matrices, workload generators,
+//!   sequential oracles;
+//! * [`quantum`] — exact amplitude-level simulation of distributed Grover
+//!   search (single and multiple parallel, with the Theorem-3 typicality
+//!   machinery);
+//! * [`algo`] — the paper's algorithm stack (`ComputePairs`, `FindEdges`,
+//!   distance products, APSP) and the classical baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qcc::algo::{apsp, ApspAlgorithm, Params};
+//! use qcc::graph::generators::random_reweighted_digraph;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let g = random_reweighted_digraph(8, 0.5, 6, &mut rng);
+//! let report = apsp(&g, Params::paper(), ApspAlgorithm::QuantumTriangle, &mut rng)?;
+//! println!(
+//!     "quantum APSP: {} physical rounds over {} distance products",
+//!     report.rounds, report.products
+//! );
+//! # Ok::<(), qcc::algo::ApspError>(())
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The CONGEST-CLIQUE network simulator (re-export of [`qcc_congest`]).
+pub mod congest {
+    pub use qcc_congest::*;
+}
+
+/// Graphs, matrices and workloads (re-export of [`qcc_graph`]).
+pub mod graph {
+    pub use qcc_graph::*;
+}
+
+/// Distributed quantum search simulation (re-export of [`qcc_quantum`]).
+pub mod quantum {
+    pub use qcc_quantum::*;
+}
+
+/// The paper's algorithms and baselines (re-export of [`qcc_apsp`]).
+pub mod algo {
+    pub use qcc_apsp::*;
+}
+
+pub mod cli;

@@ -1,0 +1,113 @@
+//! Round-accounting invariants: the simulator's bookkeeping must be
+//! internally consistent and deterministic, or every measured table in
+//! `EXPERIMENTS.md` is meaningless.
+
+use qcc::algo::{compute_pairs, find_edges, PairSet, Params, RoundBreakdown, SearchBackend};
+use qcc::congest::{Clique, Envelope, NodeId, RawBits};
+use qcc::graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn total_rounds_equal_the_sum_of_phase_rounds() {
+    let mut rng = StdRng::seed_from_u64(1001);
+    let g = generators::random_ugraph(16, 0.5, 4, &mut rng);
+    let s = PairSet::all_pairs(16);
+    let mut net = Clique::new(16).unwrap();
+    compute_pairs(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng).unwrap();
+    let phase_sum: u64 = net.metrics().phases().iter().map(|p| p.rounds).sum();
+    assert_eq!(net.rounds(), phase_sum);
+    let breakdown = RoundBreakdown::from_metrics(net.metrics());
+    let group_sum: u64 = breakdown.iter().map(|(_, g)| g.rounds).sum();
+    assert_eq!(net.rounds(), group_sum);
+}
+
+#[test]
+fn identical_seeds_give_identical_runs() {
+    let g = generators::book_graph(16, 5);
+    let s = PairSet::all_pairs(16);
+    let mut results = Vec::new();
+    for _ in 0..2 {
+        let mut rng = StdRng::seed_from_u64(1002);
+        let mut net = Clique::new(16).unwrap();
+        let report =
+            find_edges(&g, &s, Params::scaled(), SearchBackend::Quantum, &mut net, &mut rng)
+                .unwrap();
+        results.push((report.found.clone(), report.rounds, net.metrics().total_bits()));
+    }
+    assert_eq!(results[0], results[1], "same seed must reproduce bit-for-bit");
+}
+
+#[test]
+fn rounds_are_monotone_in_message_volume() {
+    // sending strictly more bits on the same link can never cost fewer rounds
+    let mut low = Clique::with_bandwidth(4, 32).unwrap();
+    let mut high = Clique::with_bandwidth(4, 32).unwrap();
+    let small: Vec<Envelope<RawBits>> = (0..3)
+        .map(|i| Envelope::new(NodeId::new(0), NodeId::new(1), RawBits::new(i, 32)))
+        .collect();
+    let mut large = small.clone();
+    large.push(Envelope::new(NodeId::new(0), NodeId::new(1), RawBits::new(9, 32)));
+    low.exchange(small).unwrap();
+    high.exchange(large).unwrap();
+    assert!(high.rounds() >= low.rounds());
+}
+
+#[test]
+fn bandwidth_increase_never_hurts() {
+    let sends: Vec<Envelope<RawBits>> = (0..20)
+        .map(|i| Envelope::new(NodeId::new(i % 6), NodeId::new((i + 1) % 6), RawBits::new(0, 48)))
+        .collect();
+    let mut narrow = Clique::with_bandwidth(6, 16).unwrap();
+    let mut wide = Clique::with_bandwidth(6, 64).unwrap();
+    narrow.exchange(sends.clone()).unwrap();
+    wide.exchange(sends).unwrap();
+    assert!(wide.rounds() <= narrow.rounds());
+}
+
+#[test]
+fn routing_never_beats_the_bisection_lower_bound() {
+    // Δ units per node cannot be delivered in fewer than ceil(Δ/n) rounds
+    // even by a perfect schedule; Lemma 1 pays exactly 2·ceil(Δ/n).
+    let n = 8;
+    let mut net = Clique::with_bandwidth(n, 16).unwrap();
+    let sends: Vec<Envelope<RawBits>> = (0..5 * n)
+        .map(|i| Envelope::new(NodeId::new(0), NodeId::new(1 + (i % (n - 1))), RawBits::new(0, 16)))
+        .collect();
+    net.route(sends).unwrap();
+    let delta = (5 * n) as u64;
+    assert!(net.rounds() >= delta.div_ceil(n as u64));
+    assert_eq!(net.rounds(), 2 * delta.div_ceil(n as u64));
+}
+
+#[test]
+fn bits_and_messages_accumulate_across_phases() {
+    let mut net = Clique::new(4).unwrap();
+    net.begin_phase("a");
+    net.exchange(vec![Envelope::new(NodeId::new(0), NodeId::new(1), 7u64)]).unwrap();
+    net.begin_phase("b");
+    net.exchange(vec![
+        Envelope::new(NodeId::new(1), NodeId::new(2), 7u64),
+        Envelope::new(NodeId::new(2), NodeId::new(3), 7u64),
+    ])
+    .unwrap();
+    assert_eq!(net.metrics().total_messages(), 3);
+    assert_eq!(net.metrics().total_bits(), 3 * 64);
+    assert_eq!(net.metrics().phases().len(), 2);
+}
+
+#[test]
+fn reported_rounds_match_network_deltas_across_nested_calls() {
+    let mut rng = StdRng::seed_from_u64(1003);
+    let g = generators::random_ugraph(16, 0.4, 4, &mut rng);
+    let s = PairSet::all_pairs(16);
+    let mut net = Clique::new(16).unwrap();
+    let before = net.rounds();
+    let r1 = compute_pairs(&g, &s, Params::paper(), SearchBackend::Classical, &mut net, &mut rng)
+        .unwrap();
+    let mid = net.rounds();
+    assert_eq!(r1.rounds, mid - before);
+    let r2 = find_edges(&g, &s, Params::paper(), SearchBackend::Classical, &mut net, &mut rng)
+        .unwrap();
+    assert_eq!(r2.rounds, net.rounds() - mid);
+}

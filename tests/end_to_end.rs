@@ -1,0 +1,175 @@
+//! End-to-end integration tests spanning every crate: graph workloads →
+//! network simulation → quantum search → the full APSP reduction chain.
+
+use qcc::algo::{
+    apsp, compute_pairs, distributed_distance_product, find_edges, reference_find_edges,
+    ApspAlgorithm, PairSet, Params, SearchBackend,
+};
+use qcc::congest::Clique;
+use qcc::graph::{
+    distance_product, floyd_warshall, generators, johnson, ExtWeight, WeightMatrix,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn theorem1_quantum_apsp_equals_three_oracles() {
+    let mut rng = StdRng::seed_from_u64(201);
+    let g = generators::random_reweighted_digraph(8, 0.55, 5, &mut rng);
+    let report = apsp(&g, Params::paper(), ApspAlgorithm::QuantumTriangle, &mut rng).unwrap();
+    let fw = floyd_warshall(&g.adjacency_matrix()).unwrap();
+    let jo = johnson(&g).unwrap();
+    assert_eq!(report.distances, fw);
+    assert_eq!(report.distances, jo);
+}
+
+#[test]
+fn all_four_apsp_algorithms_agree() {
+    let mut rng = StdRng::seed_from_u64(202);
+    let g = generators::random_reweighted_digraph(8, 0.5, 4, &mut rng);
+    let oracle = floyd_warshall(&g.adjacency_matrix()).unwrap();
+    for algorithm in [
+        ApspAlgorithm::QuantumTriangle,
+        ApspAlgorithm::ClassicalTriangle,
+        ApspAlgorithm::NaiveBroadcast,
+        ApspAlgorithm::SemiringSquaring,
+    ] {
+        let report = apsp(&g, Params::paper(), algorithm, &mut rng).unwrap();
+        assert_eq!(report.distances, oracle, "{algorithm:?}");
+    }
+}
+
+#[test]
+fn proposition2_distance_product_through_the_network() {
+    let mut rng = StdRng::seed_from_u64(203);
+    let a = WeightMatrix::from_fn(5, |_, _| {
+        if rng.gen_bool(0.85) {
+            ExtWeight::from(rng.gen_range(-7..=7))
+        } else {
+            ExtWeight::PosInf
+        }
+    });
+    let b = WeightMatrix::from_fn(5, |_, _| ExtWeight::from(rng.gen_range(-7..=7)));
+    let report =
+        distributed_distance_product(&a, &b, Params::paper(), SearchBackend::Quantum, &mut rng)
+            .unwrap();
+    assert_eq!(report.product, distance_product(&a, &b));
+    assert!(report.find_edges_calls > 0);
+    assert_eq!(report.simulation_factor, 9);
+}
+
+#[test]
+fn theorem2_find_edges_with_promise_on_exact_partition_sizes() {
+    // n = 16 = 2^4: partitions are exact (coarse 2 blocks, fine 4 blocks)
+    let mut rng = StdRng::seed_from_u64(204);
+    let (g, triangles) = generators::planted_disjoint_triangles(16, 4, 0.3, &mut rng);
+    let s = PairSet::all_pairs(16);
+    let mut net = Clique::new(16).unwrap();
+    let report =
+        compute_pairs(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng)
+            .unwrap();
+    for &(a, b, c) in &triangles {
+        assert!(report.found.contains(a, b));
+        assert!(report.found.contains(a, c));
+        assert!(report.found.contains(b, c));
+    }
+    assert_eq!(report.found, reference_find_edges(&g, &s));
+}
+
+#[test]
+fn proposition1_loop_handles_promise_breaking_instances() {
+    // the spine pair sits in 12 negative triangles: Γ = 12 > scaled promise
+    let g = generators::book_graph(16, 12);
+    let s = PairSet::all_pairs(16);
+    let mut net = Clique::new(16).unwrap();
+    let mut rng = StdRng::seed_from_u64(205);
+    let report =
+        find_edges(&g, &s, Params::scaled(), SearchBackend::Quantum, &mut net, &mut rng).unwrap();
+    let expected = reference_find_edges(&g, &s);
+    // the sampling loop plus final call must recover everything
+    assert_eq!(report.found, expected);
+    assert!(report.invocations >= 2, "scaled params run the sampling loop");
+}
+
+#[test]
+fn quantum_step3_beats_classical_step3_in_probe_depth() {
+    // E2's shape at one size: per-search sequential probes (iterations)
+    // are far fewer for the quantum backend than the classical full scan
+    // of the √n fine blocks.
+    let mut rng = StdRng::seed_from_u64(206);
+    let g = generators::random_ugraph(81, 0.25, 4, &mut rng);
+    let s = PairSet::all_pairs(81);
+
+    let mut params = Params::paper();
+    params.search_repetitions = Some(8);
+    let mut net_q = Clique::new(81).unwrap();
+    let q = compute_pairs(&g, &s, params, SearchBackend::Quantum, &mut net_q, &mut rng).unwrap();
+
+    let mut net_c = Clique::new(81).unwrap();
+    let c =
+        compute_pairs(&g, &s, Params::paper(), SearchBackend::Classical, &mut net_c, &mut rng)
+            .unwrap();
+
+    assert_eq!(q.found, c.found, "both backends are exact");
+    assert_eq!(c.stats.iterations, 9, "classical scans all √n = 9 fine blocks");
+}
+
+#[test]
+fn weights_spanning_the_full_range_round_trip() {
+    // stress the wire formats: weights up to ±1000 (log W > log n)
+    let mut rng = StdRng::seed_from_u64(207);
+    let g = generators::random_reweighted_digraph(6, 0.6, 1000, &mut rng);
+    let report = apsp(&g, Params::paper(), ApspAlgorithm::ClassicalTriangle, &mut rng).unwrap();
+    assert_eq!(report.distances, floyd_warshall(&g.adjacency_matrix()).unwrap());
+}
+
+#[test]
+fn single_node_network_is_a_degenerate_but_legal_instance() {
+    let g = qcc::graph::DiGraph::new(1);
+    let mut rng = StdRng::seed_from_u64(208);
+    let report = apsp(&g, Params::paper(), ApspAlgorithm::NaiveBroadcast, &mut rng).unwrap();
+    assert_eq!(report.distances[(0, 0)], ExtWeight::ZERO);
+}
+
+#[test]
+fn structured_graphs_have_textbook_distances() {
+    let mut rng = StdRng::seed_from_u64(209);
+    // directed path: dist(i, j) = j - i forward
+    let path = qcc::graph::path_digraph(7);
+    let r = apsp(&path, Params::paper(), ApspAlgorithm::ClassicalTriangle, &mut rng).unwrap();
+    assert_eq!(r.distances[(0, 6)], ExtWeight::from(6));
+    assert_eq!(r.distances[(6, 0)], ExtWeight::PosInf);
+    // directed cycle: dist(i, j) = (j - i) mod n
+    let cycle = qcc::graph::cycle_digraph(6);
+    let r = apsp(&cycle, Params::paper(), ApspAlgorithm::SemiringSquaring, &mut rng).unwrap();
+    assert_eq!(r.distances[(4, 1)], ExtWeight::from(3));
+    // complete graph with metric weights: every distance is the direct arc
+    let complete = qcc::graph::complete_digraph(6, 2);
+    let r = apsp(&complete, Params::paper(), ApspAlgorithm::NaiveBroadcast, &mut rng).unwrap();
+    assert_eq!(r.distances[(0, 5)], ExtWeight::from(7));
+}
+
+#[test]
+fn compute_pairs_witness_blocks_hold_real_apexes() {
+    let mut rng = StdRng::seed_from_u64(210);
+    let (g, _) = generators::planted_disjoint_triangles(16, 4, 0.3, &mut rng);
+    let s = PairSet::all_pairs(16);
+    let mut net = Clique::new(16).unwrap();
+    let report =
+        compute_pairs(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng)
+            .unwrap();
+    assert!(!report.witnesses.is_empty());
+    let parts = qcc::graph::PaperPartitions::new(16);
+    for w in &report.witnesses {
+        assert!(report.found.contains(w.u, w.v), "witness for unreported pair");
+        let has_apex = parts
+            .fine
+            .block(w.block)
+            .any(|apex| g.is_negative_triangle(w.u, w.v, apex));
+        assert!(has_apex, "block {} holds no apex for ({}, {})", w.block, w.u, w.v);
+    }
+    // every found pair carries at least one witness
+    for (u, v) in report.found.iter() {
+        assert!(report.witnesses.iter().any(|w| (w.u, w.v) == (u, v)));
+    }
+}

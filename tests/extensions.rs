@@ -1,0 +1,124 @@
+//! Integration tests for the beyond-the-paper extensions, exercised
+//! through the facade crate the way a downstream user would.
+
+use qcc::algo::{
+    apsp_with_paths, max_additive_error, quantized_apsp, quantum_for_epsilon,
+    quantum_gamma_count, sssp, sssp_with_paths, ApspAlgorithm, PairSet, Params, SearchBackend,
+};
+use qcc::congest::Clique;
+use qcc::graph::{
+    bellman_ford, cycle_weight, find_negative_cycle, floyd_warshall, generators, path_weight,
+    ExtWeight,
+};
+use qcc::quantum::{quantum_maximum, quantum_minimum, AmplitudeEstimator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn footnote1_paths_through_the_quantum_pipeline() {
+    let mut rng = StdRng::seed_from_u64(2001);
+    let g = generators::random_reweighted_digraph(6, 0.55, 4, &mut rng);
+    let fw = floyd_warshall(&g.adjacency_matrix()).unwrap();
+    let report = apsp_with_paths(&g, Params::paper(), SearchBackend::Quantum, &mut rng).unwrap();
+    for u in 0..6 {
+        for v in 0..6 {
+            if u == v {
+                continue;
+            }
+            match report.oracle.path(u, v) {
+                Some(p) => {
+                    assert_eq!(ExtWeight::from(path_weight(&g, &p).unwrap()), fw[(u, v)]);
+                    assert!(p.len() <= 6);
+                }
+                None => assert_eq!(fw[(u, v)], ExtWeight::PosInf),
+            }
+        }
+    }
+}
+
+#[test]
+fn sssp_projects_the_apsp_row() {
+    let mut rng = StdRng::seed_from_u64(2002);
+    let g = generators::random_reweighted_digraph(9, 0.5, 5, &mut rng);
+    let bf = bellman_ford(&g, 4).unwrap();
+    let r = sssp(&g, 4, Params::paper(), ApspAlgorithm::NaiveBroadcast, &mut rng).unwrap();
+    assert_eq!(r.distances, bf);
+    let (r2, oracle) =
+        sssp_with_paths(&g, 4, Params::paper(), SearchBackend::Classical, &mut rng).unwrap();
+    assert_eq!(r2.distances, bf);
+    for v in 0..9 {
+        if let Some(p) = oracle.path(4, v) {
+            assert_eq!(p[0], 4);
+            assert_eq!(*p.last().unwrap(), v);
+        }
+    }
+}
+
+#[test]
+fn negative_cycle_witnesses_are_real_cycles() {
+    let mut rng = StdRng::seed_from_u64(2003);
+    for trial in 0..5 {
+        let mut g = generators::random_nonneg_digraph(12, 0.3, 9, &mut rng);
+        // plant a negative 3-cycle at random vertices
+        let a = rng.gen_range(0..4);
+        let (b, c) = (a + 4, a + 8);
+        g.add_arc(a, b, 1);
+        g.add_arc(b, c, 1);
+        g.add_arc(c, a, -5);
+        let cycle = find_negative_cycle(&g).expect("planted cycle exists");
+        assert!(cycle_weight(&g, &cycle) < 0, "trial {trial}: {cycle:?}");
+    }
+}
+
+#[test]
+fn quantization_error_is_bounded_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(2004);
+    let n = 8;
+    let w = 10_000;
+    let g = generators::random_nonneg_digraph(n, 0.6, w, &mut rng);
+    let exact = floyd_warshall(&g.adjacency_matrix()).unwrap();
+    let q = quantum_for_epsilon(n, w, 0.2);
+    let report =
+        quantized_apsp(&g, q, Params::paper(), SearchBackend::Classical, &mut rng).unwrap();
+    let err = max_additive_error(&exact, &report.distances);
+    assert!(err <= (n as i64 - 1) * q);
+    assert!(err as f64 <= 0.2 * w as f64 * 2.0, "err {err} vs epsilon*W budget");
+}
+
+#[test]
+fn gamma_counting_matches_census_through_the_facade() {
+    let mut rng = StdRng::seed_from_u64(2005);
+    let g = generators::random_ugraph(24, 0.5, 5, &mut rng);
+    let pairs: PairSet = g.edges().map(|(u, v, _)| (u, v)).take(6).collect();
+    let mut net = Clique::new(24).unwrap();
+    let report = quantum_gamma_count(&g, &pairs, 10, 5, &mut net, &mut rng).unwrap();
+    assert!(report.max_error() <= 1);
+    for &(u, v, _, truth) in &report.estimates {
+        assert_eq!(truth, g.gamma(u, v));
+    }
+}
+
+#[test]
+fn extremum_finding_agrees_with_scans() {
+    let mut rng = StdRng::seed_from_u64(2006);
+    let values: Vec<i64> = (0..300).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect();
+    let min = quantum_minimum(values.len(), |i| values[i], &mut rng);
+    let max = quantum_maximum(values.len(), |i| values[i], &mut rng);
+    assert_eq!(values[min.index], *values.iter().min().unwrap());
+    assert_eq!(values[max.index], *values.iter().max().unwrap());
+    assert!(min.iterations < 300, "sublinear: {}", min.iterations);
+}
+
+#[test]
+fn amplitude_estimation_register_sizes_are_practical() {
+    // the recommendation follows M ≈ 4π√(t(X−t)): ~√(t·X) grid points,
+    // i.e. ~(log₂X + log₂t)/2 + 4 bits — far below log₂X + log₂t
+    let est = AmplitudeEstimator::new(1 << 16, 8);
+    assert_eq!(est.bits_for_exact_count(), 15); // √(8·2^16)·4π ≈ 2^14.3
+    let dense = AmplitudeEstimator::new(1 << 10, 512);
+    assert_eq!(dense.bits_for_exact_count(), 14);
+    // and the estimate at that size is exact (±1) in expectation-land
+    let mut rng = StdRng::seed_from_u64(2007);
+    let out = est.estimate(est.bits_for_exact_count(), &mut rng);
+    assert!((out.count_estimate - 8.0).abs() < 1.0, "{}", out.count_estimate);
+}

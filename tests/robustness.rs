@@ -1,0 +1,133 @@
+//! Robustness and failure-injection tests: awkward sizes, violated
+//! promises, oversized payloads, and abort paths.
+
+use qcc::algo::{
+    compute_pairs, find_edges, promise_violation, reference_find_edges, ApspError, PairSet,
+    Params, SearchBackend,
+};
+use qcc::congest::{Clique, CongestError, Envelope, NodeId, RawBits};
+use qcc::graph::{book_graph, generators, UGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn non_fourth_power_sizes_still_work() {
+    // n = 17, 23, 50: partitions round up, labelings overload nodes
+    for &n in &[17usize, 23, 50] {
+        let mut rng = StdRng::seed_from_u64(401 + n as u64);
+        let g = generators::random_ugraph(n, 0.3, 4, &mut rng);
+        let s = PairSet::all_pairs(n);
+        let mut net = Clique::new(n).unwrap();
+        let report =
+            compute_pairs(&g, &s, Params::paper(), SearchBackend::Classical, &mut net, &mut rng)
+                .unwrap();
+        assert_eq!(report.found, reference_find_edges(&g, &s), "n = {n}");
+    }
+}
+
+#[test]
+fn violated_promise_degrades_gracefully() {
+    // Γ(0,1) = 13 but we force the promise bound below it: the algorithm
+    // must not panic, and anything it reports must be a true positive.
+    let g = book_graph(16, 13);
+    let s = PairSet::all_pairs(16);
+    let mut params = Params::paper();
+    params.promise_factor = 0.1;
+    assert!(promise_violation(&g, &s, params.promise_bound(16)).is_some());
+    let mut net = Clique::new(16).unwrap();
+    let mut rng = StdRng::seed_from_u64(402);
+    let report =
+        compute_pairs(&g, &s, params, SearchBackend::Quantum, &mut net, &mut rng).unwrap();
+    let truth = reference_find_edges(&g, &s);
+    for (u, v) in report.found.iter() {
+        assert!(truth.contains(u, v), "no false positives even off-promise");
+    }
+}
+
+#[test]
+fn find_edges_handles_dense_all_negative_graphs() {
+    // every pair is in a negative triangle: the heaviest possible Γ load
+    let n = 16;
+    let mut g = UGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v, -1);
+        }
+    }
+    let s = PairSet::all_pairs(n);
+    let mut net = Clique::new(n).unwrap();
+    let mut rng = StdRng::seed_from_u64(403);
+    let report =
+        find_edges(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng).unwrap();
+    assert_eq!(report.found.len(), n * (n - 1) / 2);
+}
+
+#[test]
+fn oversized_payloads_fragment_through_routing() {
+    let n = 8;
+    let mut net = Clique::with_bandwidth(n, 8).unwrap();
+    // each payload needs 5 fragments; loads stay under n units per node
+    let sends: Vec<Envelope<RawBits>> = (1..n)
+        .map(|v| Envelope::new(NodeId::new(0), NodeId::new(v), RawBits::new(v as u64, 40)))
+        .collect();
+    let inboxes = net.route(sends).unwrap();
+    // 7 dests × 5 units = 35 units from node 0 -> 2·ceil(35/8) = 10 rounds
+    assert_eq!(net.rounds(), 10);
+    for v in 1..n {
+        assert_eq!(inboxes.of(NodeId::new(v)).len(), 1);
+    }
+}
+
+#[test]
+fn stage_abort_errors_are_reported_not_panicked() {
+    let g = book_graph(16, 3);
+    let s = PairSet::all_pairs(16);
+    let mut params = Params::paper();
+    params.balance_factor = 0.0001; // every draw is unbalanced
+    let mut net = Clique::new(16).unwrap();
+    let mut rng = StdRng::seed_from_u64(404);
+    let err =
+        compute_pairs(&g, &s, params, SearchBackend::Quantum, &mut net, &mut rng).unwrap_err();
+    assert!(matches!(err, ApspError::StageAborted { stage: "lambda-cover", .. }));
+}
+
+#[test]
+fn network_addressing_errors_surface() {
+    let mut net = Clique::new(4).unwrap();
+    let bad = vec![Envelope::new(NodeId::new(0), NodeId::new(9), 1u64)];
+    assert!(matches!(
+        net.route(bad),
+        Err(CongestError::UnknownNode { .. })
+    ));
+}
+
+#[test]
+fn empty_pair_set_and_empty_graph_compose() {
+    let g = UGraph::new(16);
+    let s = PairSet::new();
+    let mut net = Clique::new(16).unwrap();
+    let mut rng = StdRng::seed_from_u64(405);
+    let report =
+        compute_pairs(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng)
+            .unwrap();
+    assert!(report.found.is_empty());
+}
+
+#[test]
+fn weights_at_the_representational_edge() {
+    // ±(2^31)-scale weights exercise the wide wire formats end to end
+    let n = 12;
+    let big = 1_i64 << 31;
+    let mut g = UGraph::new(n);
+    g.add_edge(0, 1, -big);
+    g.add_edge(0, 2, big / 4);
+    g.add_edge(1, 2, big / 4);
+    g.add_edge(3, 4, big);
+    let s = PairSet::all_pairs(n);
+    let mut net = Clique::new(n).unwrap();
+    let mut rng = StdRng::seed_from_u64(406);
+    let report =
+        compute_pairs(&g, &s, Params::paper(), SearchBackend::Classical, &mut net, &mut rng)
+            .unwrap();
+    assert_eq!(report.found, reference_find_edges(&g, &s));
+}
