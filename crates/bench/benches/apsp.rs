@@ -19,7 +19,11 @@ fn bench_apsp(c: &mut Criterion) {
     for (name, algorithm, g) in [
         ("naive/32", ApspAlgorithm::NaiveBroadcast, &g32),
         ("semiring/32", ApspAlgorithm::SemiringSquaring, &g32),
-        ("classical-triangle/8", ApspAlgorithm::ClassicalTriangle, &g8),
+        (
+            "classical-triangle/8",
+            ApspAlgorithm::ClassicalTriangle,
+            &g8,
+        ),
         ("quantum-triangle/8", ApspAlgorithm::QuantumTriangle, &g8),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {

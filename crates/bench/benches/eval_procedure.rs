@@ -34,7 +34,11 @@ fn bench_eval(c: &mut Criterion) {
                         bu.max(bv),
                         rng.gen_range(0..inst.parts.fine.num_blocks()),
                     ),
-                    pair: KeptPair { u: u.min(v), v: u.max(v), weight: w },
+                    pair: KeptPair {
+                        u: u.min(v),
+                        v: u.max(v),
+                        weight: w,
+                    },
                     target: rng.gen_range(0..inst.parts.fine.num_blocks()),
                 }
             })

@@ -16,9 +16,10 @@ fn bench_compute_pairs(c: &mut Criterion) {
         let s = PairSet::all_pairs(n);
         let mut params = Params::paper();
         params.search_repetitions = Some(8);
-        for (name, backend) in
-            [("quantum", SearchBackend::Quantum), ("classical", SearchBackend::Classical)]
-        {
+        for (name, backend) in [
+            ("quantum", SearchBackend::Quantum),
+            ("classical", SearchBackend::Classical),
+        ] {
             group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
                 let mut rng = StdRng::seed_from_u64(22);
                 b.iter(|| {

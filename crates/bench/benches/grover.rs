@@ -16,7 +16,7 @@ impl SearchOracle for Marked {
     fn domain_size(&self) -> usize {
         self.marked.len()
     }
-    fn truth(&mut self, item: usize) -> bool {
+    fn truth(&self, item: usize) -> bool {
         self.marked[item]
     }
     fn evaluate_distributed(&mut self, item: usize) -> bool {
@@ -36,11 +36,15 @@ impl MultiOracle for Needles {
     fn num_searches(&self) -> usize {
         self.needles.len()
     }
-    fn truth(&mut self, search: usize, item: usize) -> bool {
+    fn truth(&self, search: usize, item: usize) -> bool {
         self.needles[search] == item
     }
     fn evaluate(&mut self, tuple: &[usize]) -> Result<Vec<bool>, AtypicalInputError> {
-        Ok(tuple.iter().enumerate().map(|(s, &i)| self.needles[s] == i).collect())
+        Ok(tuple
+            .iter()
+            .enumerate()
+            .map(|(s, &i)| self.needles[s] == i)
+            .collect())
     }
     fn evaluate_classical(&mut self, item: usize) -> Vec<bool> {
         self.needles.iter().map(|&t| t == item).collect()
@@ -56,13 +60,17 @@ fn bench_single(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("grover", x), &x, |b, _| {
             let mut rng = StdRng::seed_from_u64(11);
             b.iter(|| {
-                let mut oracle = Marked { marked: marked.clone() };
+                let mut oracle = Marked {
+                    marked: marked.clone(),
+                };
                 grover_search_amplified(&mut oracle, 10, &mut rng)
             })
         });
         group.bench_with_input(BenchmarkId::new("classical", x), &x, |b, _| {
             b.iter(|| {
-                let mut oracle = Marked { marked: marked.clone() };
+                let mut oracle = Marked {
+                    marked: marked.clone(),
+                };
                 classical_search(&mut oracle)
             })
         });
@@ -79,7 +87,10 @@ fn bench_multi(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
             let mut rng = StdRng::seed_from_u64(12);
             b.iter(|| {
-                let mut oracle = Needles { domain, needles: needles.clone() };
+                let mut oracle = Needles {
+                    domain,
+                    needles: needles.clone(),
+                };
                 multi_grover_search(&mut oracle, 20, &mut rng)
             })
         });

@@ -39,8 +39,9 @@ fn bench_coloring(c: &mut Criterion) {
     group.sample_size(20);
     for &n in &[32usize, 64, 128] {
         let mut rng = StdRng::seed_from_u64(9);
-        let edges: Vec<(usize, usize)> =
-            (0..8 * n).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+        let edges: Vec<(usize, usize)> = (0..8 * n)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| color_bipartite(&edges, n, n))
         });

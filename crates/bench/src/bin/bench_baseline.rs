@@ -1,0 +1,235 @@
+//! Host-performance baseline: a fixed workload matrix timed with
+//! wall-clock medians, written to `BENCH_baseline.json`.
+//!
+//! Three workload families:
+//!
+//! 1. **Tiled min-plus distance product** at `n ∈ {64, 128, 256}`, once
+//!    with 1 worker thread and once with 4 — the speedup table quoted in
+//!    `README.md`. On a single-core host both configurations time the
+//!    same; the JSON records whatever the machine actually delivers.
+//! 2. **`Clique::route` stress** — all-to-all fragmented payloads on the
+//!    zero-allocation simulator (n = 64, repeated phases on one warm
+//!    network instance).
+//! 3. **End-to-end E1** — the full quantum APSP pipeline (Theorem 1) at
+//!    `n = 81` with scaled params; a single run (it executes millions of
+//!    simulated rounds), recording wall-clock and charged rounds.
+//!
+//! `--smoke` shrinks every workload (n = 64 products, n = 16 pipeline) so
+//! CI can exercise the whole harness in seconds. Charged round counts are
+//! asserted identical across worker counts — optimisations must never
+//! change simulation semantics.
+//!
+//! Usage: `bench_baseline [--smoke] [--out PATH]`
+
+use qcc_apsp::{apsp, ApspAlgorithm, Params};
+use qcc_congest::{Clique, Envelope, NodeId, RawBits};
+use qcc_graph::{
+    distance_product_with_threads, random_reweighted_digraph, ExtWeight, WeightMatrix,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Sample {
+    name: String,
+    n: usize,
+    threads: usize,
+    reps: usize,
+    times_ms: Vec<f64>,
+    rounds: Option<u64>,
+}
+
+impl Sample {
+    fn median_ms(&self) -> f64 {
+        let mut sorted = self.times_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        }
+    }
+}
+
+fn time_reps<F: FnMut()>(reps: usize, mut f: F) -> Vec<f64> {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+fn random_matrix(n: usize, seed: u64) -> WeightMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    WeightMatrix::from_fn(n, |_, _| {
+        if rng.gen_bool(0.85) {
+            ExtWeight::from(rng.gen_range(-40..=40))
+        } else {
+            ExtWeight::PosInf
+        }
+    })
+}
+
+fn bench_distance_products(sizes: &[usize], reps: usize, out: &mut Vec<Sample>) {
+    for &n in sizes {
+        let a = random_matrix(n, 0xA0 + n as u64);
+        let b = random_matrix(n, 0xB0 + n as u64);
+        let reference = distance_product_with_threads(&a, &b, 1);
+        for threads in [1usize, 4] {
+            let times_ms = time_reps(reps, || {
+                let c = distance_product_with_threads(&a, &b, threads);
+                assert_eq!(c, reference, "worker count changed the product");
+            });
+            out.push(Sample {
+                name: "distance_product".into(),
+                n,
+                threads,
+                reps,
+                times_ms,
+                rounds: None,
+            });
+        }
+    }
+}
+
+fn bench_route_stress(n: usize, reps: usize, out: &mut Vec<Sample>) {
+    // All-to-all fragmented payloads: every node sends 3 bandwidth-widths
+    // to every other node, so Lemma 1 relaying and fragmentation both run.
+    let bits = 16;
+    let sends: Vec<Envelope<RawBits>> = (0..n)
+        .flat_map(|u| {
+            (0..n).filter(move |&v| v != u).map(move |v| {
+                Envelope::new(NodeId::new(u), NodeId::new(v), RawBits::new(0, 3 * bits))
+            })
+        })
+        .collect();
+    let mut net = Clique::with_bandwidth(n, bits).expect("valid network");
+    let mut rounds_per_phase = None;
+    let times_ms = time_reps(reps, || {
+        let before = net.rounds();
+        net.route(sends.clone()).expect("route succeeds");
+        let phase = net.rounds() - before;
+        // Warm scratch must not change charged rounds between phases.
+        assert_eq!(*rounds_per_phase.get_or_insert(phase), phase);
+    });
+    out.push(Sample {
+        name: "clique_route_all_to_all".into(),
+        n,
+        threads: 1,
+        reps,
+        times_ms,
+        rounds: rounds_per_phase,
+    });
+}
+
+fn bench_apsp_e2e(n: usize, out: &mut Vec<Sample>) {
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    let g = random_reweighted_digraph(n, 0.5, 8, &mut rng);
+    let mut rounds = 0;
+    let times_ms = time_reps(1, || {
+        let report = apsp(
+            &g,
+            Params::scaled(),
+            ApspAlgorithm::QuantumTriangle,
+            &mut rng,
+        )
+        .expect("pipeline succeeds");
+        rounds = report.rounds;
+    });
+    out.push(Sample {
+        name: "apsp_e2e_quantum".into(),
+        n,
+        threads: 1,
+        reps: 1,
+        times_ms,
+        rounds: Some(rounds),
+    });
+}
+
+fn to_json(samples: &[Sample], mode: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"qcc-bench-baseline/v1\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(
+        s,
+        "  \"host_available_parallelism\": {},",
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    );
+    s.push_str("  \"workloads\": [\n");
+    for (i, sample) in samples.iter().enumerate() {
+        s.push_str("    {");
+        let _ = write!(
+            s,
+            "\"name\": \"{}\", \"n\": {}, \"threads\": {}, \"reps\": {}, \"median_ms\": {:.3}",
+            sample.name,
+            sample.n,
+            sample.threads,
+            sample.reps,
+            sample.median_ms()
+        );
+        if let Some(r) = sample.rounds {
+            let _ = write!(s, ", \"rounds\": {r}");
+        }
+        let _ = write!(s, ", \"all_ms\": [");
+        for (j, t) in sample.times_ms.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{t:.3}");
+        }
+        s.push_str("]}");
+        s.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_baseline.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(path) => out_path = path.clone(),
+                None => {
+                    eprintln!("bench_baseline: --out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("bench_baseline: unknown argument `{other}`");
+                eprintln!("usage: bench_baseline [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (sizes, reps, e2e_n): (&[usize], usize, usize) = if smoke {
+        (&[64], 2, 16)
+    } else {
+        (&[64, 128, 256], 5, 81)
+    };
+
+    let mut samples = Vec::new();
+    eprintln!("bench_baseline: distance products (n = {sizes:?}, {reps} reps) ...");
+    bench_distance_products(sizes, reps, &mut samples);
+    eprintln!("bench_baseline: Clique::route stress ...");
+    bench_route_stress(64, reps, &mut samples);
+    eprintln!("bench_baseline: end-to-end quantum APSP at n = {e2e_n} (single run) ...");
+    bench_apsp_e2e(e2e_n, &mut samples);
+
+    let json = to_json(&samples, if smoke { "smoke" } else { "full" });
+    std::fs::write(&out_path, &json).expect("write baseline JSON");
+    println!("{json}");
+    eprintln!("bench_baseline: wrote {out_path}");
+}

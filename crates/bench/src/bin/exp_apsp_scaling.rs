@@ -16,10 +16,19 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    banner("E1/E9", "end-to-end APSP: correctness and round counts across algorithms");
+    banner(
+        "E1/E9",
+        "end-to-end APSP: correctness and round counts across algorithms",
+    );
     let sizes = [4usize, 8, 12, 16];
-    let mut table =
-        Table::new(&["n", "naive", "semiring", "classical-triangle", "quantum-triangle", "exact"]);
+    let mut table = Table::new(&[
+        "n",
+        "naive",
+        "semiring",
+        "classical-triangle",
+        "quantum-triangle",
+        "exact",
+    ]);
     let mut ns = Vec::new();
     let mut quantum = Vec::new();
     let mut classical = Vec::new();
@@ -62,7 +71,10 @@ fn main() {
         );
     }
 
-    banner("E1b", "log W dependence: rounds grow linearly in log(weight range)");
+    banner(
+        "E1b",
+        "log W dependence: rounds grow linearly in log(weight range)",
+    );
     let mut table = Table::new(&["W", "quantum rounds", "products", "exact"]);
     let n = 8;
     for &w in &[2u64, 8, 64, 512] {
@@ -72,7 +84,12 @@ fn main() {
         let mut params = Params::paper();
         params.search_repetitions = Some(12);
         let report = apsp(&g, params, ApspAlgorithm::QuantumTriangle, &mut rng).unwrap();
-        table.row(&[&w, &report.rounds, &report.products, &(report.distances == oracle)]);
+        table.row(&[
+            &w,
+            &report.rounds,
+            &report.products,
+            &(report.distances == oracle),
+        ]);
     }
     table.print();
 }

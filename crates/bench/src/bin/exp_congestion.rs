@@ -10,9 +10,7 @@
 //! unbounded classical (pays the congestion), promise-gated Figure 4
 //! (refuses), and Figure 5 with duplication (accepts and stays flat).
 
-use qcc_apsp::eval_procedure::{
-    evaluate_joint, evaluate_joint_unbounded, AlphaContext, EvalQuery,
-};
+use qcc_apsp::eval_procedure::{evaluate_joint, evaluate_joint_unbounded, AlphaContext, EvalQuery};
 use qcc_apsp::gather::gather_weights;
 use qcc_apsp::lambda::KeptPair;
 use qcc_apsp::{Instance, PairSet, Params};
@@ -21,7 +19,10 @@ use qcc_congest::Clique;
 use qcc_graph::congestion_hotspot;
 
 fn main() {
-    banner("E12", "load-balancing ablation: hot-block queries with and without the machinery");
+    banner(
+        "E12",
+        "load-balancing ablation: hot-block queries with and without the machinery",
+    );
     let n = 256;
     let (g, base_pairs) = congestion_hotspot(n, 64, 16);
     let s = PairSet::all_pairs(n);
@@ -64,7 +65,12 @@ fn main() {
     evaluate_joint_unbounded(&inst, &mut net, &gathered, &actx, &queries).unwrap();
     let unbounded_rounds = net.rounds() - before;
     let unbounded_link = last_max_link(&net);
-    table.row(&[&"classical unbounded", &"answered", &unbounded_rounds, &unbounded_link]);
+    table.row(&[
+        &"classical unbounded",
+        &"answered",
+        &unbounded_rounds,
+        &unbounded_link,
+    ]);
 
     // (b) promise-gated Figure 4 with a tight cap: refuses the hot load.
     let mut tight = params;
@@ -74,12 +80,15 @@ fn main() {
     let actx_t = AlphaContext::build(&inst_tight, &mut net, 0, &labels).unwrap();
     net.begin_phase("e12/gated");
     let before = net.rounds();
-    let refused =
-        evaluate_joint(&inst_tight, &mut net, &gathered, &actx_t, &queries_t).is_err();
+    let refused = evaluate_joint(&inst_tight, &mut net, &gathered, &actx_t, &queries_t).is_err();
     let gated_rounds = net.rounds() - before;
     table.row(&[
         &"Figure 4, tight promise gate",
-        &(if refused { "refused (atypical)" } else { "answered" }),
+        &(if refused {
+            "refused (atypical)"
+        } else {
+            "answered"
+        }),
         &gated_rounds,
         &0u64,
     ]);
@@ -110,7 +119,10 @@ fn main() {
     );
 
     // E12b: why the covering is randomized (Section 5.1).
-    banner("E12b", "random vs deterministic covering on adversarially ordered triangle pairs");
+    banner(
+        "E12b",
+        "random vs deterministic covering on adversarially ordered triangle pairs",
+    );
     let n2 = 64;
     let mut g2 = qcc_graph::UGraph::new(n2);
     // 30 consecutive pairs {0,v} all in negative triangles through apex 50
@@ -130,7 +142,11 @@ fn main() {
         cover
             .kept
             .iter()
-            .map(|list| list.iter().filter(|kp| delta.contains(&(kp.u, kp.v))).count())
+            .map(|list| {
+                list.iter()
+                    .filter(|kp| delta.contains(&(kp.u, kp.v)))
+                    .count()
+            })
             .max()
             .unwrap_or(0)
     };
@@ -139,8 +155,7 @@ fn main() {
     let det = qcc_apsp::build_deterministic_cover(&inst2, &mut net2).unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xE12B);
     use rand::SeedableRng;
-    let rnd =
-        qcc_apsp::build_lambda_cover_with_retry(&inst2, &mut net2, 10, &mut rng).unwrap();
+    let rnd = qcc_apsp::build_lambda_cover_with_retry(&inst2, &mut net2, 10, &mut rng).unwrap();
 
     let mut table = Table::new(&["covering", "max |Lambda_x ∩ Delta| (one label)", "|Delta|"]);
     table.row(&[&"deterministic chunks", &max_overlap(&det), &delta.len()]);

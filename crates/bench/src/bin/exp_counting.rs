@@ -15,7 +15,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    banner("E14", "quantum Gamma counting: amplitude estimation over the apex domain");
+    banner(
+        "E14",
+        "quantum Gamma counting: amplitude estimation over the apex domain",
+    );
     let mut table = Table::new(&[
         "n",
         "true Gamma",
@@ -51,9 +54,17 @@ fn main() {
          probes appears once Γ ≪ n, e.g. n = 128, Γ = 4)"
     );
 
-    banner("E14b", "Duerr-Hoyer extremum: O(sqrt n) expected evaluations");
-    let mut table =
-        Table::new(&["n", "mean iterations", "classical n", "mean stages", "correct"]);
+    banner(
+        "E14b",
+        "Duerr-Hoyer extremum: O(sqrt n) expected evaluations",
+    );
+    let mut table = Table::new(&[
+        "n",
+        "mean iterations",
+        "classical n",
+        "mean stages",
+        "correct",
+    ]);
     let trials = 40;
     for &n in &[64usize, 256, 1024, 4096] {
         let mut rng = StdRng::seed_from_u64(0xE14B + n as u64);

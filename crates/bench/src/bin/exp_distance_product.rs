@@ -8,7 +8,9 @@
 
 use qcc_apsp::{apsp, distributed_distance_product, ApspAlgorithm, Params, SearchBackend};
 use qcc_bench::{banner, Table};
-use qcc_graph::{distance_product, floyd_warshall, random_reweighted_digraph, ExtWeight, WeightMatrix};
+use qcc_graph::{
+    distance_product, floyd_warshall, random_reweighted_digraph, ExtWeight, WeightMatrix,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -23,7 +25,10 @@ fn random_matrix(n: usize, mag: i64, rng: &mut StdRng) -> WeightMatrix {
 }
 
 fn main() {
-    banner("E11", "Proposition 2: O(log M) FindEdges calls per distance product");
+    banner(
+        "E11",
+        "Proposition 2: O(log M) FindEdges calls per distance product",
+    );
     let n = 5;
     let mut table = Table::new(&[
         "M",
@@ -61,9 +66,20 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(0xE11B + n as u64);
         let g = random_reweighted_digraph(n, 0.5, 6, &mut rng);
         let oracle = floyd_warshall(&g.adjacency_matrix()).unwrap();
-        let report = apsp(&g, Params::paper(), ApspAlgorithm::ClassicalTriangle, &mut rng).unwrap();
+        let report = apsp(
+            &g,
+            Params::paper(),
+            ApspAlgorithm::ClassicalTriangle,
+            &mut rng,
+        )
+        .unwrap();
         let predicted = ((n - 1) as f64).log2().ceil() as u32;
-        table.row(&[&n, &report.products, &predicted, &(report.distances == oracle)]);
+        table.row(&[
+            &n,
+            &report.products,
+            &predicted,
+            &(report.distances == oracle),
+        ]);
     }
     table.print();
 }

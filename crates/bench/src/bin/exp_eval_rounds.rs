@@ -17,7 +17,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    banner("E8", "Figures 4-5: one joint evaluation costs polylog rounds");
+    banner(
+        "E8",
+        "Figures 4-5: one joint evaluation costs polylog rounds",
+    );
     let mut table = Table::new(&[
         "n",
         "queries",
@@ -47,7 +50,11 @@ fn main() {
             let target = rng.gen_range(0..inst.parts.fine.num_blocks());
             queries.push(EvalQuery {
                 search_label: inst.searches.encode(bu.min(bv), bu.max(bv), x),
-                pair: KeptPair { u: u.min(v), v: u.max(v), weight: w },
+                pair: KeptPair {
+                    u: u.min(v),
+                    v: u.max(v),
+                    weight: w,
+                },
                 target,
             });
         }

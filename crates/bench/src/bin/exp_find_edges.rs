@@ -46,13 +46,20 @@ fn main() {
         params.search_repetitions = Some(16);
 
         let mut net_q = Clique::new(n).unwrap();
-        let rq = compute_pairs(&g, &s, params, SearchBackend::Quantum, &mut net_q, &mut rng)
-            .unwrap();
+        let rq =
+            compute_pairs(&g, &s, params, SearchBackend::Quantum, &mut net_q, &mut rng).unwrap();
         let q3 = net_q.metrics().rounds_with_prefix("step3/");
 
         let mut net_c = Clique::new(n).unwrap();
-        let rc = compute_pairs(&g, &s, params, SearchBackend::Classical, &mut net_c, &mut rng)
-            .unwrap();
+        let rc = compute_pairs(
+            &g,
+            &s,
+            params,
+            SearchBackend::Classical,
+            &mut net_c,
+            &mut rng,
+        )
+        .unwrap();
         let c3 = net_c.metrics().rounds_with_prefix("step3/");
 
         let rd = dolev_find_edges(&g, &s).unwrap();

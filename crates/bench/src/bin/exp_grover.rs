@@ -17,7 +17,7 @@ impl SearchOracle for Marked {
     fn domain_size(&self) -> usize {
         self.marked.len()
     }
-    fn truth(&mut self, item: usize) -> bool {
+    fn truth(&self, item: usize) -> bool {
         self.marked[item]
     }
     fn evaluate_distributed(&mut self, item: usize) -> bool {
@@ -26,7 +26,10 @@ impl SearchOracle for Marked {
 }
 
 fn main() {
-    banner("E10", "distributed Grover search: O~(sqrt |X|) vs classical |X| evaluations");
+    banner(
+        "E10",
+        "distributed Grover search: O~(sqrt |X|) vs classical |X| evaluations",
+    );
     let sizes = [64usize, 256, 1024, 4096, 16384];
     let trials = 25;
     let mut table = Table::new(&[
@@ -49,7 +52,9 @@ fn main() {
             let target = rng.gen_range(0..x);
             let mut marked = vec![false; x];
             marked[target] = true;
-            let mut oracle = Marked { marked: marked.clone() };
+            let mut oracle = Marked {
+                marked: marked.clone(),
+            };
             let out = grover_search_amplified(&mut oracle, 12, &mut rng);
             if out.found == Some(target) {
                 successes += 1;

@@ -57,7 +57,10 @@ fn main() {
     table.print();
     println!("({rows} classes in use; higher classes hold strictly heavier triples)");
 
-    banner("E7", "Lemmas 3-4: per-search solution density and heavy-class scarcity");
+    banner(
+        "E7",
+        "Lemmas 3-4: per-search solution density and heavy-class scarcity",
+    );
     let cover = build_lambda_cover_with_retry(&inst, &mut net, 10, &mut rng).unwrap();
     let mut table = Table::new(&[
         "alpha",

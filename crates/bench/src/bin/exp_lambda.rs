@@ -35,12 +35,19 @@ fn trial_stats(n: usize, params: Params, trials: u32, seed: u64) -> (u32, u32, f
         }
     }
     let balanced = trials - aborts;
-    let mean_kept = if balanced > 0 { kept_total as f64 / f64::from(balanced) } else { 0.0 };
+    let mean_kept = if balanced > 0 {
+        kept_total as f64 / f64::from(balanced)
+    } else {
+        0.0
+    };
     (aborts, covered, mean_kept)
 }
 
 fn main() {
-    banner("E5", "Lemma 2: abort and coverage frequencies of the Lambda covering");
+    banner(
+        "E5",
+        "Lemma 2: abort and coverage frequencies of the Lambda covering",
+    );
     let trials = 40;
 
     let mut table = Table::new(&[
@@ -65,9 +72,18 @@ fn main() {
     }
     table.print();
 
-    banner("E5b", "sub-unit sampling: coverage survives once p*sqrt(n) >> ln n");
-    let mut table =
-        Table::new(&["n", "lambda_rate", "p", "aborts", "covered", "mean kept pairs"]);
+    banner(
+        "E5b",
+        "sub-unit sampling: coverage survives once p*sqrt(n) >> ln n",
+    );
+    let mut table = Table::new(&[
+        "n",
+        "lambda_rate",
+        "p",
+        "aborts",
+        "covered",
+        "mean kept pairs",
+    ]);
     for &(n, rate) in &[(81usize, 1.2f64), (256, 1.6), (256, 0.8), (625, 1.6)] {
         let mut params = Params::paper();
         params.lambda_rate = rate;

@@ -28,14 +28,17 @@ impl MultiOracle for Needles {
     fn num_searches(&self) -> usize {
         self.needles.len()
     }
-    fn truth(&mut self, search: usize, item: usize) -> bool {
+    fn truth(&self, search: usize, item: usize) -> bool {
         self.needles[search] == Some(item)
     }
     fn evaluate(&mut self, tuple: &[usize]) -> Result<Vec<bool>, AtypicalInputError> {
         let freq = max_frequency(tuple, self.domain);
         if freq as f64 > self.beta {
             self.atypical_seen += 1;
-            return Err(AtypicalInputError { max_frequency: freq, beta: self.beta });
+            return Err(AtypicalInputError {
+                max_frequency: freq,
+                beta: self.beta,
+            });
         }
         Ok(tuple
             .iter()
@@ -55,9 +58,20 @@ fn run(m: usize, domain: usize, beta: f64, trials: u32, seed: u64) -> (f64, u64,
     let mut iterations = 0u64;
     for _ in 0..trials {
         let needles: Vec<Option<usize>> = (0..m)
-            .map(|_| if rng.gen_bool(0.75) { Some(rng.gen_range(0..domain)) } else { None })
+            .map(|_| {
+                if rng.gen_bool(0.75) {
+                    Some(rng.gen_range(0..domain))
+                } else {
+                    None
+                }
+            })
             .collect();
-        let mut oracle = Needles { domain, needles: needles.clone(), beta, atypical_seen: 0 };
+        let mut oracle = Needles {
+            domain,
+            needles: needles.clone(),
+            beta,
+            atypical_seen: 0,
+        };
         let out = multi_grover_search(&mut oracle, repetitions_for_target(m), &mut rng);
         let ok = out.found.iter().zip(&needles).all(|(f, n)| match n {
             Some(t) => *f == Some(*t),
@@ -69,11 +83,18 @@ fn run(m: usize, domain: usize, beta: f64, trials: u32, seed: u64) -> (f64, u64,
         violations += out.typicality_violations;
         iterations += out.iterations;
     }
-    (f64::from(full) / f64::from(trials), violations, iterations / u64::from(trials))
+    (
+        f64::from(full) / f64::from(trials),
+        violations,
+        iterations / u64::from(trials),
+    )
 }
 
 fn main() {
-    banner("E3", "Theorem 3: parallel searches with a truncated (typical-input) evaluator");
+    banner(
+        "E3",
+        "Theorem 3: parallel searches with a truncated (typical-input) evaluator",
+    );
     let trials = 20;
     let mut table = Table::new(&[
         "m",
@@ -85,7 +106,13 @@ fn main() {
         "iters/trial",
         "Lemma5 mass bound",
     ]);
-    for &(m, domain) in &[(64usize, 8usize), (256, 8), (256, 16), (1024, 16), (4096, 32)] {
+    for &(m, domain) in &[
+        (64usize, 8usize),
+        (256, 8),
+        (256, 16),
+        (1024, 16),
+        (4096, 32),
+    ] {
         let beta = 9.0 * m as f64 / domain as f64;
         let bounds = TypicalityBounds::new(m, domain, beta);
         let (rate, violations, iters) = run(m, domain, beta, trials, 0xE3 + m as u64);
@@ -102,7 +129,10 @@ fn main() {
     }
     table.print();
 
-    banner("E3b", "ablation: an undersized beta forces atypical rejections");
+    banner(
+        "E3b",
+        "ablation: an undersized beta forces atypical rejections",
+    );
     let mut table = Table::new(&["beta / (m/|X|)", "success rate", "atypical rejections"]);
     let (m, domain) = (512usize, 8usize);
     for &factor in &[9.0f64, 2.0, 1.2, 0.9] {

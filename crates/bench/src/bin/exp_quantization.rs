@@ -14,7 +14,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    banner("E15", "weight quantization: FindEdges calls vs additive error (W = 50000)");
+    banner(
+        "E15",
+        "weight quantization: FindEdges calls vs additive error (W = 50000)",
+    );
     let n = 8;
     let w = 50_000u64;
     let mut rng = StdRng::seed_from_u64(0xE15);
@@ -36,8 +39,8 @@ fn main() {
         .unwrap_or(1)
         .max(1);
     for &q in &[1i64, 16, 256, 2048, 8192] {
-        let report = quantized_apsp(&g, q, Params::paper(), SearchBackend::Classical, &mut rng)
-            .unwrap();
+        let report =
+            quantized_apsp(&g, q, Params::paper(), SearchBackend::Classical, &mut rng).unwrap();
         let err = max_additive_error(&exact, &report.distances);
         table.row(&[
             &q,

@@ -16,7 +16,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    banner("E4", "Proposition 1: FindEdges via O(log n) promise-solver calls");
+    banner(
+        "E4",
+        "Proposition 1: FindEdges via O(log n) promise-solver calls",
+    );
     let trials = 10u32;
     let mut table = Table::new(&[
         "n",
@@ -39,8 +42,7 @@ fn main() {
                 let mut rng = StdRng::seed_from_u64(0xE4 + n as u64 * 100 + u64::from(t));
                 let mut net = Clique::new(n).unwrap();
                 let report =
-                    find_edges(&g, &s, params, SearchBackend::Quantum, &mut net, &mut rng)
-                        .unwrap();
+                    find_edges(&g, &s, params, SearchBackend::Quantum, &mut net, &mut rng).unwrap();
                 if report.found == expected {
                     exact += 1;
                 }
@@ -63,14 +65,23 @@ fn main() {
          suffices; scaled constants exercise the sampled iterations and stay exact)"
     );
 
-    banner("E4b", "inside one Algorithm B run: the loop schedule (n = 64, Gamma = 30, scaled)");
+    banner(
+        "E4b",
+        "inside one Algorithm B run: the loop schedule (n = 64, Gamma = 30, scaled)",
+    );
     let g = book_graph(64, 30);
     let s = PairSet::all_pairs(64);
     let mut net = Clique::new(64).unwrap();
     let mut rng = StdRng::seed_from_u64(0xE4B);
-    let (report, loop_stats) =
-        find_edges_instrumented(&g, &s, Params::scaled(), SearchBackend::Quantum, &mut net, &mut rng)
-            .unwrap();
+    let (report, loop_stats) = find_edges_instrumented(
+        &g,
+        &s,
+        Params::scaled(),
+        SearchBackend::Quantum,
+        &mut net,
+        &mut rng,
+    )
+    .unwrap();
     let mut table = Table::new(&[
         "iteration",
         "p (edge sampling)",

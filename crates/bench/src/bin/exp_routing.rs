@@ -15,7 +15,10 @@ fn unit(bits: u64) -> RawBits {
 }
 
 fn main() {
-    banner("E13", "Lemma 1: bounded-load message sets route in exactly 2 rounds");
+    banner(
+        "E13",
+        "Lemma 1: bounded-load message sets route in exactly 2 rounds",
+    );
     let n = 64;
     let bits = 16;
     let mut rng = StdRng::seed_from_u64(0xE13);
@@ -45,8 +48,11 @@ fn main() {
         })
         .collect();
 
-    for (label, sends) in [("permutation", perm), ("hot pair (n->1 link)", hot), ("all-to-all", full)]
-    {
+    for (label, sends) in [
+        ("permutation", perm),
+        ("hot pair (n->1 link)", hot),
+        ("all-to-all", full),
+    ] {
         let count = sends.len();
         let mut direct = Clique::with_bandwidth(n, bits).unwrap();
         direct.exchange(sends.clone()).unwrap();
@@ -56,7 +62,10 @@ fn main() {
     }
     table.print();
 
-    banner("E13b", "overload degradation: 2*ceil(L/n) rounds at per-node load L*n");
+    banner(
+        "E13b",
+        "overload degradation: 2*ceil(L/n) rounds at per-node load L*n",
+    );
     let mut table = Table::new(&["load factor L", "lemma1 rounds", "predicted 2*ceil(L)"]);
     for &load in &[1usize, 2, 3, 5, 8] {
         let sends: Vec<Envelope<RawBits>> = (0..load)

@@ -1,0 +1,214 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API used by this workspace's
+//! `benches/`: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, `bench_with_input`, [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Like upstream criterion, running a bench binary **without** the
+//! `--bench` argument (as `cargo test` does) executes every benchmark body
+//! exactly once as a smoke test. With `--bench` (as `cargo bench` passes),
+//! each benchmark runs `sample_size` timed samples and prints the median
+//! wall-clock per iteration. There is no statistical analysis, outlier
+//! rejection, or HTML report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds a `name/parameter` id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+/// Drives the timed iterations of one benchmark body.
+pub struct Bencher {
+    samples: u32,
+    /// Median duration of one iteration, filled by [`Bencher::iter`].
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median over the configured sample count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut times = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.elapsed = times[times.len() / 2];
+    }
+}
+
+/// Top-level benchmark driver (the `c` in `fn bench(c: &mut Criterion)`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Criterion {
+    /// Reads the command line: `--bench` selects measurement mode, its
+    /// absence (e.g. under `cargo test`) selects one-shot smoke mode.
+    pub fn configure_from_args(mut self) -> Self {
+        self.measure = std::env::args().any(|a| a == "--bench");
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let measure = self.measure;
+        run_one(&id.into().id, 10, measure, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (measurement mode).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, self.criterion.measure, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.sample_size, self.criterion.measure, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, measure: bool, mut f: F) {
+    let samples = if measure { sample_size as u32 } else { 1 };
+    let mut b = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if measure {
+        println!("{id}: median {:?} over {samples} samples", b.elapsed);
+    } else {
+        println!("{id}: ok (smoke run)");
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_bodies_once() {
+        let mut c = Criterion::default();
+        let mut calls = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .sample_size(50)
+                .bench_with_input(BenchmarkId::new("f", 1), &1, |b, &x| {
+                    b.iter(|| {
+                        calls += 1;
+                        x + 1
+                    })
+                });
+            group.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format_as_paths() {
+        assert_eq!(BenchmarkId::new("kernel", 256).id, "kernel/256");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

@@ -1,0 +1,63 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Declared as a workspace dependency for API compatibility; no code in
+//! this repository currently draws from a ChaCha generator. The types here
+//! delegate to the workspace's [`rand::rngs::StdRng`] (xoshiro256++) and
+//! are **not** ChaCha stream ciphers — they exist so that `use
+//! rand_chacha::ChaChaNRng` code paths keep compiling offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha_alias {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug)]
+        pub struct $name(StdRng);
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.0.next_u32()
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                $name(StdRng::from_seed(seed))
+            }
+        }
+    };
+}
+
+chacha_alias!(
+    /// Stand-in for `rand_chacha::ChaCha8Rng` (delegates to `StdRng`).
+    ChaCha8Rng
+);
+chacha_alias!(
+    /// Stand-in for `rand_chacha::ChaCha12Rng` (delegates to `StdRng`).
+    ChaCha12Rng
+);
+chacha_alias!(
+    /// Stand-in for `rand_chacha::ChaCha20Rng` (delegates to `StdRng`).
+    ChaCha20Rng
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = ChaCha12Rng::seed_from_u64(3);
+        let mut b = ChaCha12Rng::seed_from_u64(3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -12,7 +12,11 @@
 //! of messages to intermediate relay nodes.
 //!
 //! This module implements the classic alternating-path (Kempe chain)
-//! algorithm: `O(m · Δ)` time, exact `Δ` colors.
+//! algorithm: `O(m · Δ)` time, exact `Δ` colors. The hot entry point is
+//! [`color_bipartite_into`], which writes into caller-owned buffers
+//! ([`ColoringScratch`]) so that a simulator calling it once per
+//! communication phase performs no per-call allocation after warm-up;
+//! [`color_bipartite`] is the convenient allocating wrapper.
 
 /// An edge of the demand multigraph: `(left, right)` with multiplicity
 /// expressed by repetition.
@@ -20,6 +24,7 @@ pub type DemandEdge = (usize, usize);
 
 /// A proper edge coloring of a bipartite multigraph.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct EdgeColoring {
     /// `colors[i]` is the color assigned to input edge `i`.
     pub colors: Vec<usize>,
@@ -27,15 +32,59 @@ pub struct EdgeColoring {
     pub num_colors: usize,
 }
 
-/// Computes the maximum degree of the bipartite demand multigraph.
-pub fn max_degree(edges: &[DemandEdge], n_left: usize, n_right: usize) -> usize {
-    let mut left = vec![0usize; n_left];
-    let mut right = vec![0usize; n_right];
-    for &(u, v) in edges {
-        left[u] += 1;
-        right[v] += 1;
+/// Reusable working memory for [`color_bipartite_into`].
+///
+/// Holds the per-(node, color) slot tables and the degree counters. Buffers
+/// grow to the largest instance seen and are then reused, so a long-lived
+/// scratch makes repeated colorings allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct ColoringScratch {
+    /// Flat `n_left × Δ` slot table: `left_at[u · Δ + c]` is the edge of
+    /// color `c` at left node `u`, or `usize::MAX`.
+    left_at: Vec<usize>,
+    /// Flat `n_right × Δ` slot table, as `left_at`.
+    right_at: Vec<usize>,
+    left_deg: Vec<usize>,
+    right_deg: Vec<usize>,
+    path: Vec<usize>,
+}
+
+impl ColoringScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
-    left.iter().chain(right.iter()).copied().max().unwrap_or(0)
+}
+
+/// Computes the maximum degree of the bipartite demand multigraph.
+#[must_use]
+pub fn max_degree(edges: &[DemandEdge], n_left: usize, n_right: usize) -> usize {
+    let mut scratch = ColoringScratch::new();
+    max_degree_into(edges, n_left, n_right, &mut scratch)
+}
+
+/// [`max_degree`] writing its degree counters into reusable scratch.
+pub fn max_degree_into(
+    edges: &[DemandEdge],
+    n_left: usize,
+    n_right: usize,
+    scratch: &mut ColoringScratch,
+) -> usize {
+    scratch.left_deg.clear();
+    scratch.left_deg.resize(n_left, 0);
+    scratch.right_deg.clear();
+    scratch.right_deg.resize(n_right, 0);
+    for &(u, v) in edges {
+        scratch.left_deg[u] += 1;
+        scratch.right_deg[v] += 1;
+    }
+    scratch
+        .left_deg
+        .iter()
+        .chain(scratch.right_deg.iter())
+        .copied()
+        .max()
+        .unwrap_or(0)
 }
 
 /// Properly edge-colors a bipartite multigraph with `Δ` colors.
@@ -59,34 +108,67 @@ pub fn max_degree(edges: &[DemandEdge], n_left: usize, n_right: usize) -> usize 
 /// assert_eq!(coloring.num_colors, max_degree(&edges, 2, 2));
 /// ```
 pub fn color_bipartite(edges: &[DemandEdge], n_left: usize, n_right: usize) -> EdgeColoring {
-    let delta = max_degree(edges, n_left, n_right);
+    let mut scratch = ColoringScratch::new();
+    let mut colors = Vec::new();
+    let num_colors = color_bipartite_into(edges, n_left, n_right, &mut scratch, &mut colors);
+    EdgeColoring { colors, num_colors }
+}
+
+/// [`color_bipartite`] writing into caller-owned buffers.
+///
+/// `colors` is cleared and filled with one color per input edge; the number
+/// of colors (the maximum degree `Δ`) is returned. All working memory lives
+/// in `scratch`, so a caller holding both across invocations performs no
+/// allocation once the buffers have grown to the instance size.
+///
+/// # Panics
+///
+/// Panics if an endpoint is out of range.
+pub fn color_bipartite_into(
+    edges: &[DemandEdge],
+    n_left: usize,
+    n_right: usize,
+    scratch: &mut ColoringScratch,
+    colors: &mut Vec<usize>,
+) -> usize {
+    let delta = max_degree_into(edges, n_left, n_right, scratch);
+    colors.clear();
     if delta == 0 {
-        return EdgeColoring { colors: Vec::new(), num_colors: 0 };
+        return 0;
     }
-    // at[side][node][color] = Some(edge index) if that node has an edge of
-    // that color. Sides: 0 = left, 1 = right.
-    let mut left_at = vec![vec![usize::MAX; delta]; n_left];
-    let mut right_at = vec![vec![usize::MAX; delta]; n_right];
-    let mut colors = vec![usize::MAX; edges.len()];
+    colors.resize(edges.len(), usize::MAX);
+    // at[node · Δ + color] = edge index carrying that color at that node,
+    // or usize::MAX. Flat layout keeps the tables in two contiguous
+    // reusable buffers.
+    scratch.left_at.clear();
+    scratch.left_at.resize(n_left * delta, usize::MAX);
+    scratch.right_at.clear();
+    scratch.right_at.resize(n_right * delta, usize::MAX);
+    let left_at = &mut scratch.left_at;
+    let right_at = &mut scratch.right_at;
+    let path = &mut scratch.path;
 
     for (idx, &(u, v)) in edges.iter().enumerate() {
         assert!(u < n_left && v < n_right, "edge endpoint out of range");
-        let a = free_color(&left_at[u]);
-        let b = free_color(&right_at[v]);
+        let a = free_color(&left_at[u * delta..(u + 1) * delta]);
+        let b = free_color(&right_at[v * delta..(v + 1) * delta]);
         if a == b {
-            assign(&mut left_at, &mut right_at, &mut colors, edges, idx, a);
+            assign(left_at, right_at, colors, edges, delta, idx, a);
             continue;
         }
         // Make color `a` free at `v` by flipping the (a, b)-alternating path
         // starting from `v`. The path cannot reach `u` because `u` has no
         // `a`-colored edge, and left vertices are entered via `a`.
-        let mut path = Vec::new();
-        let mut on_right = true;
+        path.clear();
         let mut node = v;
+        let mut on_right = true;
         let mut want = a;
         loop {
-            let slot = if on_right { &right_at[node] } else { &left_at[node] };
-            let e = slot[want];
+            let e = if on_right {
+                right_at[node * delta + want]
+            } else {
+                left_at[node * delta + want]
+            };
             if e == usize::MAX {
                 break;
             }
@@ -97,25 +179,25 @@ pub fn color_bipartite(edges: &[DemandEdge], n_left: usize, n_right: usize) -> E
             want = if want == a { b } else { a };
         }
         // Unset the path, then re-set with swapped colors.
-        for &e in &path {
+        for &e in path.iter() {
             let (eu, ev) = edges[e];
             let c = colors[e];
-            left_at[eu][c] = usize::MAX;
-            right_at[ev][c] = usize::MAX;
+            left_at[eu * delta + c] = usize::MAX;
+            right_at[ev * delta + c] = usize::MAX;
         }
-        for &e in &path {
+        for &e in path.iter() {
             let (eu, ev) = edges[e];
             let c = if colors[e] == a { b } else { a };
             colors[e] = c;
-            left_at[eu][c] = e;
-            right_at[ev][c] = e;
+            left_at[eu * delta + c] = e;
+            right_at[ev * delta + c] = e;
         }
-        debug_assert_eq!(left_at[u][a], usize::MAX);
-        debug_assert_eq!(right_at[v][a], usize::MAX);
-        assign(&mut left_at, &mut right_at, &mut colors, edges, idx, a);
+        debug_assert_eq!(left_at[u * delta + a], usize::MAX);
+        debug_assert_eq!(right_at[v * delta + a], usize::MAX);
+        assign(left_at, right_at, colors, edges, delta, idx, a);
     }
 
-    EdgeColoring { colors, num_colors: delta }
+    delta
 }
 
 fn free_color(slots: &[usize]) -> usize {
@@ -125,32 +207,59 @@ fn free_color(slots: &[usize]) -> usize {
         .expect("a free color always exists below the maximum degree")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn assign(
-    left_at: &mut [Vec<usize>],
-    right_at: &mut [Vec<usize>],
+    left_at: &mut [usize],
+    right_at: &mut [usize],
     colors: &mut [usize],
     edges: &[DemandEdge],
+    delta: usize,
     idx: usize,
     color: usize,
 ) {
     let (u, v) = edges[idx];
     colors[idx] = color;
-    left_at[u][color] = idx;
-    right_at[v][color] = idx;
+    left_at[u * delta + color] = idx;
+    right_at[v * delta + color] = idx;
 }
 
 /// Verifies that a coloring is proper: no two edges sharing a left or right
 /// endpoint have the same color. Used by tests and debug assertions.
-pub fn is_proper(edges: &[DemandEdge], coloring: &EdgeColoring, n_left: usize, n_right: usize) -> bool {
-    let mut left_seen = vec![false; n_left * coloring.num_colors.max(1)];
-    let mut right_seen = vec![false; n_right * coloring.num_colors.max(1)];
+#[must_use]
+pub fn is_proper(
+    edges: &[DemandEdge],
+    coloring: &EdgeColoring,
+    n_left: usize,
+    n_right: usize,
+) -> bool {
+    is_proper_colors(
+        edges,
+        &coloring.colors,
+        coloring.num_colors,
+        n_left,
+        n_right,
+    )
+}
+
+/// [`is_proper`] over a raw color slice, for callers using
+/// [`color_bipartite_into`].
+#[must_use]
+pub fn is_proper_colors(
+    edges: &[DemandEdge],
+    colors: &[usize],
+    num_colors: usize,
+    n_left: usize,
+    n_right: usize,
+) -> bool {
+    let mut left_seen = vec![false; n_left * num_colors.max(1)];
+    let mut right_seen = vec![false; n_right * num_colors.max(1)];
     for (idx, &(u, v)) in edges.iter().enumerate() {
-        let c = coloring.colors[idx];
-        if c >= coloring.num_colors {
+        let c = colors[idx];
+        if c >= num_colors {
             return false;
         }
-        let lu = u * coloring.num_colors + c;
-        let rv = v * coloring.num_colors + c;
+        let lu = u * num_colors + c;
+        let rv = v * num_colors + c;
         if left_seen[lu] || right_seen[rv] {
             return false;
         }
@@ -212,12 +321,34 @@ mod tests {
         for trial in 0..40 {
             let n = 2 + (trial % 7);
             let m = rng.gen_range(0..60);
-            let edges: Vec<DemandEdge> =
-                (0..m).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+            let edges: Vec<DemandEdge> = (0..m)
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+                .collect();
             let delta = max_degree(&edges, n, n);
             let c = color_bipartite(&edges, n, n);
             assert_eq!(c.num_colors, delta, "trial {trial}");
             assert!(is_proper(&edges, &c, n, n), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let mut rng = StdRng::seed_from_u64(0x5C4A7C);
+        let mut scratch = ColoringScratch::new();
+        let mut colors = Vec::new();
+        for trial in 0..30 {
+            let n = 2 + (trial % 5);
+            let m = rng.gen_range(0..80);
+            let edges: Vec<DemandEdge> = (0..m)
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+                .collect();
+            let reused = color_bipartite_into(&edges, n, n, &mut scratch, &mut colors);
+            let fresh = color_bipartite(&edges, n, n);
+            assert_eq!(reused, fresh.num_colors, "trial {trial}");
+            assert!(
+                is_proper_colors(&edges, &colors, reused, n, n),
+                "trial {trial}"
+            );
         }
     }
 

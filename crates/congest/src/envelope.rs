@@ -50,6 +50,14 @@ impl<T> Inboxes<T> {
         }
     }
 
+    /// Creates empty inboxes pre-sized to the known per-node message
+    /// counts, so that delivery never reallocates.
+    pub(crate) fn with_capacities(counts: &[usize]) -> Self {
+        Inboxes {
+            boxes: counts.iter().map(|&c| Vec::with_capacity(c)).collect(),
+        }
+    }
+
     pub(crate) fn push(&mut self, dst: NodeId, src: NodeId, payload: T) {
         self.boxes[dst.index()].push((src, payload));
     }
@@ -61,21 +69,25 @@ impl<T> Inboxes<T> {
     }
 
     /// Messages received by `node`, as `(sender, payload)` pairs.
+    #[must_use]
     pub fn of(&self, node: NodeId) -> &[(NodeId, T)] {
         &self.boxes[node.index()]
     }
 
     /// Number of nodes in the network these inboxes belong to.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.boxes.len()
     }
 
     /// Whether there are no nodes (degenerate network).
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.boxes.is_empty()
     }
 
     /// Total number of messages across all inboxes.
+    #[must_use]
     pub fn message_count(&self) -> usize {
         self.boxes.iter().map(Vec::len).sum()
     }

@@ -39,7 +39,10 @@ impl fmt::Display for CongestError {
                 write!(f, "message references {node} but the network has {n} nodes")
             }
             CongestError::LoadExceeded { node, load, bound } => {
-                write!(f, "{node} carries {load} message units, exceeding bound {bound}")
+                write!(
+                    f,
+                    "{node} carries {load} message units, exceeding bound {bound}"
+                )
             }
             CongestError::EmptyNetwork => write!(f, "network must contain at least one node"),
         }
@@ -54,7 +57,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CongestError::UnknownNode { node: NodeId::new(9), n: 4 };
+        let e = CongestError::UnknownNode {
+            node: NodeId::new(9),
+            n: 4,
+        };
         assert!(e.to_string().contains("node9"));
         assert!(e.to_string().contains('4'));
     }

@@ -66,6 +66,7 @@ pub struct Metrics {
 
 impl Metrics {
     /// Creates empty metrics.
+    #[must_use]
     pub fn new() -> Self {
         Metrics::default()
     }
@@ -111,31 +112,41 @@ impl Metrics {
     }
 
     /// Total synchronous rounds consumed so far.
+    #[must_use]
     pub fn total_rounds(&self) -> u64 {
         self.total_rounds
     }
 
     /// Total messages transmitted so far.
+    #[must_use]
     pub fn total_messages(&self) -> u64 {
         self.total_messages
     }
 
     /// Total bits transmitted so far.
+    #[must_use]
     pub fn total_bits(&self) -> u64 {
         self.total_bits
     }
 
     /// Per-phase breakdown, in execution order.
+    #[must_use]
     pub fn phases(&self) -> &[PhaseStats] {
         &self.phases
     }
 
     /// Largest per-link bit volume observed in any phase.
+    #[must_use]
     pub fn max_link_bits(&self) -> u64 {
-        self.phases.iter().map(|p| p.max_link_bits).max().unwrap_or(0)
+        self.phases
+            .iter()
+            .map(|p| p.max_link_bits)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Merges rounds from phases whose label starts with `prefix`.
+    #[must_use]
     pub fn rounds_with_prefix(&self, prefix: &str) -> u64 {
         self.phases
             .iter()

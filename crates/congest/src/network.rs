@@ -18,14 +18,27 @@
 //!
 //! Local computation is free, as in the model. Messages from a node to
 //! itself are local and cost nothing.
+//!
+//! # Host performance
+//!
+//! A simulation run makes one `exchange`/`route` call per communication
+//! phase, often many thousands per experiment, so the accounting paths are
+//! written to be allocation-free after warm-up: link-bit and relay-load
+//! tallies live in dense `n²` scratch vectors indexed by `src · n + dst`
+//! (cleared sparsely through touched-index lists), payload bit-sizes are
+//! computed once per envelope into a reusable buffer, inboxes are pre-sized
+//! from a counting pass, and the König coloring reuses its slot tables
+//! across calls ([`ColoringScratch`]). None of this affects the *model*:
+//! charged rounds and all other metrics are byte-identical to the
+//! straightforward implementation, which `tests/determinism.rs` pins
+//! against recorded counts.
 
-use crate::coloring::{color_bipartite, max_degree};
+use crate::coloring::{color_bipartite_into, is_proper_colors, ColoringScratch};
 use crate::envelope::{Envelope, Inboxes};
 use crate::error::CongestError;
 use crate::metrics::Metrics;
 use crate::node::NodeId;
 use crate::payload::{bits_for_count, Payload};
-use std::collections::HashMap;
 
 /// Default multiplier: one message carries `DEFAULT_BANDWIDTH_FACTOR · ⌈log₂ n⌉` bits.
 ///
@@ -40,6 +53,52 @@ pub const DEFAULT_BANDWIDTH_FACTOR: u64 = 16;
 /// routings use the degree bound directly — the schedule's existence is
 /// König's theorem.
 pub const EXPLICIT_SCHEDULE_LIMIT: usize = 50_000;
+
+/// Reusable per-call working memory of a [`Clique`].
+///
+/// Every buffer is either fixed-size (allocated once in the constructor)
+/// or grows to the largest phase seen and is then reused. The dense `n²`
+/// tallies are cleared sparsely: each write records its index in a touched
+/// list, and the tally is zeroed through that list after the maximum is
+/// read, so a phase touching `m` links costs `O(m)`, not `O(n²)`.
+#[derive(Clone, Debug, Default)]
+struct Scratch {
+    /// Dense `n²` per-link bit tally for `exchange`, indexed `src · n + dst`.
+    link_bits: Vec<u64>,
+    /// Indices of `link_bits` written this call.
+    touched_links: Vec<usize>,
+    /// Dense `n²` per-link unit tally for `route`'s relay schedule.
+    relay_units: Vec<u64>,
+    /// Indices of `relay_units` written this call.
+    touched_relays: Vec<usize>,
+    /// Per-node outgoing bits (or units, in `route`).
+    out_load: Vec<u64>,
+    /// Per-node incoming bits (or units, in `route`).
+    in_load: Vec<u64>,
+    /// Per-node message count for inbox pre-sizing.
+    inbox_counts: Vec<usize>,
+    /// Bit size of each envelope, computed once per call.
+    bit_sizes: Vec<u64>,
+    /// `route`'s demand multigraph, one entry per fragment unit.
+    units: Vec<(usize, usize)>,
+    /// Colors assigned to `units` by the König coloring.
+    colors: Vec<usize>,
+    /// Slot tables of the König coloring.
+    coloring: ColoringScratch,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            link_bits: vec![0; n * n],
+            relay_units: vec![0; n * n],
+            out_load: vec![0; n],
+            in_load: vec![0; n],
+            inbox_counts: vec![0; n],
+            ..Scratch::default()
+        }
+    }
+}
 
 /// A synchronous fully connected network of `n` nodes with `O(log n)`-bit links.
 ///
@@ -60,6 +119,7 @@ pub struct Clique {
     n: usize,
     bandwidth_bits: u64,
     metrics: Metrics,
+    scratch: Scratch,
 }
 
 impl Clique {
@@ -87,25 +147,34 @@ impl Clique {
             return Err(CongestError::EmptyNetwork);
         }
         assert!(bandwidth_bits > 0, "bandwidth must be positive");
-        Ok(Clique { n, bandwidth_bits, metrics: Metrics::new() })
+        Ok(Clique {
+            n,
+            bandwidth_bits,
+            metrics: Metrics::new(),
+            scratch: Scratch::new(n),
+        })
     }
 
     /// Number of nodes.
+    #[must_use]
     pub fn n(&self) -> usize {
         self.n
     }
 
     /// Per-link bandwidth in bits per round.
+    #[must_use]
     pub fn bandwidth_bits(&self) -> u64 {
         self.bandwidth_bits
     }
 
     /// Total rounds consumed so far.
+    #[must_use]
     pub fn rounds(&self) -> u64 {
         self.metrics.total_rounds()
     }
 
     /// Accumulated communication metrics.
+    #[must_use]
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
     }
@@ -131,6 +200,14 @@ impl Clique {
         Ok(())
     }
 
+    /// Fills the bit-size cache for `sends`, one `bit_size()` call each.
+    fn cache_bit_sizes<T: Payload>(&mut self, sends: &[Envelope<T>]) {
+        self.scratch.bit_sizes.clear();
+        self.scratch
+            .bit_sizes
+            .extend(sends.iter().map(|e| e.payload.bit_size()));
+    }
+
     /// Delivers messages directly on their `(src, dst)` links.
     ///
     /// The phase costs `max over ordered pairs (u,v) of ⌈bits(u→v) / B⌉`
@@ -146,35 +223,56 @@ impl Clique {
         sends: Vec<Envelope<T>>,
     ) -> Result<Inboxes<T>, CongestError> {
         self.validate(&sends)?;
-        let mut link_bits: HashMap<(usize, usize), u64> = HashMap::new();
-        let mut out_bits = vec![0u64; self.n];
-        let mut in_bits = vec![0u64; self.n];
+        self.cache_bit_sizes(&sends);
+        Ok(self.exchange_presized(sends))
+    }
+
+    /// `exchange` body, assuming endpoints are validated and
+    /// `scratch.bit_sizes[i]` already holds the size of `sends[i]`.
+    fn exchange_presized<T: Payload>(&mut self, sends: Vec<Envelope<T>>) -> Inboxes<T> {
+        let n = self.n;
+        let s = &mut self.scratch;
+        debug_assert_eq!(s.bit_sizes.len(), sends.len());
+        s.out_load.fill(0);
+        s.in_load.fill(0);
+        s.inbox_counts.fill(0);
         let mut total_bits = 0u64;
         let mut message_count = 0u64;
-        let mut inboxes = Inboxes::empty(self.n);
-        for e in sends {
-            let bits = e.payload.bit_size();
+        for (e, &bits) in sends.iter().zip(&s.bit_sizes) {
             if e.src != e.dst {
-                *link_bits.entry((e.src.index(), e.dst.index())).or_insert(0) += bits;
-                out_bits[e.src.index()] += bits;
-                in_bits[e.dst.index()] += bits;
+                let link = e.src.index() * n + e.dst.index();
+                if s.link_bits[link] == 0 && bits > 0 {
+                    s.touched_links.push(link);
+                }
+                s.link_bits[link] += bits;
+                s.out_load[e.src.index()] += bits;
+                s.in_load[e.dst.index()] += bits;
                 total_bits += bits;
                 message_count += 1;
             }
+            s.inbox_counts[e.dst.index()] += 1;
+        }
+        let max_link = s
+            .touched_links
+            .iter()
+            .map(|&l| s.link_bits[l])
+            .max()
+            .unwrap_or(0);
+        for &l in &s.touched_links {
+            s.link_bits[l] = 0;
+        }
+        s.touched_links.clear();
+        let rounds = max_link.div_ceil(self.bandwidth_bits);
+        let mut inboxes = Inboxes::with_capacities(&s.inbox_counts);
+        let max_out = s.out_load.iter().copied().max().unwrap_or(0);
+        let max_in = s.in_load.iter().copied().max().unwrap_or(0);
+        for e in sends {
             inboxes.push(e.dst, e.src, e.payload);
         }
         inboxes.sort();
-        let max_link = link_bits.values().copied().max().unwrap_or(0);
-        let rounds = max_link.div_ceil(self.bandwidth_bits);
-        self.metrics.record_exchange(
-            rounds,
-            message_count,
-            total_bits,
-            max_link,
-            out_bits.iter().copied().max().unwrap_or(0),
-            in_bits.iter().copied().max().unwrap_or(0),
-        );
-        Ok(inboxes)
+        self.metrics
+            .record_exchange(rounds, message_count, total_bits, max_link, max_out, max_in);
+        inboxes
     }
 
     /// Delivers messages through intermediate relays (Lemma 1 of the paper).
@@ -197,22 +295,34 @@ impl Clique {
         sends: Vec<Envelope<T>>,
     ) -> Result<Inboxes<T>, CongestError> {
         self.validate(&sends)?;
-        let mut units: Vec<(usize, usize)> = Vec::new();
+        self.cache_bit_sizes(&sends);
+        let n = self.n;
+        let s = &mut self.scratch;
+        s.units.clear();
+        s.out_load.fill(0);
+        s.in_load.fill(0);
+        s.inbox_counts.fill(0);
         let mut total_bits = 0u64;
-        let mut inboxes = Inboxes::empty(self.n);
-        for e in &sends {
+        for (e, &bits) in sends.iter().zip(&s.bit_sizes) {
+            s.inbox_counts[e.dst.index()] += 1;
             if e.src == e.dst {
                 continue;
             }
-            let bits = e.payload.bit_size();
             total_bits += bits;
             let k = bits.div_ceil(self.bandwidth_bits).max(1);
+            let (src, dst) = (e.src.index(), e.dst.index());
             for _ in 0..k {
-                units.push((e.src.index(), e.dst.index()));
+                s.units.push((src, dst));
             }
+            s.out_load[src] += k;
+            s.in_load[dst] += k;
         }
-        let delta = max_degree(&units, self.n, self.n);
-        let batches = (delta as u64).div_ceil(self.n as u64);
+        // The per-node unit loads are exactly the left/right degrees of the
+        // demand multigraph, so Δ is their maximum.
+        let max_out = s.out_load.iter().copied().max().unwrap_or(0);
+        let max_in = s.in_load.iter().copied().max().unwrap_or(0);
+        let delta = max_out.max(max_in);
+        let batches = delta.div_ceil(n as u64);
         let rounds = 2 * batches;
         // Relay-link load: within one batch each (src, relay) and
         // (relay, dst) pair carries at most one unit, so the busiest link
@@ -221,33 +331,41 @@ impl Clique {
         // beyond it only the degree bound is computed — the coloring's
         // existence is König's theorem, and its cost (`O(m·Δ)`) is a
         // simulator-host concern, not a model concern.
-        let max_link_units = if units.len() <= EXPLICIT_SCHEDULE_LIMIT {
-            let coloring = color_bipartite(&units, self.n, self.n);
-            debug_assert!(crate::coloring::is_proper(&units, &coloring, self.n, self.n));
-            let mut relay_link_units: HashMap<(usize, usize), u64> = HashMap::new();
-            for (i, &(src, dst)) in units.iter().enumerate() {
-                let relay = coloring.colors[i] % self.n;
-                *relay_link_units.entry((src, relay)).or_insert(0) += 1;
-                *relay_link_units.entry((relay, dst)).or_insert(0) += 1;
+        let max_link_units = if s.units.len() <= EXPLICIT_SCHEDULE_LIMIT {
+            let num_colors = color_bipartite_into(&s.units, n, n, &mut s.coloring, &mut s.colors);
+            debug_assert!(is_proper_colors(&s.units, &s.colors, num_colors, n, n));
+            for (i, &(src, dst)) in s.units.iter().enumerate() {
+                let relay = s.colors[i] % n;
+                for link in [src * n + relay, relay * n + dst] {
+                    if s.relay_units[link] == 0 {
+                        s.touched_relays.push(link);
+                    }
+                    s.relay_units[link] += 1;
+                }
             }
-            relay_link_units.values().copied().max().unwrap_or(0)
+            let max = s
+                .touched_relays
+                .iter()
+                .map(|&l| s.relay_units[l])
+                .max()
+                .unwrap_or(0);
+            for &l in &s.touched_relays {
+                s.relay_units[l] = 0;
+            }
+            s.touched_relays.clear();
+            max
         } else {
             batches
         };
-        let unit_count = units.len() as u64;
-        let mut out_units = vec![0u64; self.n];
-        let mut in_units = vec![0u64; self.n];
-        for &(src, dst) in &units {
-            out_units[src] += 1;
-            in_units[dst] += 1;
-        }
+        let unit_count = s.units.len() as u64;
+        let mut inboxes = Inboxes::with_capacities(&s.inbox_counts);
         self.metrics.record_exchange(
             rounds,
             2 * unit_count,
             2 * total_bits,
             max_link_units * self.bandwidth_bits,
-            out_units.iter().copied().max().unwrap_or(0) * self.bandwidth_bits,
-            in_units.iter().copied().max().unwrap_or(0) * self.bandwidth_bits,
+            max_out * self.bandwidth_bits,
+            max_in * self.bandwidth_bits,
         );
         for e in sends {
             inboxes.push(e.dst, e.src, e.payload);
@@ -269,11 +387,22 @@ impl Clique {
         src: NodeId,
         payload: T,
     ) -> Result<Inboxes<T>, CongestError> {
+        if src.index() >= self.n {
+            return Err(CongestError::UnknownNode {
+                node: src,
+                n: self.n,
+            });
+        }
+        // The payload is identical on every link: size it once, not n − 1
+        // times.
+        let bits = payload.bit_size();
         let sends: Vec<Envelope<T>> = NodeId::all(self.n)
             .filter(|&dst| dst != src)
             .map(|dst| Envelope::new(src, dst, payload.clone()))
             .collect();
-        self.exchange(sends)
+        self.scratch.bit_sizes.clear();
+        self.scratch.bit_sizes.resize(sends.len(), bits);
+        Ok(self.exchange_presized(sends))
     }
 
     /// Every node broadcasts its own list of items to every other node.
@@ -291,25 +420,36 @@ impl Clique {
         items: Vec<Vec<T>>,
     ) -> Result<Vec<Vec<(NodeId, T)>>, CongestError> {
         if items.len() != self.n {
-            return Err(CongestError::UnknownNode { node: NodeId::new(items.len()), n: self.n });
+            return Err(CongestError::UnknownNode {
+                node: NodeId::new(items.len()),
+                n: self.n,
+            });
         }
-        let mut sends = Vec::new();
+        // Each list is replicated to n − 1 destinations: size it once per
+        // source and pre-fill the bit-size cache in send order.
+        let mut sends = Vec::with_capacity(self.n.saturating_sub(1) * self.n);
+        self.scratch.bit_sizes.clear();
         for (i, list) in items.iter().enumerate() {
             let src = NodeId::new(i);
+            let bits = list.bit_size();
             for dst in NodeId::all(self.n) {
                 if dst == src {
                     continue;
                 }
                 sends.push(Envelope::new(src, dst, list.clone()));
+                self.scratch.bit_sizes.push(bits);
             }
         }
-        let inboxes = self.exchange(sends)?;
+        let inboxes = self.exchange_presized(sends);
         let mut out: Vec<Vec<(NodeId, T)>> = Vec::with_capacity(self.n);
         for (i, own) in items.into_iter().enumerate() {
             let me = NodeId::new(i);
-            let mut all: Vec<(NodeId, T)> =
-                own.into_iter().map(|item| (me, item)).collect();
-            for (src, list) in inboxes.of(me) {
+            let inbox = inboxes.of(me);
+            let mut all: Vec<(NodeId, T)> = Vec::with_capacity(
+                own.len() + inbox.iter().map(|(_, list)| list.len()).sum::<usize>(),
+            );
+            all.extend(own.into_iter().map(|item| (me, item)));
+            for (src, list) in inbox {
                 for item in list {
                     all.push((*src, item.clone()));
                 }
@@ -348,7 +488,19 @@ mod tests {
     fn unknown_node_is_rejected() {
         let mut c = net(2);
         let bad = vec![Envelope::new(NodeId::new(0), NodeId::new(5), 1u64)];
-        assert!(matches!(c.exchange(bad), Err(CongestError::UnknownNode { .. })));
+        assert!(matches!(
+            c.exchange(bad),
+            Err(CongestError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn broadcast_from_unknown_node_is_rejected() {
+        let mut c = net(2);
+        assert!(matches!(
+            c.broadcast(NodeId::new(7), 1u64),
+            Err(CongestError::UnknownNode { .. })
+        ));
     }
 
     #[test]
@@ -394,7 +546,11 @@ mod tests {
     #[test]
     fn oversized_message_fragments_across_rounds() {
         let mut c = Clique::with_bandwidth(2, 10).unwrap();
-        let sends = vec![Envelope::new(NodeId::new(0), NodeId::new(1), RawBits::new(0, 35))];
+        let sends = vec![Envelope::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            RawBits::new(0, 35),
+        )];
         c.exchange(sends).unwrap();
         assert_eq!(c.rounds(), 4); // ceil(35/10)
     }
@@ -409,7 +565,11 @@ mod tests {
         for u in 0..n {
             for v in 0..n {
                 if u != v {
-                    sends.push(Envelope::new(NodeId::new(u), NodeId::new(v), RawBits::new(0, 16)));
+                    sends.push(Envelope::new(
+                        NodeId::new(u),
+                        NodeId::new(v),
+                        RawBits::new(0, 16),
+                    ));
                 }
             }
         }
@@ -439,9 +599,17 @@ mod tests {
         let mut sends = Vec::new();
         for rep in 0..3 {
             for v in 1..n {
-                sends.push(Envelope::new(NodeId::new(0), NodeId::new(v), RawBits::new(rep, 16)));
+                sends.push(Envelope::new(
+                    NodeId::new(0),
+                    NodeId::new(v),
+                    RawBits::new(rep, 16),
+                ));
             }
-            sends.push(Envelope::new(NodeId::new(0), NodeId::new(1), RawBits::new(rep, 16)));
+            sends.push(Envelope::new(
+                NodeId::new(0),
+                NodeId::new(1),
+                RawBits::new(rep, 16),
+            ));
         }
         // loads: out(0) = 3 * n = 12 units -> delta = 12 -> 2*ceil(12/4)=6
         c.route(sends).unwrap();
@@ -507,19 +675,54 @@ mod tests {
     fn phases_capture_round_breakdown() {
         let mut c = net(4);
         c.begin_phase("first");
-        c.exchange(vec![Envelope::new(NodeId::new(0), NodeId::new(1), 1u64)]).unwrap();
+        c.exchange(vec![Envelope::new(NodeId::new(0), NodeId::new(1), 1u64)])
+            .unwrap();
         c.begin_phase("second");
-        c.exchange(vec![Envelope::new(NodeId::new(1), NodeId::new(2), 1u64)]).unwrap();
+        c.exchange(vec![Envelope::new(NodeId::new(1), NodeId::new(2), 1u64)])
+            .unwrap();
         assert_eq!(c.metrics().phases().len(), 2);
-        assert_eq!(c.metrics().rounds_with_prefix("first"), c.metrics().phases()[0].rounds);
+        assert_eq!(
+            c.metrics().rounds_with_prefix("first"),
+            c.metrics().phases()[0].rounds
+        );
     }
 
     #[test]
     fn reset_clears_counters() {
         let mut c = net(4);
-        c.exchange(vec![Envelope::new(NodeId::new(0), NodeId::new(1), 1u64)]).unwrap();
+        c.exchange(vec![Envelope::new(NodeId::new(0), NodeId::new(1), 1u64)])
+            .unwrap();
         assert!(c.rounds() > 0);
         c.reset_metrics();
         assert_eq!(c.rounds(), 0);
+    }
+
+    #[test]
+    fn scratch_does_not_leak_between_calls() {
+        // two identical exchanges on one network must each charge the same
+        // rounds: a stale link tally would inflate the second.
+        let mut c = Clique::with_bandwidth(3, 32).unwrap();
+        let mk = || vec![Envelope::new(NodeId::new(0), NodeId::new(1), 7u32)];
+        c.exchange(mk()).unwrap();
+        assert_eq!(c.rounds(), 1);
+        c.exchange(mk()).unwrap();
+        assert_eq!(c.rounds(), 2);
+        c.route(mk()).unwrap();
+        let after_route = c.rounds();
+        c.route(mk()).unwrap();
+        assert_eq!(c.rounds() - after_route, after_route - 2);
+    }
+
+    #[test]
+    fn zero_bit_payloads_cost_nothing() {
+        let mut c = Clique::with_bandwidth(4, 16).unwrap();
+        let sends = vec![Envelope::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            RawBits::new(0, 0),
+        )];
+        let inboxes = c.exchange(sends).unwrap();
+        assert_eq!(c.rounds(), 0);
+        assert_eq!(inboxes.of(NodeId::new(1)).len(), 1);
     }
 }

@@ -39,7 +39,11 @@ fn mixed_fragment_sizes_deliver_and_respect_the_degree_bound() {
         let mut network = net(n, b);
         let boxes = network.route(sends.clone()).unwrap();
         assert_eq!(boxes.message_count(), sends.len(), "trial {trial}");
-        assert_eq!(network.rounds(), 2 * delta.div_ceil(n as u64), "trial {trial}");
+        assert_eq!(
+            network.rounds(),
+            2 * delta.div_ceil(n as u64),
+            "trial {trial}"
+        );
     }
 }
 
@@ -59,7 +63,11 @@ fn many_to_one_and_one_to_many_are_symmetric_for_lemma1() {
     g.route(gather).unwrap();
     let mut s = net(n, b);
     s.route(scatter).unwrap();
-    assert_eq!(g.rounds(), s.rounds(), "gather and scatter have equal degree");
+    assert_eq!(
+        g.rounds(),
+        s.rounds(),
+        "gather and scatter have equal degree"
+    );
     assert_eq!(g.rounds(), 2);
 }
 
@@ -69,7 +77,13 @@ fn permutation_composition_round_counts_add() {
     let mut network = net(n, 16);
     for shift in 1..4 {
         let sends: Vec<Envelope<RawBits>> = (0..n)
-            .map(|u| Envelope::new(NodeId::new(u), NodeId::new((u + shift) % n), RawBits::new(0, 16)))
+            .map(|u| {
+                Envelope::new(
+                    NodeId::new(u),
+                    NodeId::new((u + shift) % n),
+                    RawBits::new(0, 16),
+                )
+            })
             .collect();
         network.route(sends).unwrap();
     }
@@ -82,7 +96,9 @@ fn broadcast_equals_explicit_fanout() {
     let n = 9;
     let payload = RawBits::new(5, 40);
     let mut via_broadcast = net(n, 16);
-    via_broadcast.broadcast(NodeId::new(2), payload.clone()).unwrap();
+    via_broadcast
+        .broadcast(NodeId::new(2), payload.clone())
+        .unwrap();
     let mut via_exchange = net(n, 16);
     let sends: Vec<Envelope<RawBits>> = (0..n)
         .filter(|&v| v != 2)
@@ -109,8 +125,9 @@ fn gossip_cost_tracks_the_largest_list() {
 fn self_messages_are_free_under_routing_too() {
     let n = 5;
     let mut network = net(n, 16);
-    let sends: Vec<Envelope<RawBits>> =
-        (0..n).map(|u| Envelope::new(NodeId::new(u), NodeId::new(u), RawBits::new(0, 16))).collect();
+    let sends: Vec<Envelope<RawBits>> = (0..n)
+        .map(|u| Envelope::new(NodeId::new(u), NodeId::new(u), RawBits::new(0, 16)))
+        .collect();
     let boxes = network.route(sends).unwrap();
     assert_eq!(network.rounds(), 0);
     assert_eq!(boxes.message_count(), n);
@@ -130,8 +147,11 @@ fn inbox_ordering_is_deterministic_under_routing() {
     let mut b = net(n, 64);
     let boxes_b = b.route(sends).unwrap();
     assert_eq!(boxes_a.of(NodeId::new(3)), boxes_b.of(NodeId::new(3)));
-    let senders: Vec<usize> =
-        boxes_a.of(NodeId::new(3)).iter().map(|(s, _)| s.index()).collect();
+    let senders: Vec<usize> = boxes_a
+        .of(NodeId::new(3))
+        .iter()
+        .map(|(s, _)| s.index())
+        .collect();
     let mut sorted = senders.clone();
     sorted.sort_unstable();
     assert_eq!(senders, sorted, "inboxes sort by sender");

@@ -76,7 +76,10 @@ pub fn quantized_apsp<R: Rng>(
     rng: &mut R,
 ) -> Result<QuantizedApspReport, ApspError> {
     assert!(q > 0);
-    assert!(g.arcs().all(|(_, _, w)| w >= 0), "quantization requires nonnegative weights");
+    assert!(
+        g.arcs().all(|(_, _, w)| w >= 0),
+        "quantization requires nonnegative weights"
+    );
     let n = g.n();
     let mut current = quantize_weights(&g.adjacency_matrix(), q);
     let mut rounds = 0u64;
@@ -96,7 +99,13 @@ pub fn quantized_apsp<R: Rng>(
         ExtWeight::Finite(x) => ExtWeight::Finite(x * q),
         other => other,
     });
-    Ok(QuantizedApspReport { distances, rounds, products, find_edges_calls: calls, quantum: q })
+    Ok(QuantizedApspReport {
+        distances,
+        rounds,
+        products,
+        find_edges_calls: calls,
+        quantum: q,
+    })
 }
 
 /// Convenience: the quantum achieving additive error `≤ ε·W` on an
@@ -120,7 +129,10 @@ pub fn max_additive_error(exact: &WeightMatrix, approx: &WeightMatrix) -> i64 {
         let a = approx[(i, j)];
         match (e, a) {
             (ExtWeight::Finite(ev), ExtWeight::Finite(av)) => {
-                assert!(av >= ev, "approximation undershot at ({i},{j}): {av} < {ev}");
+                assert!(
+                    av >= ev,
+                    "approximation undershot at ({i},{j}): {av} < {ev}"
+                );
                 worst = worst.max(av - ev);
             }
             (ExtWeight::PosInf, ExtWeight::PosInf) => {}
@@ -166,8 +178,7 @@ mod tests {
         let exact = floyd_warshall(&g.adjacency_matrix()).unwrap();
         for &q in &[1i64, 5, 25, 100] {
             let report =
-                quantized_apsp(&g, q, Params::paper(), SearchBackend::Classical, &mut rng)
-                    .unwrap();
+                quantized_apsp(&g, q, Params::paper(), SearchBackend::Classical, &mut rng).unwrap();
             let err = max_additive_error(&exact, &report.distances);
             assert!(err <= (9 - 1) * q, "q = {q}: error {err}");
         }
@@ -187,11 +198,10 @@ mod tests {
     fn coarser_quantum_uses_fewer_find_edges_calls() {
         let mut rng = StdRng::seed_from_u64(903);
         let g = random_nonneg_digraph(8, 0.6, 4000, &mut rng);
-        let fine = quantized_apsp(&g, 1, Params::paper(), SearchBackend::Classical, &mut rng)
-            .unwrap();
+        let fine =
+            quantized_apsp(&g, 1, Params::paper(), SearchBackend::Classical, &mut rng).unwrap();
         let coarse =
-            quantized_apsp(&g, 512, Params::paper(), SearchBackend::Classical, &mut rng)
-                .unwrap();
+            quantized_apsp(&g, 512, Params::paper(), SearchBackend::Classical, &mut rng).unwrap();
         assert!(
             coarse.find_edges_calls < fine.find_edges_calls / 2,
             "coarse {} vs fine {}",

@@ -76,11 +76,13 @@ pub fn apsp<R: Rng>(
 ) -> Result<ApspReport, ApspError> {
     match algorithm {
         ApspAlgorithm::QuantumTriangle => squaring_apsp(g, params, SearchBackend::Quantum, rng),
-        ApspAlgorithm::ClassicalTriangle => {
-            squaring_apsp(g, params, SearchBackend::Classical, rng)
+        ApspAlgorithm::ClassicalTriangle => squaring_apsp(g, params, SearchBackend::Classical, rng),
+        ApspAlgorithm::NaiveBroadcast => {
+            crate::baselines::naive_broadcast_apsp_with_threads(g, params.worker_threads())
         }
-        ApspAlgorithm::NaiveBroadcast => crate::baselines::naive_broadcast_apsp(g),
-        ApspAlgorithm::SemiringSquaring => crate::baselines::semiring_apsp(g),
+        ApspAlgorithm::SemiringSquaring => {
+            crate::baselines::semiring_apsp_with_threads(g, params.worker_threads())
+        }
     }
 }
 
@@ -97,8 +99,7 @@ fn squaring_apsp<R: Rng>(
     // Square until the exponent reaches n - 1 (paths need at most n - 1 arcs).
     let mut exponent: u64 = 1;
     while exponent < (n.max(2) as u64) - 1 {
-        let report =
-            distributed_distance_product(&current, &current, params, backend, rng)?;
+        let report = distributed_distance_product(&current, &current, params, backend, rng)?;
         rounds += report.physical_rounds();
         current = report.product;
         products += 1;
@@ -114,7 +115,12 @@ fn squaring_apsp<R: Rng>(
         SearchBackend::Quantum => ApspAlgorithm::QuantumTriangle,
         SearchBackend::Classical => ApspAlgorithm::ClassicalTriangle,
     };
-    Ok(ApspReport { distances: current, rounds, products, algorithm })
+    Ok(ApspReport {
+        distances: current,
+        rounds,
+        products,
+        algorithm,
+    })
 }
 
 #[cfg(test)]
@@ -129,7 +135,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(111);
         let g = random_reweighted_digraph(8, 0.5, 4, &mut rng);
         let expected = floyd_warshall(&g.adjacency_matrix()).unwrap();
-        let report = apsp(&g, Params::paper(), ApspAlgorithm::QuantumTriangle, &mut rng).unwrap();
+        let report = apsp(
+            &g,
+            Params::paper(),
+            ApspAlgorithm::QuantumTriangle,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(report.distances, expected);
         assert!(report.rounds > 0);
         assert!(report.products >= 3); // ceil(log2(7))
@@ -140,8 +152,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(112);
         let g = random_reweighted_digraph(10, 0.4, 5, &mut rng);
         let expected = floyd_warshall(&g.adjacency_matrix()).unwrap();
-        let report =
-            apsp(&g, Params::paper(), ApspAlgorithm::ClassicalTriangle, &mut rng).unwrap();
+        let report = apsp(
+            &g,
+            Params::paper(),
+            ApspAlgorithm::ClassicalTriangle,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(report.distances, expected);
     }
 
@@ -150,8 +167,13 @@ mod tests {
         let mut g = DiGraph::new(6);
         g.add_arc(0, 1, 3);
         let mut rng = StdRng::seed_from_u64(113);
-        let report =
-            apsp(&g, Params::paper(), ApspAlgorithm::ClassicalTriangle, &mut rng).unwrap();
+        let report = apsp(
+            &g,
+            Params::paper(),
+            ApspAlgorithm::ClassicalTriangle,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(report.distances[(0, 1)], ExtWeight::from(3));
         assert_eq!(report.distances[(1, 0)], ExtWeight::PosInf);
         assert_eq!(report.distances[(4, 5)], ExtWeight::PosInf);
@@ -164,8 +186,13 @@ mod tests {
         g.add_arc(1, 2, -3);
         g.add_arc(2, 0, 1);
         let mut rng = StdRng::seed_from_u64(114);
-        let err =
-            apsp(&g, Params::paper(), ApspAlgorithm::ClassicalTriangle, &mut rng).unwrap_err();
+        let err = apsp(
+            &g,
+            Params::paper(),
+            ApspAlgorithm::ClassicalTriangle,
+            &mut rng,
+        )
+        .unwrap_err();
         assert_eq!(err, ApspError::NegativeCycle);
     }
 
@@ -174,7 +201,13 @@ mod tests {
         let mut g = DiGraph::new(2);
         g.add_arc(0, 1, -4);
         let mut rng = StdRng::seed_from_u64(115);
-        let report = apsp(&g, Params::paper(), ApspAlgorithm::QuantumTriangle, &mut rng).unwrap();
+        let report = apsp(
+            &g,
+            Params::paper(),
+            ApspAlgorithm::QuantumTriangle,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(report.distances[(0, 1)], ExtWeight::from(-4));
         assert_eq!(report.distances[(0, 0)], ExtWeight::ZERO);
     }

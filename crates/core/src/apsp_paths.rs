@@ -13,7 +13,10 @@ use crate::distance_product::distributed_distance_product;
 use crate::params::Params;
 use crate::step3::SearchBackend;
 use crate::ApspError;
-use qcc_graph::{decode_witness, scale_for_witness, DiGraph, ExtWeight, PathOracle, WeightMatrix, WitnessedProduct};
+use qcc_graph::{
+    decode_witness, scale_for_witness, DiGraph, ExtWeight, PathOracle, WeightMatrix,
+    WitnessedProduct,
+};
 use rand::Rng;
 
 /// Result of a witnessed distributed distance product.
@@ -124,9 +127,7 @@ pub fn apsp_with_paths<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qcc_graph::{
-        distance_product, floyd_warshall, path_weight, random_reweighted_digraph,
-    };
+    use qcc_graph::{distance_product, floyd_warshall, path_weight, random_reweighted_digraph};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -174,7 +175,9 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let extra = witnessed.find_edges_calls.saturating_sub(plain.find_edges_calls);
+        let extra = witnessed
+            .find_edges_calls
+            .saturating_sub(plain.find_edges_calls);
         // scaling multiplies M by n+1 = 5: log2(5) ≈ 2.3 extra calls
         assert!(extra <= 4, "extra calls: {extra}");
         assert!(witnessed.find_edges_calls > plain.find_edges_calls);
@@ -230,8 +233,8 @@ mod tests {
         g.add_arc(0, 1, -3);
         g.add_arc(1, 0, 2);
         let mut rng = StdRng::seed_from_u64(605);
-        let err = apsp_with_paths(&g, Params::paper(), SearchBackend::Classical, &mut rng)
-            .unwrap_err();
+        let err =
+            apsp_with_paths(&g, Params::paper(), SearchBackend::Classical, &mut rng).unwrap_err();
         assert_eq!(err, ApspError::NegativeCycle);
     }
 }

@@ -67,14 +67,16 @@ pub fn dolev_find_edges(g: &UGraph, s: &PairSet) -> Result<DolevReport, ApspErro
     // Each vertex owner streams its edge rows (restricted to the triple's
     // blocks) to the triple nodes.
     net.begin_phase("dolev/load-edges");
-    let wb = weight_bits(g.edges().map(|(_, _, w)| w.unsigned_abs()).max().unwrap_or(1));
+    let wb = weight_bits(
+        g.edges()
+            .map(|(_, _, w)| w.unsigned_abs())
+            .max()
+            .unwrap_or(1),
+    );
     let mut sends: Vec<Envelope<Wire<(usize, usize, i64)>>> = Vec::new();
     for (t, &(bi, bj, bk)) in triples.iter().enumerate() {
         let dst = NodeId::new(labeling.node_of(t));
-        let members: Vec<usize> = [bi, bj, bk]
-            .iter()
-            .flat_map(|&b| part.block(b))
-            .collect();
+        let members: Vec<usize> = [bi, bj, bk].iter().flat_map(|&b| part.block(b)).collect();
         for (pos, &u) in members.iter().enumerate() {
             for &v in &members[pos + 1..] {
                 if u != v {
@@ -104,10 +106,7 @@ pub fn dolev_find_edges(g: &UGraph, s: &PairSet) -> Result<DolevReport, ApspErro
         }
         for t in labeling.labels_of(host.index()) {
             let (bi, bj, bk) = triples[t];
-            let members: Vec<usize> = [bi, bj, bk]
-                .iter()
-                .flat_map(|&b| part.block(b))
-                .collect();
+            let members: Vec<usize> = [bi, bj, bk].iter().flat_map(|&b| part.block(b)).collect();
             let mut dedup = members.clone();
             dedup.sort_unstable();
             dedup.dedup();
@@ -132,7 +131,11 @@ pub fn dolev_find_edges(g: &UGraph, s: &PairSet) -> Result<DolevReport, ApspErro
         }
     }
 
-    Ok(DolevReport { found, rounds: net.rounds(), triples: triples.len() })
+    Ok(DolevReport {
+        found,
+        rounds: net.rounds(),
+        triples: triples.len(),
+    })
 }
 
 fn cube_root_blocks(n: usize) -> usize {

@@ -4,7 +4,7 @@ use crate::apsp::{ApspAlgorithm, ApspReport};
 use crate::wire::{weight_bits, Wire};
 use crate::ApspError;
 use qcc_congest::Clique;
-use qcc_graph::{floyd_warshall, DiGraph};
+use qcc_graph::{floyd_warshall_with_threads, DiGraph};
 
 /// Solves APSP by having every node broadcast its full adjacency row and
 /// then running Floyd–Warshall locally.
@@ -31,6 +31,19 @@ use qcc_graph::{floyd_warshall, DiGraph};
 /// # Ok::<(), qcc_apsp::ApspError>(())
 /// ```
 pub fn naive_broadcast_apsp(g: &DiGraph) -> Result<ApspReport, ApspError> {
+    naive_broadcast_apsp_with_threads(g, qcc_perf::resolve_threads(None))
+}
+
+/// [`naive_broadcast_apsp`] with an explicit worker count for the local
+/// Floyd–Warshall solve (host wall-clock only; rounds are unaffected).
+///
+/// # Errors
+///
+/// Returns [`ApspError::NegativeCycle`] if the graph has a negative cycle.
+pub fn naive_broadcast_apsp_with_threads(
+    g: &DiGraph,
+    threads: usize,
+) -> Result<ApspReport, ApspError> {
     let n = g.n();
     let mut net = Clique::new(n)?;
     net.begin_phase("naive/broadcast-rows");
@@ -57,7 +70,7 @@ pub fn naive_broadcast_apsp(g: &DiGraph) -> Result<ApspReport, ApspError> {
     }
     debug_assert_eq!(&reconstructed, g, "gossip must reconstruct the graph");
 
-    let distances = floyd_warshall(&reconstructed.adjacency_matrix())?;
+    let distances = floyd_warshall_with_threads(&reconstructed.adjacency_matrix(), threads)?;
     Ok(ApspReport {
         distances,
         rounds: net.rounds(),
@@ -78,7 +91,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(121);
         let g = random_reweighted_digraph(12, 0.5, 6, &mut rng);
         let report = naive_broadcast_apsp(&g).unwrap();
-        assert_eq!(report.distances, floyd_warshall(&g.adjacency_matrix()).unwrap());
+        assert_eq!(
+            report.distances,
+            floyd_warshall(&g.adjacency_matrix()).unwrap()
+        );
         assert_eq!(report.algorithm, ApspAlgorithm::NaiveBroadcast);
     }
 
@@ -98,6 +114,9 @@ mod tests {
         let mut g = DiGraph::new(4);
         g.add_arc(0, 1, -2);
         g.add_arc(1, 0, 1);
-        assert_eq!(naive_broadcast_apsp(&g).unwrap_err(), ApspError::NegativeCycle);
+        assert_eq!(
+            naive_broadcast_apsp(&g).unwrap_err(),
+            ApspError::NegativeCycle
+        );
     }
 }

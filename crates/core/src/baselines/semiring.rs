@@ -28,20 +28,40 @@ pub fn semiring_distance_product(
     b: &WeightMatrix,
     net: &mut Clique,
 ) -> Result<WeightMatrix, ApspError> {
+    semiring_distance_product_with_threads(a, b, net, qcc_perf::resolve_threads(None))
+}
+
+/// [`semiring_distance_product`] with an explicit worker count for the
+/// local per-triple partial products (host wall-clock only; the charged
+/// round count is identical for every worker count).
+///
+/// # Errors
+///
+/// Same as [`semiring_distance_product`].
+pub fn semiring_distance_product_with_threads(
+    a: &WeightMatrix,
+    b: &WeightMatrix,
+    net: &mut Clique,
+    threads: usize,
+) -> Result<WeightMatrix, ApspError> {
     let n = a.n();
     if b.n() != n {
-        return Err(ApspError::DimensionMismatch { expected: n, actual: b.n() });
+        return Err(ApspError::DimensionMismatch {
+            expected: n,
+            actual: b.n(),
+        });
     }
     if net.n() != n {
-        return Err(ApspError::DimensionMismatch { expected: n, actual: net.n() });
+        return Err(ApspError::DimensionMismatch {
+            expected: n,
+            actual: net.n(),
+        });
     }
     let blocks = cube_root_blocks(n);
     let part = Partition::equal(n, blocks);
     let labeling = Labeling::new(blocks * blocks * blocks, n);
     let encode = |i: usize, j: usize, k: usize| (i * blocks + j) * blocks + k;
-    let wb = weight_bits(
-        a.max_finite_magnitude().max(b.max_finite_magnitude()),
-    );
+    let wb = weight_bits(a.max_finite_magnitude_with(b));
 
     // Phase 1: owners stream row/column segments to the triple nodes.
     net.begin_phase("semiring/distribute");
@@ -56,7 +76,15 @@ pub fn semiring_distance_product(
                 sends.push(Envelope::new(
                     NodeId::new(r),
                     dst,
-                    Wire::new(Segment { matrix: MatrixSide::A, index: r, block: k, values: seg_a.clone() }, bits),
+                    Wire::new(
+                        Segment {
+                            matrix: MatrixSide::A,
+                            index: r,
+                            block: k,
+                            values: seg_a.clone(),
+                        },
+                        bits,
+                    ),
                 ));
             }
         }
@@ -70,7 +98,15 @@ pub fn semiring_distance_product(
                 sends.push(Envelope::new(
                     NodeId::new(r),
                     dst,
-                    Wire::new(Segment { matrix: MatrixSide::B, index: r, block: j, values: seg_b.clone() }, bits),
+                    Wire::new(
+                        Segment {
+                            matrix: MatrixSide::B,
+                            index: r,
+                            block: j,
+                            values: seg_b.clone(),
+                        },
+                        bits,
+                    ),
                 ));
             }
         }
@@ -79,13 +115,10 @@ pub fn semiring_distance_product(
 
     // Phase 2: local partial products at the triple nodes.
     // partial[(i, j, k)][(ρ offset, γ offset)] lives at node of (i, j, k).
-    let mut partials: Vec<Vec<Option<i64>>> = vec![Vec::new(); blocks * blocks * blocks];
-    {
+    let partials: Vec<Vec<Option<i64>>> = {
         // Reassemble each triple's A and B tiles from its inbox.
-        let mut tile_a: Vec<Vec<Option<i64>>> =
-            vec![Vec::new(); blocks * blocks * blocks];
-        let mut tile_b: Vec<Vec<Option<i64>>> =
-            vec![Vec::new(); blocks * blocks * blocks];
+        let mut tile_a: Vec<Vec<Option<i64>>> = vec![Vec::new(); blocks * blocks * blocks];
+        let mut tile_b: Vec<Vec<Option<i64>>> = vec![Vec::new(); blocks * blocks * blocks];
         for t in 0..blocks * blocks * blocks {
             let (ti, tj, tk) = ((t / blocks) / blocks, (t / blocks) % blocks, t % blocks);
             tile_a[t] = vec![None; part.block_size(ti) * part.block_size(tk)];
@@ -129,14 +162,21 @@ pub fn semiring_distance_product(
                 }
             }
         }
-        for t in 0..blocks * blocks * blocks {
+        // Each triple's partial product is independent: fan the census out
+        // over worker threads, results returned in triple order.
+        qcc_perf::map_indexed(blocks * blocks * blocks, threads, |t| {
             let (ti, tj, tk) = ((t / blocks) / blocks, (t / blocks) % blocks, t % blocks);
-            let (ilen, jlen, klen) =
-                (part.block_size(ti), part.block_size(tj), part.block_size(tk));
+            let (ilen, jlen, klen) = (
+                part.block_size(ti),
+                part.block_size(tj),
+                part.block_size(tk),
+            );
             let mut out = vec![None; ilen * jlen];
             for ro in 0..ilen {
                 for ko in 0..klen {
-                    let Some(av) = tile_a[t][ro * klen + ko] else { continue };
+                    let Some(av) = tile_a[t][ro * klen + ko] else {
+                        continue;
+                    };
                     for go in 0..jlen {
                         if let Some(bv) = tile_b[t][ko * jlen + go] {
                             let cand = av + bv;
@@ -146,9 +186,9 @@ pub fn semiring_distance_product(
                     }
                 }
             }
-            partials[t] = out;
-        }
-    }
+            out
+        })
+    };
 
     // Phase 3: aggregate the k-partials at the row owners.
     net.begin_phase("semiring/aggregate");
@@ -205,13 +245,27 @@ pub fn semiring_distance_product(
 /// # Ok::<(), qcc_apsp::ApspError>(())
 /// ```
 pub fn semiring_apsp(g: &qcc_graph::DiGraph) -> Result<ApspReport, ApspError> {
+    semiring_apsp_with_threads(g, qcc_perf::resolve_threads(None))
+}
+
+/// [`semiring_apsp`] with an explicit worker count for the local partial
+/// products (host wall-clock only; rounds are unaffected).
+///
+/// # Errors
+///
+/// Same as [`semiring_apsp`].
+pub fn semiring_apsp_with_threads(
+    g: &qcc_graph::DiGraph,
+    threads: usize,
+) -> Result<ApspReport, ApspError> {
     let n = g.n();
     let mut net = Clique::new(n)?;
     let mut current = g.adjacency_matrix();
     let mut products = 0u32;
     let mut exponent: u64 = 1;
     while exponent < (n.max(2) as u64) - 1 {
-        current = semiring_distance_product(&current.clone(), &current, &mut net)?;
+        current =
+            semiring_distance_product_with_threads(&current.clone(), &current, &mut net, threads)?;
         products += 1;
         exponent *= 2;
     }
@@ -302,7 +356,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(132);
         let g = random_reweighted_digraph(13, 0.4, 7, &mut rng);
         let report = semiring_apsp(&g).unwrap();
-        assert_eq!(report.distances, floyd_warshall(&g.adjacency_matrix()).unwrap());
+        assert_eq!(
+            report.distances,
+            floyd_warshall(&g.adjacency_matrix()).unwrap()
+        );
         assert_eq!(report.algorithm, ApspAlgorithm::SemiringSquaring);
     }
 

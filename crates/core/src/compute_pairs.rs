@@ -20,7 +20,9 @@ use crate::instance::Instance;
 use crate::lambda::build_lambda_cover_with_retry;
 use crate::params::Params;
 use crate::problem::PairSet;
-use crate::step3::{run_step3_classical, run_step3_quantum, FoundWitness, SearchBackend, Step3Stats};
+use crate::step3::{
+    run_step3_classical, run_step3_quantum, FoundWitness, SearchBackend, Step3Stats,
+};
 use crate::ApspError;
 use qcc_congest::Clique;
 use qcc_graph::UGraph;
@@ -80,7 +82,10 @@ pub fn compute_pairs<R: Rng>(
     rng: &mut R,
 ) -> Result<ComputePairsReport, ApspError> {
     if net.n() != graph.n() {
-        return Err(ApspError::DimensionMismatch { expected: graph.n(), actual: net.n() });
+        return Err(ApspError::DimensionMismatch {
+            expected: graph.n(),
+            actual: net.n(),
+        });
     }
     let rounds_before = net.rounds();
     let inst = Instance::new(graph, s, params);
@@ -118,9 +123,22 @@ mod tests {
         let s = PairSet::all_pairs(16);
         let mut net = Clique::new(8).unwrap();
         let mut rng = StdRng::seed_from_u64(81);
-        let err = compute_pairs(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng)
-            .unwrap_err();
-        assert_eq!(err, ApspError::DimensionMismatch { expected: 16, actual: 8 });
+        let err = compute_pairs(
+            &g,
+            &s,
+            Params::paper(),
+            SearchBackend::Quantum,
+            &mut net,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ApspError::DimensionMismatch {
+                expected: 16,
+                actual: 8
+            }
+        );
     }
 
     #[test]
@@ -133,8 +151,8 @@ mod tests {
         for backend in [SearchBackend::Quantum, SearchBackend::Classical] {
             let mut net = Clique::new(16).unwrap();
             let mut rng = StdRng::seed_from_u64(83);
-            let report = compute_pairs(&g, &s, Params::paper(), backend, &mut net, &mut rng)
-                .unwrap();
+            let report =
+                compute_pairs(&g, &s, Params::paper(), backend, &mut net, &mut rng).unwrap();
             assert_eq!(report.found, expected, "{backend:?}");
             assert!(report.rounds > 0);
         }
@@ -146,12 +164,26 @@ mod tests {
         let s = PairSet::all_pairs(16);
         let mut net = Clique::new(16).unwrap();
         let mut rng = StdRng::seed_from_u64(84);
-        let r1 = compute_pairs(&g, &s, Params::paper(), SearchBackend::Classical, &mut net, &mut rng)
-            .unwrap();
+        let r1 = compute_pairs(
+            &g,
+            &s,
+            Params::paper(),
+            SearchBackend::Classical,
+            &mut net,
+            &mut rng,
+        )
+        .unwrap();
         let total_after_first = net.rounds();
         assert_eq!(r1.rounds, total_after_first);
-        let r2 = compute_pairs(&g, &s, Params::paper(), SearchBackend::Classical, &mut net, &mut rng)
-            .unwrap();
+        let r2 = compute_pairs(
+            &g,
+            &s,
+            Params::paper(),
+            SearchBackend::Classical,
+            &mut net,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(net.rounds(), total_after_first + r2.rounds);
     }
 
@@ -168,9 +200,15 @@ mod tests {
         // cover misses a pair only with small probability. Use a seed that
         // covers (deterministic).
         let mut net = Clique::new(16).unwrap();
-        let report =
-            compute_pairs(&g, &s, Params::scaled(), SearchBackend::Classical, &mut net, &mut rng)
-                .unwrap();
+        let report = compute_pairs(
+            &g,
+            &s,
+            Params::scaled(),
+            SearchBackend::Classical,
+            &mut net,
+            &mut rng,
+        )
+        .unwrap();
         // found ⊆ expected always; equality whenever the cover was complete
         for (u, v) in report.found.iter() {
             assert!(expected.contains(u, v));

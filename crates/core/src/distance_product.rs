@@ -74,7 +74,10 @@ pub fn distributed_distance_product<R: Rng>(
     rng: &mut R,
 ) -> Result<DistanceProductReport, ApspError> {
     if a.n() != b.n() {
-        return Err(ApspError::DimensionMismatch { expected: a.n(), actual: b.n() });
+        return Err(ApspError::DimensionMismatch {
+            expected: a.n(),
+            actual: b.n(),
+        });
     }
     let n = a.n();
     if n == 0 {
@@ -85,7 +88,7 @@ pub fn distributed_distance_product<R: Rng>(
             find_edges_calls: 0,
         });
     }
-    let m = a.max_finite_magnitude().max(b.max_finite_magnitude()) as i64;
+    let m = a.max_finite_magnitude_with(b) as i64;
 
     // Per-entry binary search state over candidate thresholds t:
     // invariant: C[i,j] < lo is false, C[i,j] < hi is true — where
@@ -129,7 +132,9 @@ pub fn distributed_distance_product<R: Rng>(
                 if !open(&lo, &hi, i, j) {
                     continue;
                 }
-                let found = report.found.contains(layout.i_vertex(i), layout.j_vertex(j));
+                let found = report
+                    .found
+                    .contains(layout.i_vertex(i), layout.j_vertex(j));
                 if found {
                     hi[(i, j)] = d[(i, j)];
                 } else {
@@ -268,10 +273,21 @@ mod tests {
         let a = WeightMatrix::filled(3, ExtWeight::PosInf);
         let b = WeightMatrix::filled(4, ExtWeight::PosInf);
         let mut rng = StdRng::seed_from_u64(105);
-        let err =
-            distributed_distance_product(&a, &b, Params::paper(), SearchBackend::Classical, &mut rng)
-                .unwrap_err();
-        assert_eq!(err, ApspError::DimensionMismatch { expected: 3, actual: 4 });
+        let err = distributed_distance_product(
+            &a,
+            &b,
+            Params::paper(),
+            SearchBackend::Classical,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ApspError::DimensionMismatch {
+                expected: 3,
+                actual: 4
+            }
+        );
     }
 
     #[test]
@@ -279,9 +295,14 @@ mod tests {
         let a = WeightMatrix::from_fn(3, |i, j| w(-(3 * i as i64) - j as i64));
         let b = WeightMatrix::from_fn(3, |i, j| w(-(i as i64) - 2 * j as i64));
         let mut rng = StdRng::seed_from_u64(106);
-        let report =
-            distributed_distance_product(&a, &b, Params::paper(), SearchBackend::Classical, &mut rng)
-                .unwrap();
+        let report = distributed_distance_product(
+            &a,
+            &b,
+            Params::paper(),
+            SearchBackend::Classical,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(report.product, distance_product(&a, &b));
     }
 }

@@ -73,15 +73,24 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = ApspError::StageAborted { stage: "lambda", attempts: 3 };
+        let e = ApspError::StageAborted {
+            stage: "lambda",
+            attempts: 3,
+        };
         assert!(e.to_string().contains("lambda"));
-        let e = ApspError::DimensionMismatch { expected: 4, actual: 5 };
+        let e = ApspError::DimensionMismatch {
+            expected: 4,
+            actual: 5,
+        };
         assert!(e.to_string().contains('4') && e.to_string().contains('5'));
     }
 
     #[test]
     fn congest_errors_convert_and_chain() {
-        let inner = CongestError::UnknownNode { node: NodeId::new(7), n: 4 };
+        let inner = CongestError::UnknownNode {
+            node: NodeId::new(7),
+            n: 4,
+        };
         let e: ApspError = inner.clone().into();
         assert_eq!(e, ApspError::Congest(inner));
         assert!(e.source().is_some());

@@ -102,7 +102,11 @@ impl AlphaContext {
                 copy_node.insert((label, y), node);
             }
         }
-        let ctx = AlphaContext { alpha, dup, copy_node };
+        let ctx = AlphaContext {
+            alpha,
+            dup,
+            copy_node,
+        };
 
         if dup > 1 {
             // Step 0: broadcast each triple's gathered tables to its copies.
@@ -209,7 +213,10 @@ fn evaluate_with_cap(
             sends.push(Envelope::new(
                 src,
                 dst,
-                Wire::new((idx, triple_label, q.pair.u, q.pair.v, q.pair.weight), pb + wb),
+                Wire::new(
+                    (idx, triple_label, q.pair.u, q.pair.v, q.pair.weight),
+                    pb + wb,
+                ),
             ));
         }
     }
@@ -222,7 +229,11 @@ fn evaluate_with_cap(
         for (asker, msg) in boxes.of(host) {
             let (idx, triple_label, u, v, f_uv) = msg.value;
             let answer = gathered.check_negative(inst, triple_label, u, v, f_uv);
-            replies.push(Envelope::new(host, *asker, Wire::new((idx, answer), pb + 1)));
+            replies.push(Envelope::new(
+                host,
+                *asker,
+                Wire::new((idx, answer), pb + 1),
+            ));
         }
     }
     let answer_boxes = net.exchange(replies)?;
@@ -323,7 +334,11 @@ mod tests {
         let actx = AlphaContext::build(&inst, &mut net, 0, &all_class0(&inst)).unwrap();
         let queries = vec![EvalQuery {
             search_label: 0,
-            pair: KeptPair { u: 0, v: 1, weight: -10 },
+            pair: KeptPair {
+                u: 0,
+                v: 1,
+                weight: -10,
+            },
             target: 0,
         }];
         let rounds_before = net.rounds();
@@ -358,7 +373,11 @@ mod tests {
                 let bv = inst.parts.coarse.block_of(v);
                 queries.push(EvalQuery {
                     search_label: inst.searches.encode(bu.min(bv), bu.max(bv), 0),
-                    pair: KeptPair { u: u.min(v), v: u.max(v), weight: w },
+                    pair: KeptPair {
+                        u: u.min(v),
+                        v: u.max(v),
+                        weight: w,
+                    },
                     target: 0,
                 });
             }

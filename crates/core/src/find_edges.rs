@@ -182,7 +182,12 @@ fn find_edges_inner<R: Rng>(
     }
 
     Ok((
-        FindEdgesReport { found, rounds: net.rounds() - rounds_before, invocations, stats },
+        FindEdgesReport {
+            found,
+            rounds: net.rounds() - rounds_before,
+            invocations,
+            stats,
+        },
         loop_stats,
     ))
 }
@@ -202,9 +207,15 @@ mod tests {
         let s = PairSet::all_pairs(16);
         let mut net = Clique::new(16).unwrap();
         let mut rng = StdRng::seed_from_u64(91);
-        let report =
-            find_edges(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng)
-                .unwrap();
+        let report = find_edges(
+            &g,
+            &s,
+            Params::paper(),
+            SearchBackend::Quantum,
+            &mut net,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(report.found, reference_find_edges(&g, &s));
         assert!(report.invocations >= 1);
     }
@@ -216,9 +227,15 @@ mod tests {
             let g = random_ugraph(16, 0.5, 4, &mut rng);
             let s = PairSet::all_pairs(16);
             let mut net = Clique::new(16).unwrap();
-            let report =
-                find_edges(&g, &s, Params::paper(), SearchBackend::Classical, &mut net, &mut rng)
-                    .unwrap();
+            let report = find_edges(
+                &g,
+                &s,
+                Params::paper(),
+                SearchBackend::Classical,
+                &mut net,
+                &mut rng,
+            )
+            .unwrap();
             assert_eq!(report.found, reference_find_edges(&g, &s), "trial {trial}");
         }
     }
@@ -231,17 +248,29 @@ mod tests {
         let s = PairSet::all_pairs(16);
         let mut net = Clique::new(16).unwrap();
         let mut rng = StdRng::seed_from_u64(93);
-        let report =
-            find_edges(&g, &s, Params::paper(), SearchBackend::Classical, &mut net, &mut rng)
-                .unwrap();
+        let report = find_edges(
+            &g,
+            &s,
+            Params::paper(),
+            SearchBackend::Classical,
+            &mut net,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(report.invocations, 1);
 
         // scaled constants at n = 16: prop1_base·2^i·log n ≤ n ⟺ 2^i·4 ≤ 16:
         // i ∈ {0, 1, 2} plus the final call.
         let mut net = Clique::new(16).unwrap();
-        let report =
-            find_edges(&g, &s, Params::scaled(), SearchBackend::Classical, &mut net, &mut rng)
-                .unwrap();
+        let report = find_edges(
+            &g,
+            &s,
+            Params::scaled(),
+            SearchBackend::Classical,
+            &mut net,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(report.invocations, 4);
     }
 
@@ -251,9 +280,15 @@ mod tests {
         let s = PairSet::all_pairs(16);
         let mut net = Clique::new(16).unwrap();
         let mut rng = StdRng::seed_from_u64(94);
-        let report =
-            find_edges(&g, &s, Params::scaled(), SearchBackend::Quantum, &mut net, &mut rng)
-                .unwrap();
+        let report = find_edges(
+            &g,
+            &s,
+            Params::scaled(),
+            SearchBackend::Quantum,
+            &mut net,
+            &mut rng,
+        )
+        .unwrap();
         assert!(report.found.is_empty());
     }
 
@@ -298,9 +333,15 @@ mod tests {
         let s = PairSet::new();
         let mut net = Clique::new(16).unwrap();
         let mut rng = StdRng::seed_from_u64(95);
-        let report =
-            find_edges(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng)
-                .unwrap();
+        let report = find_edges(
+            &g,
+            &s,
+            Params::paper(),
+            SearchBackend::Quantum,
+            &mut net,
+            &mut rng,
+        )
+        .unwrap();
         assert!(report.found.is_empty());
         assert_eq!(report.invocations, 0);
         assert_eq!(report.rounds, 0);

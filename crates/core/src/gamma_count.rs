@@ -82,7 +82,10 @@ pub fn quantum_gamma_count<R: Rng>(
 ) -> Result<GammaCountReport, ApspError> {
     let n = g.n();
     if net.n() != n {
-        return Err(ApspError::DimensionMismatch { expected: n, actual: net.n() });
+        return Err(ApspError::DimensionMismatch {
+            expected: n,
+            actual: net.n(),
+        });
     }
     let rounds_before = net.rounds();
     let query_list: Vec<(usize, usize, i64)> = pairs
@@ -100,7 +103,12 @@ pub fn quantum_gamma_count<R: Rng>(
     let truths: Vec<usize> = query_list.iter().map(|&(u, v, _)| g.gamma(u, v)).collect();
 
     let pb = pair_bits(n);
-    let wb = weight_bits(g.edges().map(|(_, _, w)| w.unsigned_abs()).max().unwrap_or(1));
+    let wb = weight_bits(
+        g.edges()
+            .map(|(_, _, w)| w.unsigned_abs())
+            .max()
+            .unwrap_or(1),
+    );
     let m = 1u64 << m_bits;
     let queries_per_pair = repetitions as u64 * (m - 1);
 
@@ -136,8 +144,9 @@ pub fn quantum_gamma_count<R: Rng>(
     let mut estimates = Vec::with_capacity(query_list.len());
     for (&(u, v, _), &truth) in query_list.iter().zip(&truths) {
         let est = AmplitudeEstimator::new(n, truth);
-        let mut samples: Vec<f64> =
-            (0..repetitions).map(|_| est.estimate(m_bits, rng).count_estimate).collect();
+        let mut samples: Vec<f64> = (0..repetitions)
+            .map(|_| est.estimate(m_bits, rng).count_estimate)
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let median = samples[samples.len() / 2].round().max(0.0) as u64;
         estimates.push((u, v, median, truth));

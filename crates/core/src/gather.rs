@@ -81,8 +81,10 @@ impl GatheredWeights {
             if w == su || w == sv {
                 continue;
             }
-            if let (Some(a), Some(b)) = (self.uw[label][i * wlen + j], self.wv[label][j * vblock.len() + l])
-            {
+            if let (Some(a), Some(b)) = (
+                self.uw[label][i * wlen + j],
+                self.wv[label][j * vblock.len() + l],
+            ) {
                 let sum = a + b;
                 best = Some(best.map_or(sum, |cur: i64| cur.min(sum)));
             }
@@ -142,7 +144,10 @@ impl GatheredWeights {
 /// assert!(gathered.check_negative(&inst, label, 0, 1, f_uv));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn gather_weights(inst: &Instance<'_>, net: &mut Clique) -> Result<GatheredWeights, CongestError> {
+pub fn gather_weights(
+    inst: &Instance<'_>,
+    net: &mut Clique,
+) -> Result<GatheredWeights, CongestError> {
     let n = inst.n();
     let wb = weight_bits(inst.weight_magnitude());
     net.begin_phase("compute-pairs/step1-gather");
@@ -156,8 +161,10 @@ pub fn gather_weights(inst: &Instance<'_>, net: &mut Clique) -> Result<GatheredW
         let wblock = inst.parts.fine.block(bw);
         let row_bits = wb * wblock.len() as u64;
         for a in inst.parts.coarse.block(bu) {
-            let row: Vec<Option<i64>> =
-                wblock.clone().map(|w| inst.graph.weight(a, w).finite()).collect();
+            let row: Vec<Option<i64>> = wblock
+                .clone()
+                .map(|w| inst.graph.weight(a, w).finite())
+                .collect();
             sends.push(Envelope::new(
                 NodeId::new(a),
                 dst,
@@ -165,8 +172,10 @@ pub fn gather_weights(inst: &Instance<'_>, net: &mut Clique) -> Result<GatheredW
             ));
         }
         for b in inst.parts.coarse.block(bv) {
-            let row: Vec<Option<i64>> =
-                wblock.clone().map(|w| inst.graph.weight(w, b).finite()).collect();
+            let row: Vec<Option<i64>> = wblock
+                .clone()
+                .map(|w| inst.graph.weight(w, b).finite())
+                .collect();
             sends.push(Envelope::new(
                 NodeId::new(b),
                 dst,

@@ -112,7 +112,11 @@ pub fn identify_class<R: Rng>(
     net.begin_phase("identify-class/abort-consensus");
     if net.agree_any(&flags)? {
         let (vertex, observed) = violation.expect("flag implies violation");
-        return Ok(ClassAttempt::Aborted { vertex, observed, bound: abort_bound });
+        return Ok(ClassAttempt::Aborted {
+            vertex,
+            observed,
+            bound: abort_bound,
+        });
     }
 
     // Broadcast every Λ(u) (with weights) to all nodes.
@@ -121,7 +125,11 @@ pub fn identify_class<R: Rng>(
     let wb = weight_bits(inst.weight_magnitude());
     let items: Vec<Vec<Wire<(usize, i64)>>> = per_vertex
         .iter()
-        .map(|list| list.iter().map(|&(v, w)| Wire::new((v, w), pb + wb)).collect())
+        .map(|list| {
+            list.iter()
+                .map(|&(v, w)| Wire::new((v, w), pb + wb))
+                .collect()
+        })
         .collect();
     let views = net.gossip(items)?;
 
@@ -196,7 +204,10 @@ pub fn identify_class_with_retry<R: Rng>(
             ClassAttempt::Aborted { .. } => continue,
         }
     }
-    Err(crate::ApspError::StageAborted { stage: "identify-class", attempts: max_attempts })
+    Err(crate::ApspError::StageAborted {
+        stage: "identify-class",
+        attempts: max_attempts,
+    })
 }
 
 #[cfg(test)]
@@ -288,7 +299,9 @@ mod tests {
         let mut net = Clique::new(16).unwrap();
         let mut rng = StdRng::seed_from_u64(45);
         match identify_class(&inst, &mut net, &mut rng).unwrap() {
-            ClassAttempt::Aborted { observed, bound, .. } => {
+            ClassAttempt::Aborted {
+                observed, bound, ..
+            } => {
                 assert!(observed as f64 > bound);
             }
             ClassAttempt::Assigned(_) => panic!("expected abort"),
@@ -300,7 +313,13 @@ mod tests {
             "abort happens before the R broadcast"
         );
         let err = identify_class_with_retry(&inst, &mut net, 2, &mut rng).unwrap_err();
-        assert_eq!(err, crate::ApspError::StageAborted { stage: "identify-class", attempts: 2 });
+        assert_eq!(
+            err,
+            crate::ApspError::StageAborted {
+                stage: "identify-class",
+                attempts: 2
+            }
+        );
     }
 
     #[test]
@@ -328,7 +347,10 @@ mod tests {
         let mut net = Clique::new(16).unwrap();
         let mut rng = StdRng::seed_from_u64(47);
         let a = identify_class_with_retry(&inst, &mut net, 10, &mut rng).unwrap();
-        assert!(a.max_class() > 0, "hotspot should push some triple above class 0");
+        assert!(
+            a.max_class() > 0,
+            "hotspot should push some triple above class 0"
+        );
         // the class is monotone in d
         for (label, &d) in a.d.iter().enumerate() {
             for (label2, &d2) in a.d.iter().enumerate() {

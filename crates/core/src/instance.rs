@@ -40,7 +40,14 @@ impl<'a> Instance<'a> {
         let parts = PaperPartitions::new(n);
         let triples = TripleLabeling::new(&parts, n);
         let searches = SearchLabeling::new(&parts, n);
-        Instance { graph, s, params, parts, triples, searches }
+        Instance {
+            graph,
+            s,
+            params,
+            parts,
+            triples,
+            searches,
+        }
     }
 
     /// Number of vertices (= network nodes).

@@ -118,8 +118,10 @@ pub fn build_lambda_cover<R: Rng>(
     let mut flags = vec![false; n];
     for (label, (bu, bv, _x)) in inst.searches.triples() {
         let universe = universe_of(bu, bv);
-        let picked: Vec<(usize, usize)> =
-            sample_indices(universe.len(), p, rng).into_iter().map(|i| universe[i]).collect();
+        let picked: Vec<(usize, usize)> = sample_indices(universe.len(), p, rng)
+            .into_iter()
+            .map(|i| universe[i])
+            .collect();
         // Well-balancedness: every vertex of the coarse blocks appears with
         // at most `cap` partners inside this Λ_x(u, v).
         let mut per_vertex: HashMap<usize, usize> = HashMap::new();
@@ -143,7 +145,11 @@ pub fn build_lambda_cover<R: Rng>(
     let any_violation = net.agree_any(&flags)?;
     if any_violation {
         let (label, observed) = violation.expect("flag implies a recorded violation");
-        return Ok(LambdaAttempt::Aborted { label, observed, cap });
+        return Ok(LambdaAttempt::Aborted {
+            label,
+            observed,
+            cap,
+        });
     }
 
     // Weight loading: each search node asks the owner (smaller endpoint) of
@@ -236,7 +242,11 @@ pub fn build_deterministic_cover(
     for (label, picked) in sampled.iter().enumerate() {
         let src = NodeId::new(inst.searches.labeling().node_of(label));
         for &(u, v) in picked {
-            requests.push(Envelope::new(src, NodeId::new(u), Wire::new((label, u, v), pb)));
+            requests.push(Envelope::new(
+                src,
+                NodeId::new(u),
+                Wire::new((label, u, v), pb),
+            ));
         }
     }
     let request_boxes = net.route(requests)?;
@@ -307,7 +317,10 @@ pub fn build_lambda_cover_with_retry<R: Rng>(
             LambdaAttempt::Aborted { .. } => continue,
         }
     }
-    Err(crate::ApspError::StageAborted { stage: "lambda-cover", attempts: max_attempts })
+    Err(crate::ApspError::StageAborted {
+        stage: "lambda-cover",
+        attempts: max_attempts,
+    })
 }
 
 #[cfg(test)]
@@ -333,8 +346,7 @@ mod tests {
         let inst = Instance::new(&g, &s, Params::scaled());
         let mut net = make_net(16);
         let mut rng = StdRng::seed_from_u64(31);
-        let cover =
-            build_lambda_cover_with_retry(&inst, &mut net, 20, &mut rng).expect("balanced");
+        let cover = build_lambda_cover_with_retry(&inst, &mut net, 20, &mut rng).expect("balanced");
         for list in &cover.kept {
             for kp in list {
                 assert!(s.contains(kp.u, kp.v));
@@ -361,8 +373,7 @@ mod tests {
         let s = PairSet::all_pairs(16);
         let inst = Instance::new(&g, &s, Params::paper());
         let mut net = make_net(16);
-        let cover =
-            build_lambda_cover_with_retry(&inst, &mut net, 5, &mut rng).expect("balanced");
+        let cover = build_lambda_cover_with_retry(&inst, &mut net, 5, &mut rng).expect("balanced");
         assert!(cover.covers_all_s_edges(&inst));
     }
 
@@ -405,7 +416,11 @@ mod tests {
         // the abort consensus itself is charged (gather + broadcast), but
         // no weight loading happened
         assert!(net.rounds() > 0);
-        assert_eq!(net.metrics().rounds_with_prefix("compute-pairs/step2-requests"), 0);
+        assert_eq!(
+            net.metrics()
+                .rounds_with_prefix("compute-pairs/step2-requests"),
+            0
+        );
     }
 
     #[test]
@@ -418,7 +433,13 @@ mod tests {
         let mut net = make_net(16);
         let mut rng = StdRng::seed_from_u64(35);
         let err = build_lambda_cover_with_retry(&inst, &mut net, 3, &mut rng).unwrap_err();
-        assert_eq!(err, crate::ApspError::StageAborted { stage: "lambda-cover", attempts: 3 });
+        assert_eq!(
+            err,
+            crate::ApspError::StageAborted {
+                stage: "lambda-cover",
+                attempts: 3
+            }
+        );
     }
 
     #[test]
@@ -453,7 +474,9 @@ mod tests {
         let mut net = make_net(16);
         let cover = build_lambda_cover_with_retry(&inst, &mut net, 5, &mut rng).unwrap();
         for list in &cover.kept {
-            assert!(list.windows(2).all(|w| (w[0].u, w[0].v) <= (w[1].u, w[1].v)));
+            assert!(list
+                .windows(2)
+                .all(|w| (w[0].u, w[0].v) <= (w[1].u, w[1].v)));
         }
     }
 
@@ -502,18 +525,28 @@ mod tests {
         let mut net = make_net(n);
         let det = build_deterministic_cover(&inst, &mut net).unwrap();
         // count triangle pairs per label in the deterministic cover
-        let delta: Vec<(usize, usize)> =
-            vec![(0, 1), (0, 2), (0, 3)].into_iter().filter(|&(u, v)| g.gamma(u, v) > 0).collect();
+        let delta: Vec<(usize, usize)> = vec![(0, 1), (0, 2), (0, 3)]
+            .into_iter()
+            .filter(|&(u, v)| g.gamma(u, v) > 0)
+            .collect();
         assert!(!delta.is_empty());
         let max_det = det
             .kept
             .iter()
-            .map(|list| list.iter().filter(|kp| delta.contains(&(kp.u, kp.v))).count())
+            .map(|list| {
+                list.iter()
+                    .filter(|kp| delta.contains(&(kp.u, kp.v)))
+                    .count()
+            })
             .max()
             .unwrap();
         // all adversarial pairs share one chunk (they are adjacent in
         // pair-set order and chunks are larger than |delta|)
-        assert_eq!(max_det, delta.len(), "deterministic chunking concentrates the load");
+        assert_eq!(
+            max_det,
+            delta.len(),
+            "deterministic chunking concentrates the load"
+        );
     }
 
     #[test]

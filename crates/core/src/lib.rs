@@ -61,8 +61,11 @@ mod wire;
 pub use compute_pairs::{compute_pairs, ComputePairsReport, MAX_STAGE_ATTEMPTS};
 pub use error::ApspError;
 pub use find_edges::{find_edges, find_edges_instrumented, FindEdgesReport, LoopIterationStats};
-pub use lambda::{build_deterministic_cover, build_lambda_cover, build_lambda_cover_with_retry, KeptPair, LambdaAttempt, LambdaCover};
 pub use instance::Instance;
+pub use lambda::{
+    build_deterministic_cover, build_lambda_cover, build_lambda_cover_with_retry, KeptPair,
+    LambdaAttempt, LambdaCover,
+};
 pub use params::Params;
 pub use problem::{promise_violation, reference_find_edges, PairSet};
 pub use sampling::sample_indices;
@@ -75,10 +78,15 @@ pub use distance_product::{distributed_distance_product, DistanceProductReport};
 pub mod apsp;
 pub mod baselines;
 pub use apsp::{apsp, ApspAlgorithm, ApspReport};
-pub use baselines::{dolev_find_edges, naive_broadcast_apsp, semiring_apsp, semiring_distance_product};
+pub use baselines::{
+    dolev_find_edges, naive_broadcast_apsp, naive_broadcast_apsp_with_threads, semiring_apsp,
+    semiring_apsp_with_threads, semiring_distance_product, semiring_distance_product_with_threads,
+};
 
 pub mod apsp_paths;
-pub use apsp_paths::{apsp_with_paths, distributed_witnessed_product, ApspPathsReport, WitnessedProductReport};
+pub use apsp_paths::{
+    apsp_with_paths, distributed_witnessed_product, ApspPathsReport, WitnessedProductReport,
+};
 
 pub mod gamma_count;
 pub use gamma_count::{quantum_gamma_count, GammaCountReport};
@@ -89,4 +97,6 @@ pub use report::{GroupStats, RoundBreakdown};
 pub use sssp::{sssp, sssp_with_paths, SsspReport};
 
 pub mod approx;
-pub use approx::{max_additive_error, quantize_weights, quantized_apsp, quantum_for_epsilon, QuantizedApspReport};
+pub use approx::{
+    max_additive_error, quantize_weights, quantized_apsp, quantum_for_epsilon, QuantizedApspReport,
+};

@@ -48,6 +48,13 @@ pub struct Params {
     /// Multi-search repetitions; `None` selects the analytic target
     /// `repetitions_for_target(m)` of `qcc-quantum`.
     pub search_repetitions: Option<u64>,
+    /// Host worker threads for the local (non-charged) kernels — tiled
+    /// min-plus products, reference oracles, oracle censuses. `None`
+    /// defers to the `QCC_THREADS` environment variable, then to the
+    /// machine's available parallelism (see [`qcc_perf::resolve_threads`]).
+    /// This is purely a host-performance knob: charged round counts never
+    /// depend on it.
+    pub threads: Option<usize>,
 }
 
 impl Params {
@@ -64,6 +71,7 @@ impl Params {
             dup_denominator: 720.0,
             prop1_base: 60.0,
             search_repetitions: None,
+            threads: None,
         }
     }
 
@@ -85,7 +93,16 @@ impl Params {
             dup_denominator: 1.0,
             prop1_base: 1.0,
             search_repetitions: Some(24),
+            threads: None,
         }
+    }
+
+    /// The resolved host worker count for local kernels: the [`threads`]
+    /// override when set, else `QCC_THREADS`, else available parallelism.
+    ///
+    /// [`threads`]: Params::threads
+    pub fn worker_threads(&self) -> usize {
+        qcc_perf::resolve_threads(self.threads)
     }
 
     /// `log₂ n`, floored at 1 so constants never vanish.
@@ -234,5 +251,14 @@ mod tests {
     #[test]
     fn default_is_scaled() {
         assert_eq!(Params::default(), Params::scaled());
+    }
+
+    #[test]
+    fn worker_threads_honours_explicit_override() {
+        let mut p = Params::scaled();
+        assert!(p.threads.is_none());
+        assert!(p.worker_threads() >= 1);
+        p.threads = Some(3);
+        assert_eq!(p.worker_threads(), 3);
     }
 }

@@ -52,14 +52,22 @@ impl RoundBreakdown {
     pub fn from_metrics(metrics: &Metrics) -> Self {
         let mut groups: BTreeMap<String, GroupStats> = BTreeMap::new();
         for phase in metrics.phases() {
-            let group = phase.label.split('/').next().unwrap_or("(unlabelled)").to_owned();
+            let group = phase
+                .label
+                .split('/')
+                .next()
+                .unwrap_or("(unlabelled)")
+                .to_owned();
             let entry = groups.entry(group).or_default();
             entry.rounds += phase.rounds;
             entry.messages += phase.messages;
             entry.bits += phase.bits;
             entry.phases += 1;
         }
-        RoundBreakdown { groups, total_rounds: metrics.total_rounds() }
+        RoundBreakdown {
+            groups,
+            total_rounds: metrics.total_rounds(),
+        }
     }
 
     /// Statistics of one group, if present.
@@ -80,7 +88,11 @@ impl RoundBreakdown {
 
 impl fmt::Display for RoundBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<28} {:>10} {:>12} {:>14}", "phase group", "rounds", "messages", "bits")?;
+        writeln!(
+            f,
+            "{:<28} {:>10} {:>12} {:>14}",
+            "phase group", "rounds", "messages", "bits"
+        )?;
         for (name, stats) in &self.groups {
             writeln!(
                 f,

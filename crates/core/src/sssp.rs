@@ -61,7 +61,11 @@ pub fn sssp<R: Rng>(
     assert!(source < g.n(), "source out of range");
     let report = apsp(g, params, algorithm, rng)?;
     let distances = (0..g.n()).map(|v| report.distances[(source, v)]).collect();
-    Ok(SsspReport { source, distances, rounds: report.rounds })
+    Ok(SsspReport {
+        source,
+        distances,
+        rounds: report.rounds,
+    })
 }
 
 /// Single-source shortest-path *tree*: distances plus an explicit path to
@@ -86,9 +90,17 @@ pub fn sssp_with_paths<R: Rng>(
 ) -> Result<(SsspReport, PathOracle), ApspError> {
     assert!(source < g.n(), "source out of range");
     let report = apsp_with_paths(g, params, backend, rng)?;
-    let distances: Vec<ExtWeight> =
-        (0..g.n()).map(|v| report.oracle.distances()[(source, v)]).collect();
-    Ok((SsspReport { source, distances, rounds: report.rounds }, report.oracle))
+    let distances: Vec<ExtWeight> = (0..g.n())
+        .map(|v| report.oracle.distances()[(source, v)])
+        .collect();
+    Ok((
+        SsspReport {
+            source,
+            distances,
+            rounds: report.rounds,
+        },
+        report.oracle,
+    ))
 }
 
 #[cfg(test)]
@@ -103,7 +115,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(801);
         let g = random_reweighted_digraph(10, 0.4, 6, &mut rng);
         let bf = bellman_ford(&g, 3).unwrap();
-        let r = sssp(&g, 3, Params::paper(), ApspAlgorithm::SemiringSquaring, &mut rng).unwrap();
+        let r = sssp(
+            &g,
+            3,
+            Params::paper(),
+            ApspAlgorithm::SemiringSquaring,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(r.distances, bf);
         assert_eq!(r.source, 3);
     }
@@ -130,6 +149,12 @@ mod tests {
     fn out_of_range_source_is_rejected() {
         let g = DiGraph::new(3);
         let mut rng = StdRng::seed_from_u64(803);
-        let _ = sssp(&g, 5, Params::paper(), ApspAlgorithm::NaiveBroadcast, &mut rng);
+        let _ = sssp(
+            &g,
+            5,
+            Params::paper(),
+            ApspAlgorithm::NaiveBroadcast,
+            &mut rng,
+        );
     }
 }

@@ -93,7 +93,11 @@ impl Search {
         } else {
             rng.gen_bool(p.clamp(0.0, 1.0))
         };
-        let side = if take_solution { &self.solutions } else { &self.non_solutions };
+        let side = if take_solution {
+            &self.solutions
+        } else {
+            &self.non_solutions
+        };
         self.domain[side[rng.gen_range(0..side.len())]]
     }
 }
@@ -125,8 +129,7 @@ pub fn run_step3_quantum<R: Rng>(
         if class_labels.is_empty() {
             continue;
         }
-        let actx = AlphaContext::build(inst, net, alpha, &class_labels)
-            .map_err(ApspError::from)?;
+        let actx = AlphaContext::build(inst, net, alpha, &class_labels).map_err(ApspError::from)?;
 
         // Assemble the searches: one per (search node, kept pair) whose
         // block pair has class-α targets.
@@ -232,7 +235,11 @@ pub fn run_step3_quantum<R: Rng>(
     }
     witnesses.sort_unstable();
     witnesses.dedup();
-    Ok(Step3Output { found, witnesses, stats })
+    Ok(Step3Output {
+        found,
+        witnesses,
+        stats,
+    })
 }
 
 /// Runs the classical Step 3: every search node checks every fine block of
@@ -249,7 +256,10 @@ pub fn run_step3_classical(
 ) -> Result<Step3Output, ApspError> {
     let mut found = PairSet::new();
     let mut witnesses: Vec<FoundWitness> = Vec::new();
-    let mut stats = Step3Stats { searches: cover.total_kept(), ..Step3Stats::default() };
+    let mut stats = Step3Stats {
+        searches: cover.total_kept(),
+        ..Step3Stats::default()
+    };
 
     // A trivial context: every triple keeps its own data (no duplication).
     let all_labels: Vec<usize> = (0..inst.triples.labeling().label_count()).collect();
@@ -294,7 +304,11 @@ pub fn run_step3_classical(
     stats.iterations = inst.parts.fine.num_blocks() as u64;
     witnesses.sort_unstable();
     witnesses.dedup();
-    Ok(Step3Output { found, witnesses, stats })
+    Ok(Step3Output {
+        found,
+        witnesses,
+        stats,
+    })
 }
 
 #[cfg(test)]

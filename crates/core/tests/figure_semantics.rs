@@ -18,9 +18,21 @@ fn figure1_steps_execute_in_order() {
     let g = random_ugraph(16, 0.5, 4, &mut rng);
     let s = PairSet::all_pairs(16);
     let mut net = Clique::new(16).unwrap();
-    compute_pairs(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng).unwrap();
-    let labels: Vec<&str> =
-        net.metrics().phases().iter().map(|p| p.label.as_str()).collect();
+    compute_pairs(
+        &g,
+        &s,
+        Params::paper(),
+        SearchBackend::Quantum,
+        &mut net,
+        &mut rng,
+    )
+    .unwrap();
+    let labels: Vec<&str> = net
+        .metrics()
+        .phases()
+        .iter()
+        .map(|p| p.label.as_str())
+        .collect();
     let pos = |prefix: &str| labels.iter().position(|l| l.starts_with(prefix));
     let step1 = pos("compute-pairs/step1").expect("step 1 ran");
     let step2 = pos("compute-pairs/step2").expect("step 2 ran");
@@ -46,7 +58,7 @@ fn figure2_r_is_bounded_and_contained() {
     let mut net = Clique::new(16).unwrap();
     let a = identify_class_with_retry(&inst, &mut net, 20, &mut rng).unwrap();
     let bound = params.identify_abort_bound(16);
-    let mut per_vertex = vec![0usize; 16];
+    let mut per_vertex = [0usize; 16];
     for &(u, v, w) in &a.r {
         assert!(s.contains(u, v), "R ⊆ S");
         assert!(g.has_edge(u, v), "R pairs are edges");
@@ -54,18 +66,20 @@ fn figure2_r_is_bounded_and_contained() {
         per_vertex[u] += 1;
     }
     for (u, &count) in per_vertex.iter().enumerate() {
-        assert!((count as f64) <= bound, "vertex {u} drew {count} > bound {bound}");
+        assert!(
+            (count as f64) <= bound,
+            "vertex {u} drew {count} > bound {bound}"
+        );
     }
     // d counts R-members only: d ≤ |R ∩ P(u,v)| always
     for (label, (bu, bv, _)) in inst.triples.triples() {
-        let r_in_block = a
-            .r
-            .iter()
-            .filter(|&&(u, v, _)| {
-                let (cu, cv) = (inst.parts.coarse.block_of(u), inst.parts.coarse.block_of(v));
-                (cu == bu && cv == bv) || (cu == bv && cv == bu)
-            })
-            .count();
+        let r_in_block =
+            a.r.iter()
+                .filter(|&&(u, v, _)| {
+                    let (cu, cv) = (inst.parts.coarse.block_of(u), inst.parts.coarse.block_of(v));
+                    (cu == bu && cv == bv) || (cu == bv && cv == bu)
+                })
+                .count();
         assert!(a.d[label] <= r_in_block);
     }
 }
@@ -97,7 +111,11 @@ fn figures45_answers_equal_census_across_contexts() {
                         bu.max(bv),
                         rng.gen_range(0..inst.parts.fine.num_blocks()),
                     ),
-                    pair: KeptPair { u: u.min(v), v: u.max(v), weight: w },
+                    pair: KeptPair {
+                        u: u.min(v),
+                        v: u.max(v),
+                        weight: w,
+                    },
                     target: rng.gen_range(0..inst.parts.fine.num_blocks()),
                 });
             }

@@ -69,7 +69,13 @@ fn quantum_apsp_is_correct_across_seeds() {
         let mut rng = StdRng::seed_from_u64(1000 + seed);
         let g = random_reweighted_digraph(7, 0.5, 4, &mut rng);
         let oracle = floyd_warshall(&g.adjacency_matrix()).unwrap();
-        let report = apsp(&g, Params::paper(), ApspAlgorithm::QuantumTriangle, &mut rng).unwrap();
+        let report = apsp(
+            &g,
+            Params::paper(),
+            ApspAlgorithm::QuantumTriangle,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(report.distances, oracle, "seed {seed}");
     }
 }

@@ -45,21 +45,42 @@ impl Error for NegativeCycleError {}
 /// # Ok::<(), qcc_graph::NegativeCycleError>(())
 /// ```
 pub fn floyd_warshall(adj: &WeightMatrix) -> Result<WeightMatrix, NegativeCycleError> {
+    floyd_warshall_with_threads(adj, qcc_perf::resolve_threads(None))
+}
+
+/// [`floyd_warshall`] with an explicit worker count.
+///
+/// Iteration `k` relaxes every row against a snapshot of pivot row `k`, so
+/// row bands update independently. On inputs without a negative cycle the
+/// pivot row is a fixed point of its own iteration (`d[k,k] = 0`
+/// throughout), making the banded schedule entry-for-entry identical to
+/// the sequential in-place algorithm; with a negative cycle both variants
+/// report [`NegativeCycleError`].
+pub fn floyd_warshall_with_threads(
+    adj: &WeightMatrix,
+    threads: usize,
+) -> Result<WeightMatrix, NegativeCycleError> {
     let n = adj.n();
     let mut d = adj.clone();
+    let mut pivot = vec![ExtWeight::PosInf; n];
     for k in 0..n {
-        for i in 0..n {
-            let dik = d[(i, k)];
-            if dik == ExtWeight::PosInf {
-                continue;
-            }
-            for j in 0..n {
-                let cand = dik + d[(k, j)];
-                if cand < d[(i, j)] {
-                    d[(i, j)] = cand;
+        pivot.copy_from_slice(d.row(k));
+        let pivot = &pivot;
+        qcc_perf::for_each_row_band(d.as_mut_slice(), n, threads, |rows, d_rows| {
+            for (bi, _) in rows.enumerate() {
+                let row = &mut d_rows[bi * n..(bi + 1) * n];
+                let dik = row[k];
+                if dik == ExtWeight::PosInf {
+                    continue;
+                }
+                for (dij, &dkj) in row.iter_mut().zip(pivot) {
+                    let cand = dik + dkj;
+                    if cand < *dij {
+                        *dij = cand;
+                    }
                 }
             }
-        }
+        });
     }
     for i in 0..n {
         if d[(i, i)] < ExtWeight::ZERO {
@@ -138,6 +159,18 @@ pub fn dijkstra(g: &DiGraph, src: usize) -> Vec<ExtWeight> {
 /// Returns the distance matrix, or an error if the graph has a negative
 /// cycle.
 pub fn johnson(g: &DiGraph) -> Result<WeightMatrix, NegativeCycleError> {
+    johnson_with_threads(g, qcc_perf::resolve_threads(None))
+}
+
+/// [`johnson`] with an explicit worker count.
+///
+/// The `n` per-source Dijkstra runs are independent and fan out across
+/// scoped workers; each writes only its own row of the distance matrix, so
+/// the result is identical for every worker count.
+pub fn johnson_with_threads(
+    g: &DiGraph,
+    threads: usize,
+) -> Result<WeightMatrix, NegativeCycleError> {
     let n = g.n();
     // Virtual source n with zero-weight arcs to every vertex.
     let mut aug = DiGraph::new(n + 1);
@@ -155,23 +188,28 @@ pub fn johnson(g: &DiGraph) -> Result<WeightMatrix, NegativeCycleError> {
         reweighted.add_arc(u, v, w + hu - hv);
     }
     let mut dist = WeightMatrix::filled(n, ExtWeight::PosInf);
-    for u in 0..n {
-        let du = dijkstra(&reweighted, u);
-        let hu = h[u].finite().expect("reachable");
-        for v in 0..n {
-            dist[(u, v)] = if u == v {
-                ExtWeight::ZERO
-            } else {
-                match du[v] {
-                    ExtWeight::Finite(x) => {
-                        let hv = h[v].finite().expect("reachable");
-                        ExtWeight::from(x - hu + hv)
+    let reweighted = &reweighted;
+    let h = &h;
+    qcc_perf::for_each_row_band(dist.as_mut_slice(), n, threads, |rows, dist_rows| {
+        for (bi, u) in rows.enumerate() {
+            let du = dijkstra(reweighted, u);
+            let hu = h[u].finite().expect("reachable");
+            let row = &mut dist_rows[bi * n..(bi + 1) * n];
+            for (v, slot) in row.iter_mut().enumerate() {
+                *slot = if u == v {
+                    ExtWeight::ZERO
+                } else {
+                    match du[v] {
+                        ExtWeight::Finite(x) => {
+                            let hv = h[v].finite().expect("reachable");
+                            ExtWeight::from(x - hu + hv)
+                        }
+                        other => other,
                     }
-                    other => other,
-                }
-            };
+                };
+            }
         }
-    }
+    });
     Ok(dist)
 }
 
@@ -204,7 +242,10 @@ mod tests {
         let mut g = DiGraph::new(3);
         g.add_arc(0, 1, 1);
         g.add_arc(1, 0, -2);
-        assert_eq!(floyd_warshall(&g.adjacency_matrix()), Err(NegativeCycleError));
+        assert_eq!(
+            floyd_warshall(&g.adjacency_matrix()),
+            Err(NegativeCycleError)
+        );
     }
 
     #[test]
@@ -251,6 +292,29 @@ mod tests {
             let fw = floyd_warshall(&g.adjacency_matrix()).unwrap();
             let jo = johnson(&g).unwrap();
             assert_eq!(fw, jo);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_oracle_output() {
+        let mut rng = StdRng::seed_from_u64(13);
+        // 40 vertices: above the spawn threshold, several bands per run
+        let g = random_reweighted_digraph(40, 0.2, 9, &mut rng);
+        let adj = g.adjacency_matrix();
+        let fw1 = floyd_warshall_with_threads(&adj, 1).unwrap();
+        let jo1 = johnson_with_threads(&g, 1).unwrap();
+        assert_eq!(fw1, jo1);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                floyd_warshall_with_threads(&adj, threads).unwrap(),
+                fw1,
+                "fw {threads}"
+            );
+            assert_eq!(
+                johnson_with_threads(&g, threads).unwrap(),
+                jo1,
+                "johnson {threads}"
+            );
         }
     }
 

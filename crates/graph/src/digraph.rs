@@ -29,7 +29,9 @@ pub struct DiGraph {
 impl DiGraph {
     /// Creates an arcless directed graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        DiGraph { weights: WeightMatrix::filled(n, ExtWeight::PosInf) }
+        DiGraph {
+            weights: WeightMatrix::filled(n, ExtWeight::PosInf),
+        }
     }
 
     /// Number of vertices.
@@ -87,7 +89,13 @@ impl DiGraph {
             .row(u)
             .iter()
             .enumerate()
-            .filter_map(move |(v, &w)| if v != u { w.finite().map(|x| (v, x)) } else { None })
+            .filter_map(move |(v, &w)| {
+                if v != u {
+                    w.finite().map(|x| (v, x))
+                } else {
+                    None
+                }
+            })
     }
 
     /// Largest absolute arc weight (the `W` of "weights in `{−W..W}`").

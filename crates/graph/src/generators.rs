@@ -119,7 +119,11 @@ pub fn random_ugraph<R: Rng>(n: usize, density: f64, w_mag: i64, rng: &mut R) ->
 /// assert_eq!(g.gamma(2, 3), 0);
 /// ```
 pub fn book_graph(n: usize, gamma: usize) -> UGraph {
-    assert!(n >= 2 + gamma, "need {} vertices for a {gamma}-page book", 2 + gamma);
+    assert!(
+        n >= 2 + gamma,
+        "need {} vertices for a {gamma}-page book",
+        2 + gamma
+    );
     let mut g = UGraph::new(n);
     g.add_edge(0, 1, -10);
     for w in 2..(2 + gamma) {
@@ -257,7 +261,10 @@ mod tests {
             any_negative |= g.arcs().any(|(_, _, w)| w < 0);
             assert!(floyd_warshall(&g.adjacency_matrix()).is_ok());
         }
-        assert!(any_negative, "reweighting should produce some negative arcs");
+        assert!(
+            any_negative,
+            "reweighting should produce some negative arcs"
+        );
     }
 
     #[test]
@@ -287,8 +294,7 @@ mod tests {
             .iter()
             .flat_map(|&(a, b, c)| [(a, b), (a, c), (b, c)])
             .collect();
-        let found: std::collections::HashSet<_> =
-            g.negative_triangle_pairs().into_iter().collect();
+        let found: std::collections::HashSet<_> = g.negative_triangle_pairs().into_iter().collect();
         assert_eq!(found, expected);
         for &(a, b, c) in &triangles {
             assert_eq!(g.gamma(a, b), 1);

@@ -45,20 +45,26 @@ mod tripartite;
 mod ugraph;
 mod weight;
 
-pub use apsp_ref::{bellman_ford, dijkstra, floyd_warshall, johnson, NegativeCycleError};
+pub use apsp_ref::{
+    bellman_ford, dijkstra, floyd_warshall, floyd_warshall_with_threads, johnson,
+    johnson_with_threads, NegativeCycleError,
+};
 pub use digraph::DiGraph;
 pub use generators::{
     book_graph, complete_digraph, congestion_hotspot, cycle_digraph, path_digraph,
     planted_disjoint_triangles, random_nonneg_digraph, random_reweighted_digraph, random_ugraph,
 };
-pub use matrix::{distance_power, distance_product, SquareMatrix, WeightMatrix};
+pub use matrix::{
+    distance_power, distance_power_with_threads, distance_product, distance_product_reference,
+    distance_product_with_threads, SquareMatrix, WeightMatrix, MIN_PLUS_TILE,
+};
 pub use partition::{
     ceil_fourth_root, ceil_sqrt, Labeling, PaperPartitions, Partition, SearchLabeling,
     TripleLabeling,
 };
 pub use paths::{
-    cycle_weight, decode_witness, distance_product_with_witness, find_negative_cycle,
-    path_weight, scale_for_witness, PathOracle, WitnessedProduct,
+    cycle_weight, decode_witness, distance_product_with_witness, find_negative_cycle, path_weight,
+    scale_for_witness, PathOracle, WitnessedProduct,
 };
 pub use tripartite::{build_tripartite, TripartiteLayout, TripartiteVertex};
 pub use ugraph::UGraph;

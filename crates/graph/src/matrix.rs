@@ -4,8 +4,21 @@
 //! matrix `C` with `C[i,j] = min_k (A[i,k] + B[k,j])` — matrix
 //! multiplication over the `(min, +)` semiring. Shortest-path distances are
 //! the `n`-th distance-product power of the weighted adjacency matrix
-//! (Proposition 3). This module provides the sequential reference
-//! implementations the distributed algorithms are verified against.
+//! (Proposition 3). This module provides the local implementations the
+//! distributed algorithms are verified against.
+//!
+//! Two implementations are kept deliberately:
+//!
+//! * [`distance_product_reference`] — the textbook `i, k, j` triple loop,
+//!   small enough to audit by eye; the property tests treat it as ground
+//!   truth.
+//! * [`distance_product`] / [`distance_product_with_threads`] — a
+//!   cache-blocked (tiled) kernel with row-band parallelism over
+//!   `std::thread::scope` workers (worker count from `QCC_THREADS`, see
+//!   [`qcc_perf::resolve_threads`]). Min over `k` is order-independent on
+//!   plain values, so the tiled schedule is **bit-identical** to the
+//!   reference for every input, which `tests/proptests.rs` asserts across
+//!   random matrices including `±∞` and negative weights.
 
 use crate::weight::ExtWeight;
 use std::fmt;
@@ -32,7 +45,10 @@ pub struct SquareMatrix<T> {
 impl<T: Clone> SquareMatrix<T> {
     /// Creates an `n × n` matrix with every entry set to `fill`.
     pub fn filled(n: usize, fill: T) -> Self {
-        SquareMatrix { n, data: vec![fill; n * n] }
+        SquareMatrix {
+            n,
+            data: vec![fill; n * n],
+        }
     }
 
     /// Creates a matrix from a row-major entry generator.
@@ -80,7 +96,20 @@ impl<T: Clone> SquareMatrix<T> {
 
     /// Iterates over `(i, j, &entry)` in row-major order.
     pub fn entries(&self) -> impl Iterator<Item = (usize, usize, &T)> {
-        self.data.iter().enumerate().map(move |(k, t)| (k / self.n, k % self.n, t))
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, t)| (k / self.n, k % self.n, t))
+    }
+
+    /// The underlying row-major storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The underlying row-major storage, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
     }
 }
 
@@ -131,35 +160,45 @@ impl WeightMatrix {
     /// assert_eq!(distance_product(&a, &id), a);
     /// ```
     pub fn distance_identity(n: usize) -> Self {
-        SquareMatrix::from_fn(n, |i, j| if i == j { ExtWeight::ZERO } else { ExtWeight::PosInf })
+        SquareMatrix::from_fn(n, |i, j| {
+            if i == j {
+                ExtWeight::ZERO
+            } else {
+                ExtWeight::PosInf
+            }
+        })
     }
 
     /// Largest finite magnitude among the entries (0 if none).
     pub fn max_finite_magnitude(&self) -> u64 {
         self.data.iter().map(|w| w.magnitude()).max().unwrap_or(0)
     }
+
+    /// Largest finite magnitude across this matrix and `other` — the `M`
+    /// of the paper's `O(log M)` binary searches over a product `A ⋆ B`.
+    pub fn max_finite_magnitude_with(&self, other: &Self) -> u64 {
+        self.max_finite_magnitude()
+            .max(other.max_finite_magnitude())
+    }
 }
 
-/// Sequential distance product `A ⋆ B` (Definition 2): `C[i,j] = min_k (A[i,k] + B[k,j])`.
+/// Edge length of the cache tiles of the blocked min-plus kernel.
 ///
-/// Reference implementation in `O(n³)` time; the distributed algorithms are
-/// validated against it.
+/// 64 × 64 tiles of 16-byte `ExtWeight` entries keep one `B` tile plus the
+/// active `C` tile rows comfortably inside a typical 32 KiB L1 data cache.
+pub const MIN_PLUS_TILE: usize = 64;
+
+/// Reference distance product `A ⋆ B` (Definition 2):
+/// `C[i,j] = min_k (A[i,k] + B[k,j])`.
+///
+/// The textbook `i, k, j` triple loop in `O(n³)` time — ground truth for
+/// both the distributed algorithms and the tiled kernel of
+/// [`distance_product`].
 ///
 /// # Panics
 ///
 /// Panics if the dimensions differ.
-///
-/// # Examples
-///
-/// ```
-/// use qcc_graph::{distance_product, ExtWeight, WeightMatrix};
-///
-/// let a = WeightMatrix::from_fn(2, |i, j| ExtWeight::from((i as i64) + 1 + j as i64));
-/// let c = distance_product(&a, &a);
-/// // C[0][0] = min(a00+a00, a01+a10) = min(2, 4) = 2
-/// assert_eq!(c[(0, 0)], ExtWeight::from(2));
-/// ```
-pub fn distance_product(a: &WeightMatrix, b: &WeightMatrix) -> WeightMatrix {
+pub fn distance_product_reference(a: &WeightMatrix, b: &WeightMatrix) -> WeightMatrix {
     assert_eq!(a.n(), b.n(), "distance product requires equal dimensions");
     let n = a.n();
     let mut c = WeightMatrix::filled(n, ExtWeight::PosInf);
@@ -182,6 +221,110 @@ pub fn distance_product(a: &WeightMatrix, b: &WeightMatrix) -> WeightMatrix {
     c
 }
 
+/// Computes rows `rows` of `A ⋆ B` into `c_rows` (row-major, pre-filled
+/// with `+∞`) with `MIN_PLUS_TILE`-blocked loops.
+///
+/// Min over `k` is order- and grouping-independent, so the tiled schedule
+/// produces exactly the entries of [`distance_product_reference`].
+fn min_plus_rows(
+    a: &WeightMatrix,
+    b: &WeightMatrix,
+    rows: std::ops::Range<usize>,
+    c_rows: &mut [ExtWeight],
+) {
+    let n = a.n();
+    debug_assert_eq!(c_rows.len(), rows.len() * n);
+    for (bi, i) in rows.enumerate() {
+        let arow = a.row(i);
+        let crow = &mut c_rows[bi * n..(bi + 1) * n];
+        for kb in (0..n).step_by(MIN_PLUS_TILE) {
+            let kend = (kb + MIN_PLUS_TILE).min(n);
+            for jb in (0..n).step_by(MIN_PLUS_TILE) {
+                let jend = (jb + MIN_PLUS_TILE).min(n);
+                let ctile = &mut crow[jb..jend];
+                for (k, &aik) in arow.iter().enumerate().take(kend).skip(kb) {
+                    if aik == ExtWeight::PosInf {
+                        continue;
+                    }
+                    let btile = &b.row(k)[jb..jend];
+                    for (cij, &bkj) in ctile.iter_mut().zip(btile) {
+                        let cand = aik + bkj;
+                        if cand < *cij {
+                            *cij = cand;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Distance product `A ⋆ B` with an explicit worker count.
+///
+/// Rows of `C` are split into contiguous bands, one scoped thread per band
+/// ([`qcc_perf::for_each_row_band`]); each band runs the tiled kernel
+/// independently, so the result is bit-identical for every worker count.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+pub fn distance_product_with_threads(
+    a: &WeightMatrix,
+    b: &WeightMatrix,
+    threads: usize,
+) -> WeightMatrix {
+    assert_eq!(a.n(), b.n(), "distance product requires equal dimensions");
+    let n = a.n();
+    let mut c = WeightMatrix::filled(n, ExtWeight::PosInf);
+    qcc_perf::for_each_row_band(c.as_mut_slice(), n, threads, |rows, c_rows| {
+        min_plus_rows(a, b, rows, c_rows);
+    });
+    c
+}
+
+/// Distance product `A ⋆ B` (Definition 2): `C[i,j] = min_k (A[i,k] + B[k,j])`.
+///
+/// Runs the tiled parallel kernel with the ambient worker count
+/// (`QCC_THREADS`, else available parallelism — see
+/// [`qcc_perf::resolve_threads`]). Identical output to
+/// [`distance_product_reference`] for every input.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_graph::{distance_product, ExtWeight, WeightMatrix};
+///
+/// let a = WeightMatrix::from_fn(2, |i, j| ExtWeight::from((i as i64) + 1 + j as i64));
+/// let c = distance_product(&a, &a);
+/// // C[0][0] = min(a00+a00, a01+a10) = min(2, 4) = 2
+/// assert_eq!(c[(0, 0)], ExtWeight::from(2));
+/// ```
+pub fn distance_product(a: &WeightMatrix, b: &WeightMatrix) -> WeightMatrix {
+    distance_product_with_threads(a, b, qcc_perf::resolve_threads(None))
+}
+
+/// `p`-th power of `a` with respect to the distance product, by repeated
+/// squaring (`O(log p)` products), with an explicit worker count.
+pub fn distance_power_with_threads(a: &WeightMatrix, p: u64, threads: usize) -> WeightMatrix {
+    let mut result = WeightMatrix::distance_identity(a.n());
+    let mut base = a.clone();
+    let mut exp = p;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = distance_product_with_threads(&result, &base, threads);
+        }
+        exp >>= 1;
+        if exp > 0 {
+            base = distance_product_with_threads(&base, &base, threads);
+        }
+    }
+    result
+}
+
 /// `p`-th power of `a` with respect to the distance product, by repeated
 /// squaring (`O(log p)` products).
 ///
@@ -202,19 +345,7 @@ pub fn distance_product(a: &WeightMatrix, b: &WeightMatrix) -> WeightMatrix {
 /// assert_eq!(d[(0, 2)], ExtWeight::from(2));
 /// ```
 pub fn distance_power(a: &WeightMatrix, p: u64) -> WeightMatrix {
-    let mut result = WeightMatrix::distance_identity(a.n());
-    let mut base = a.clone();
-    let mut exp = p;
-    while exp > 0 {
-        if exp & 1 == 1 {
-            result = distance_product(&result, &base);
-        }
-        exp >>= 1;
-        if exp > 0 {
-            base = distance_product(&base, &base);
-        }
-    }
-    result
+    distance_power_with_threads(a, p, qcc_perf::resolve_threads(None))
 }
 
 #[cfg(test)]
@@ -236,8 +367,7 @@ mod tests {
     #[test]
     fn entries_iterates_in_row_major_order() {
         let m = SquareMatrix::from_fn(2, |i, j| i * 2 + j);
-        let coords: Vec<(usize, usize, usize)> =
-            m.entries().map(|(i, j, &x)| (i, j, x)).collect();
+        let coords: Vec<(usize, usize, usize)> = m.entries().map(|(i, j, &x)| (i, j, x)).collect();
         assert_eq!(coords, vec![(0, 0, 0), (0, 1, 1), (1, 0, 2), (1, 1, 3)]);
     }
 
@@ -276,7 +406,11 @@ mod tests {
     #[test]
     fn power_matches_iterated_product() {
         let a = WeightMatrix::from_fn(4, |i, j| {
-            if (i + 2 * j) % 3 == 0 { w((i as i64) - (j as i64)) } else { ExtWeight::PosInf }
+            if (i + 2 * j) % 3 == 0 {
+                w((i as i64) - (j as i64))
+            } else {
+                ExtWeight::PosInf
+            }
         });
         let mut iter = WeightMatrix::distance_identity(4);
         for _ in 0..5 {
@@ -304,6 +438,39 @@ mod tests {
         let mut a = WeightMatrix::filled(2, ExtWeight::PosInf);
         a[(0, 1)] = w(-9);
         assert_eq!(a.max_finite_magnitude(), 9);
+        let mut b = WeightMatrix::filled(2, ExtWeight::PosInf);
+        b[(1, 0)] = w(12);
+        assert_eq!(a.max_finite_magnitude_with(&b), 12);
+        assert_eq!(b.max_finite_magnitude_with(&a), 12);
+    }
+
+    #[test]
+    fn tiled_kernel_matches_reference_across_tile_boundaries() {
+        // n > MIN_PLUS_TILE exercises multi-tile k/j loops and, under
+        // multiple workers, multi-band rows.
+        let n = MIN_PLUS_TILE + 17;
+        let a = WeightMatrix::from_fn(n, |i, j| {
+            if (i * 31 + j * 7) % 5 == 0 {
+                ExtWeight::PosInf
+            } else {
+                w((i as i64) - 2 * j as i64)
+            }
+        });
+        let b = WeightMatrix::from_fn(n, |i, j| {
+            if (i + 3 * j) % 7 == 0 {
+                ExtWeight::PosInf
+            } else {
+                w((3 * j) as i64 - i as i64)
+            }
+        });
+        let expected = distance_product_reference(&a, &b);
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(
+                distance_product_with_threads(&a, &b, threads),
+                expected,
+                "{threads} threads"
+            );
+        }
     }
 
     #[test]

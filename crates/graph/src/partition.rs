@@ -158,7 +158,10 @@ impl PaperPartitions {
     pub fn new(n: usize) -> Self {
         let q = ceil_fourth_root(n).max(1).min(n);
         let s = ceil_sqrt(n).max(1).min(n);
-        PaperPartitions { coarse: Partition::equal(n, q), fine: Partition::equal(n, s) }
+        PaperPartitions {
+            coarse: Partition::equal(n, q),
+            fine: Partition::equal(n, s),
+        }
     }
 
     /// Whether `n` admits the exact paper sizes (`n = m⁴`).
@@ -184,7 +187,10 @@ impl Labeling {
     /// Creates a labeling of `n_nodes` nodes by `label_count` labels.
     pub fn new(label_count: usize, n_nodes: usize) -> Self {
         assert!(n_nodes > 0);
-        Labeling { label_count, n_nodes }
+        Labeling {
+            label_count,
+            n_nodes,
+        }
     }
 
     /// Total number of labels.
@@ -238,7 +244,11 @@ impl TripleLabeling {
     pub fn new(parts: &PaperPartitions, n_nodes: usize) -> Self {
         let q = parts.coarse.num_blocks();
         let s = parts.fine.num_blocks();
-        TripleLabeling { q, s, labeling: Labeling::new(q * q * s, n_nodes) }
+        TripleLabeling {
+            q,
+            s,
+            labeling: Labeling::new(q * q * s, n_nodes),
+        }
     }
 
     /// Encodes `(u, v, w)` (coarse, coarse, fine block indices) as a label.
@@ -278,7 +288,11 @@ impl SearchLabeling {
     pub fn new(parts: &PaperPartitions, n_nodes: usize) -> Self {
         let q = parts.coarse.num_blocks();
         let s = parts.fine.num_blocks();
-        SearchLabeling { q, s, labeling: Labeling::new(q * q * s, n_nodes) }
+        SearchLabeling {
+            q,
+            s,
+            labeling: Labeling::new(q * q * s, n_nodes),
+        }
     }
 
     /// Encodes `(u, v, x)` as a label.

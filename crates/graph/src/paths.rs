@@ -131,7 +131,11 @@ impl PathOracle {
             current = w.product;
             exponent *= 2;
         }
-        PathOracle { base: adjacency.clone(), levels, distances: current }
+        PathOracle {
+            base: adjacency.clone(),
+            levels,
+            distances: current,
+        }
     }
 
     /// Creates an oracle from externally computed parts (used by the
@@ -141,7 +145,11 @@ impl PathOracle {
         levels: Vec<SquareMatrix<Option<usize>>>,
         distances: WeightMatrix,
     ) -> PathOracle {
-        PathOracle { base, levels, distances }
+        PathOracle {
+            base,
+            levels,
+            distances,
+        }
     }
 
     /// The all-pairs distance matrix.
@@ -168,7 +176,8 @@ impl PathOracle {
         vertices.dedup();
         // splice out zero-weight loops: keep the first occurrence of each
         // vertex and drop everything walked between repeat visits
-        let mut position: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut position: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
         let mut simple: Vec<usize> = Vec::with_capacity(vertices.len());
         for x in vertices {
             match position.get(&x) {
@@ -273,7 +282,10 @@ pub fn cycle_weight(g: &crate::digraph::DiGraph, cycle: &[usize]) -> i64 {
     assert!(!cycle.is_empty());
     let mut total = 0;
     for w in cycle.windows(2) {
-        total += g.weight(w[0], w[1]).finite().expect("cycle edge must exist");
+        total += g
+            .weight(w[0], w[1])
+            .finite()
+            .expect("cycle edge must exist");
     }
     total += g
         .weight(*cycle.last().expect("nonempty"), cycle[0])

@@ -119,11 +119,12 @@ pub fn build_tripartite(
     let n = a.n();
     let layout = TripartiteLayout::new(n);
     // Surrogate for -inf: beyond any achievable finite triangle sum.
-    let max_mag = a
-        .max_finite_magnitude()
-        .max(b.max_finite_magnitude())
-        .max(d.entries().map(|(_, _, &x)| x.unsigned_abs()).max().unwrap_or(0))
-        as i64;
+    let max_mag = a.max_finite_magnitude_with(b).max(
+        d.entries()
+            .map(|(_, _, &x)| x.unsigned_abs())
+            .max()
+            .unwrap_or(0),
+    ) as i64;
     let neg_surrogate = -(3 * max_mag + 1);
     let finite = |w: ExtWeight| -> Option<i64> {
         match w {
@@ -179,9 +180,18 @@ mod tests {
     #[test]
     fn ij_pair_extraction_ignores_other_sides() {
         let layout = TripartiteLayout::new(2);
-        assert_eq!(layout.as_ij_pair(layout.i_vertex(1), layout.j_vertex(0)), Some((1, 0)));
-        assert_eq!(layout.as_ij_pair(layout.j_vertex(0), layout.i_vertex(1)), Some((1, 0)));
-        assert_eq!(layout.as_ij_pair(layout.i_vertex(1), layout.k_vertex(0)), None);
+        assert_eq!(
+            layout.as_ij_pair(layout.i_vertex(1), layout.j_vertex(0)),
+            Some((1, 0))
+        );
+        assert_eq!(
+            layout.as_ij_pair(layout.j_vertex(0), layout.i_vertex(1)),
+            Some((1, 0))
+        );
+        assert_eq!(
+            layout.as_ij_pair(layout.i_vertex(1), layout.k_vertex(0)),
+            None
+        );
     }
 
     #[test]

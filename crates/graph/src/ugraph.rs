@@ -30,7 +30,9 @@ pub struct UGraph {
 impl UGraph {
     /// Creates an edgeless undirected graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        UGraph { weights: SquareMatrix::filled(n, ExtWeight::PosInf) }
+        UGraph {
+            weights: SquareMatrix::filled(n, ExtWeight::PosInf),
+        }
     }
 
     /// Number of vertices.
@@ -91,7 +93,13 @@ impl UGraph {
             .row(u)
             .iter()
             .enumerate()
-            .filter_map(move |(v, &w)| if v != u { w.finite().map(|x| (v, x)) } else { None })
+            .filter_map(move |(v, &w)| {
+                if v != u {
+                    w.finite().map(|x| (v, x))
+                } else {
+                    None
+                }
+            })
     }
 
     /// Whether `{u, v, w}` forms a negative triangle (Definition 1).

@@ -166,13 +166,22 @@ mod tests {
 
     #[test]
     fn finite_addition_is_exact() {
-        assert_eq!(ExtWeight::from(4) + ExtWeight::from(-9), ExtWeight::from(-5));
+        assert_eq!(
+            ExtWeight::from(4) + ExtWeight::from(-9),
+            ExtWeight::from(-5)
+        );
     }
 
     #[test]
     fn min_with_picks_smaller() {
-        assert_eq!(ExtWeight::from(3).min_with(ExtWeight::from(-1)), ExtWeight::from(-1));
-        assert_eq!(ExtWeight::PosInf.min_with(ExtWeight::from(7)), ExtWeight::from(7));
+        assert_eq!(
+            ExtWeight::from(3).min_with(ExtWeight::from(-1)),
+            ExtWeight::from(-1)
+        );
+        assert_eq!(
+            ExtWeight::PosInf.min_with(ExtWeight::from(7)),
+            ExtWeight::from(7)
+        );
     }
 
     #[test]

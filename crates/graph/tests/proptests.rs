@@ -3,8 +3,9 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use qcc_graph::{
-    bellman_ford, distance_power, distance_product, floyd_warshall, johnson, DiGraph, ExtWeight,
-    PaperPartitions, Partition, UGraph, WeightMatrix,
+    bellman_ford, distance_power, distance_product, distance_product_reference,
+    distance_product_with_threads, floyd_warshall, johnson, DiGraph, ExtWeight, PaperPartitions,
+    Partition, UGraph, WeightMatrix,
 };
 
 fn arb_weight() -> impl Strategy<Value = ExtWeight> {
@@ -14,8 +15,24 @@ fn arb_weight() -> impl Strategy<Value = ExtWeight> {
     ]
 }
 
+/// The full extended-weight range: negative weights and both infinities.
+fn arb_full_weight() -> impl Strategy<Value = ExtWeight> {
+    prop_oneof![
+        6 => (-50i64..50).prop_map(ExtWeight::from),
+        1 => Just(ExtWeight::PosInf),
+        1 => Just(ExtWeight::NegInf),
+    ]
+}
+
 fn arb_matrix(n: usize) -> impl Strategy<Value = WeightMatrix> {
     vec(arb_weight(), n * n).prop_map(move |entries| {
+        let mut it = entries.into_iter();
+        WeightMatrix::from_fn(n, |_, _| it.next().expect("enough entries"))
+    })
+}
+
+fn arb_full_matrix(n: usize) -> impl Strategy<Value = WeightMatrix> {
+    vec(arb_full_weight(), n * n).prop_map(move |entries| {
         let mut it = entries.into_iter();
         WeightMatrix::from_fn(n, |_, _| it.next().expect("enough entries"))
     })
@@ -141,6 +158,23 @@ proptest! {
     }
 }
 
+proptest! {
+    /// The tiled, band-parallel kernel is bit-identical to the naive
+    /// reference for every worker count, on matrices spanning negative
+    /// weights and both infinities.
+    #[test]
+    fn tiled_product_is_bit_identical_to_reference(
+        pair in (1usize..9).prop_flat_map(|n| (arb_full_matrix(n), arb_full_matrix(n)))
+    ) {
+        let (a, b) = pair;
+        let reference = distance_product_reference(&a, &b);
+        prop_assert_eq!(&distance_product(&a, &b), &reference);
+        for threads in [1usize, 2, 3, 5] {
+            prop_assert_eq!(&distance_product_with_threads(&a, &b, threads), &reference);
+        }
+    }
+}
+
 #[test]
 fn negative_triangle_pairs_on_complete_negative_graph() {
     // all edges -1: every triple is a negative triangle
@@ -162,7 +196,11 @@ fn digraph_apsp_on_disconnected_graph() {
     let d = floyd_warshall(&g.adjacency_matrix()).unwrap();
     for i in 0..5 {
         for j in 0..5 {
-            let expected = if i == j { ExtWeight::ZERO } else { ExtWeight::PosInf };
+            let expected = if i == j {
+                ExtWeight::ZERO
+            } else {
+                ExtWeight::PosInf
+            };
             assert_eq!(d[(i, j)], expected);
         }
     }

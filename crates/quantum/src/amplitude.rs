@@ -48,8 +48,14 @@ impl GroverAmplitudes {
     pub fn new(domain_size: usize, solution_count: usize) -> Self {
         assert!(domain_size > 0, "empty search domain");
         assert!(solution_count <= domain_size);
-        let theta = ((solution_count as f64) / (domain_size as f64)).sqrt().asin();
-        GroverAmplitudes { domain_size, solution_count, theta }
+        let theta = ((solution_count as f64) / (domain_size as f64))
+            .sqrt()
+            .asin();
+        GroverAmplitudes {
+            domain_size,
+            solution_count,
+            theta,
+        }
     }
 
     /// `|X|`, the size of the search domain.

@@ -59,7 +59,10 @@ impl AmplitudeEstimator {
     pub fn new(domain_size: usize, solution_count: usize) -> Self {
         assert!(domain_size > 0);
         assert!(solution_count <= domain_size);
-        AmplitudeEstimator { domain_size, solution_count }
+        AmplitudeEstimator {
+            domain_size,
+            solution_count,
+        }
     }
 
     /// The true amplitude `a = |A¹|/|X|`.
@@ -207,7 +210,10 @@ mod tests {
                 })
                 .map(|(_, p)| p)
                 .sum();
-            assert!(mass >= 8.0 / std::f64::consts::PI.powi(2) - 1e-9, "({x},{t}): {mass}");
+            assert!(
+                mass >= 8.0 / std::f64::consts::PI.powi(2) - 1e-9,
+                "({x},{t}): {mass}"
+            );
         }
     }
 

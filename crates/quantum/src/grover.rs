@@ -20,15 +20,16 @@ use rand::Rng;
 ///
 /// Items are indices `0 .. domain_size()`. [`SearchOracle::truth`] is the
 /// ground-truth predicate used for the exact amplitude census (never
-/// charged to the network — see "Honesty note" in `DESIGN.md`);
-/// [`SearchOracle::evaluate_distributed`] must run the real message
-/// schedule on the simulated network and agree with `truth`.
+/// charged to the network — see "Honesty note" in `DESIGN.md`); it takes
+/// `&self` so the census can be fanned out over host worker threads
+/// (`QCC_THREADS`). [`SearchOracle::evaluate_distributed`] must run the
+/// real message schedule on the simulated network and agree with `truth`.
 pub trait SearchOracle {
     /// `|X|`, the size of the search domain.
     fn domain_size(&self) -> usize;
 
-    /// Ground-truth predicate `g(x)` (local, free).
-    fn truth(&mut self, item: usize) -> bool;
+    /// Ground-truth predicate `g(x)` (local, free, side-effect free).
+    fn truth(&self, item: usize) -> bool;
 
     /// Distributed evaluation of `g(x)`; must charge its network and agree
     /// with [`SearchOracle::truth`].
@@ -54,7 +55,7 @@ pub struct GroverOutcome {
 ///
 /// Returns a verified solution with probability `sin²((2k+1)θ) ≈ 1` when
 /// solutions exist; always returns `None` when none exist.
-pub fn grover_search<O: SearchOracle, R: Rng>(oracle: &mut O, rng: &mut R) -> GroverOutcome {
+pub fn grover_search<O: SearchOracle + Sync, R: Rng>(oracle: &mut O, rng: &mut R) -> GroverOutcome {
     grover_search_amplified(oracle, 1, rng)
 }
 
@@ -70,17 +71,26 @@ pub fn grover_search<O: SearchOracle, R: Rng>(oracle: &mut O, rng: &mut R) -> Gr
 ///
 /// Panics if `max_repetitions == 0` or the oracle's distributed evaluation
 /// disagrees with its ground truth.
-pub fn grover_search_amplified<O: SearchOracle, R: Rng>(
+pub fn grover_search_amplified<O: SearchOracle + Sync, R: Rng>(
     oracle: &mut O,
     max_repetitions: u64,
     rng: &mut R,
 ) -> GroverOutcome {
     assert!(max_repetitions > 0);
     let x = oracle.domain_size();
+    // Census over the whole domain, fanned out over host worker threads
+    // (the predicate is local and free; contiguous bands keep the item
+    // order, so the census is identical for any worker count).
+    let marks: Vec<bool> = {
+        let oracle: &O = oracle;
+        qcc_perf::map_indexed(x, qcc_perf::resolve_threads(None), |item| {
+            oracle.truth(item)
+        })
+    };
     let mut solutions = Vec::new();
     let mut non_solutions = Vec::new();
-    for item in 0..x {
-        if oracle.truth(item) {
+    for (item, marked) in marks.into_iter().enumerate() {
+        if marked {
             solutions.push(item);
         } else {
             non_solutions.push(item);
@@ -95,7 +105,12 @@ pub fn grover_search_amplified<O: SearchOracle, R: Rng>(
         // Execute k Grover iterations; each queries the distributed
         // evaluation procedure on an input sampled from the current state.
         for i in 0..k {
-            let query = sample_side(&solutions, &non_solutions, amp.query_solution_probability(i), rng);
+            let query = sample_side(
+                &solutions,
+                &non_solutions,
+                amp.query_solution_probability(i),
+                rng,
+            );
             let answer = oracle.evaluate_distributed(query);
             assert_eq!(
                 answer,
@@ -119,10 +134,20 @@ pub fn grover_search_amplified<O: SearchOracle, R: Rng>(
         if solutions.is_empty() && rep >= 2 {
             // Two failed verifications with an empty census: report absence
             // early (the caller's analysis already tolerates 1/poly error).
-            return GroverOutcome { found: None, iterations, distributed_calls, repetitions: rep };
+            return GroverOutcome {
+                found: None,
+                iterations,
+                distributed_calls,
+                repetitions: rep,
+            };
         }
     }
-    GroverOutcome { found: None, iterations, distributed_calls, repetitions: max_repetitions }
+    GroverOutcome {
+        found: None,
+        iterations,
+        distributed_calls,
+        repetitions: max_repetitions,
+    }
 }
 
 fn sample_side<R: Rng>(
@@ -138,7 +163,11 @@ fn sample_side<R: Rng>(
     } else {
         rng.gen_bool(p_solution.clamp(0.0, 1.0))
     };
-    let side = if take_solution { solutions } else { non_solutions };
+    let side = if take_solution {
+        solutions
+    } else {
+        non_solutions
+    };
     side[rng.gen_range(0..side.len())]
 }
 
@@ -160,7 +189,12 @@ pub fn classical_search<O: SearchOracle>(oracle: &mut O) -> GroverOutcome {
             };
         }
     }
-    GroverOutcome { found: None, iterations: calls, distributed_calls: calls, repetitions: 1 }
+    GroverOutcome {
+        found: None,
+        iterations: calls,
+        distributed_calls: calls,
+        repetitions: 1,
+    }
 }
 
 #[cfg(test)]
@@ -181,7 +215,10 @@ mod tests {
             for &i in marked {
                 m[i] = true;
             }
-            ToyOracle { marked: m, distributed_calls: 0 }
+            ToyOracle {
+                marked: m,
+                distributed_calls: 0,
+            }
         }
     }
 
@@ -189,7 +226,7 @@ mod tests {
         fn domain_size(&self) -> usize {
             self.marked.len()
         }
-        fn truth(&mut self, item: usize) -> bool {
+        fn truth(&self, item: usize) -> bool {
             self.marked[item]
         }
         fn evaluate_distributed(&mut self, item: usize) -> bool {

@@ -32,7 +32,7 @@
 //! struct Toy;
 //! impl SearchOracle for Toy {
 //!     fn domain_size(&self) -> usize { 64 }
-//!     fn truth(&mut self, item: usize) -> bool { item == 37 }
+//!     fn truth(&self, item: usize) -> bool { item == 37 }
 //!     fn evaluate_distributed(&mut self, item: usize) -> bool { item == 37 }
 //! }
 //!
@@ -55,8 +55,10 @@ pub mod typicality;
 
 pub use amplitude::GroverAmplitudes;
 pub use estimation::{quantum_count, AmplitudeEstimator, EstimateOutcome};
+pub use grover::{
+    classical_search, grover_search, grover_search_amplified, GroverOutcome, SearchOracle,
+};
 pub use minimum::{quantum_maximum, quantum_minimum, ExtremumOutcome};
-pub use grover::{classical_search, grover_search, grover_search_amplified, GroverOutcome, SearchOracle};
 pub use multi_search::{
     classical_multi_search, multi_grover_search, repetitions_for_target, AtypicalInputError,
     MultiOracle, MultiSearchOutcome,

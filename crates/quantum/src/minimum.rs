@@ -53,7 +53,11 @@ where
         let t = value(threshold_idx);
         let below: Vec<usize> = (0..domain_size).filter(|&i| value(i) < t).collect();
         if below.is_empty() {
-            return ExtremumOutcome { index: threshold_idx, iterations, stages };
+            return ExtremumOutcome {
+                index: threshold_idx,
+                iterations,
+                stages,
+            };
         }
         // One BBHT stage: random iteration count, then measure; the
         // amplitude math is exact, the measurement genuinely sampled.
@@ -74,7 +78,13 @@ where
                 threshold_idx = idx;
                 stages += 1;
             }
-            None => return ExtremumOutcome { index: threshold_idx, iterations, stages },
+            None => {
+                return ExtremumOutcome {
+                    index: threshold_idx,
+                    iterations,
+                    stages,
+                }
+            }
         }
     }
 }
@@ -155,10 +165,7 @@ mod tests {
             mean_iters.push(total as f64 / f64::from(trials));
         }
         // 16x the domain: well under 16x the iterations (theory: 4x)
-        assert!(
-            mean_iters[1] < 8.0 * mean_iters[0],
-            "iters {mean_iters:?}"
-        );
+        assert!(mean_iters[1] < 8.0 * mean_iters[0], "iters {mean_iters:?}");
     }
 
     #[test]
@@ -168,8 +175,9 @@ mod tests {
         let n = 1024;
         let values: Vec<i64> = (0..n).map(|i| i as i64).collect();
         let trials = 20;
-        let total_stages: u32 =
-            (0..trials).map(|_| quantum_minimum(n, |i| values[i], &mut rng).stages).sum();
+        let total_stages: u32 = (0..trials)
+            .map(|_| quantum_minimum(n, |i| values[i], &mut rng).stages)
+            .sum();
         let mean = f64::from(total_stages) / f64::from(trials);
         assert!(mean < 30.0, "mean stages {mean}");
     }

@@ -49,8 +49,9 @@ pub trait MultiOracle {
     /// `m`, the number of parallel searches.
     fn num_searches(&self) -> usize;
 
-    /// Ground truth `g_ℓ(x)` (local, free; used for the amplitude census).
-    fn truth(&mut self, search: usize, item: usize) -> bool;
+    /// Ground truth `g_ℓ(x)` (local, free, side-effect free; used for the
+    /// amplitude census, which is fanned out over host worker threads).
+    fn truth(&self, search: usize, item: usize) -> bool;
 
     /// Joint distributed evaluation `C̃m` of a query tuple
     /// (`tuple[ℓ] ∈ 0..domain_size()` is search `ℓ`'s query).
@@ -108,7 +109,9 @@ impl MultiSearchOutcome {
 pub fn repetitions_for_target(m: usize) -> u64 {
     let m = m.max(2) as f64;
     // m · (3/4)^t ≤ 2/m²  ⟺  t ≥ ln(m³/2) / ln(4/3)
-    ((m.powi(3) / 2.0).ln() / (4.0f64 / 3.0).ln()).ceil().max(3.0) as u64
+    ((m.powi(3) / 2.0).ln() / (4.0f64 / 3.0).ln())
+        .ceil()
+        .max(3.0) as u64
 }
 
 /// Runs `m` parallel Grover searches with BBHT amplification.
@@ -127,7 +130,7 @@ pub fn repetitions_for_target(m: usize) -> u64 {
 ///
 /// Panics if the oracle has no searches or an empty domain, or if a
 /// distributed evaluation disagrees with ground truth on a typical tuple.
-pub fn multi_grover_search<O: MultiOracle, R: Rng>(
+pub fn multi_grover_search<O: MultiOracle + Sync, R: Rng>(
     oracle: &mut O,
     max_repetitions: u64,
     rng: &mut R,
@@ -138,19 +141,28 @@ pub fn multi_grover_search<O: MultiOracle, R: Rng>(
     assert!(m > 0, "no searches to run");
 
     // Census: exact solution sets, used for exact amplitude evolution.
+    // One search per work item, fanned out over host worker threads; the
+    // per-search results come back in search order, so the census is
+    // identical for any worker count.
+    let census: Vec<(Vec<usize>, Vec<usize>)> = {
+        let oracle: &O = oracle;
+        qcc_perf::map_indexed(m, qcc_perf::resolve_threads(None), |s| {
+            let mut sol = Vec::new();
+            let mut non = Vec::new();
+            for item in 0..x {
+                if oracle.truth(s, item) {
+                    sol.push(item);
+                } else {
+                    non.push(item);
+                }
+            }
+            (sol, non)
+        })
+    };
     let mut solutions: Vec<Vec<usize>> = Vec::with_capacity(m);
     let mut non_solutions: Vec<Vec<usize>> = Vec::with_capacity(m);
     let mut amps: Vec<GroverAmplitudes> = Vec::with_capacity(m);
-    for s in 0..m {
-        let mut sol = Vec::new();
-        let mut non = Vec::new();
-        for item in 0..x {
-            if oracle.truth(s, item) {
-                sol.push(item);
-            } else {
-                non.push(item);
-            }
-        }
+    for (sol, non) in census {
         amps.push(GroverAmplitudes::new(x, sol.len()));
         solutions.push(sol);
         non_solutions.push(non);
@@ -215,12 +227,22 @@ pub fn multi_grover_search<O: MultiOracle, R: Rng>(
             }
             Err(_) => typicality_violations += 1,
         }
-        if found.iter().zip(&solutions).all(|(f, sol)| f.is_some() || sol.is_empty()) {
+        if found
+            .iter()
+            .zip(&solutions)
+            .all(|(f, sol)| f.is_some() || sol.is_empty())
+        {
             break;
         }
     }
 
-    MultiSearchOutcome { found, iterations, eval_calls, typicality_violations, repetitions }
+    MultiSearchOutcome {
+        found,
+        iterations,
+        eval_calls,
+        typicality_violations,
+        repetitions,
+    }
 }
 
 /// Classical baseline: scans the whole domain, evaluating the constant
@@ -265,7 +287,11 @@ fn sample_side<R: Rng>(
     } else {
         rng.gen_bool(p_solution.clamp(0.0, 1.0))
     };
-    let side = if take_solution { solutions } else { non_solutions };
+    let side = if take_solution {
+        solutions
+    } else {
+        non_solutions
+    };
     side[rng.gen_range(0..side.len())]
 }
 
@@ -297,7 +323,13 @@ mod tests {
                     v
                 })
                 .collect();
-            ToyMultiOracle { domain, marked, beta, eval_calls: 0, classical_calls: 0 }
+            ToyMultiOracle {
+                domain,
+                marked,
+                beta,
+                eval_calls: 0,
+                classical_calls: 0,
+            }
         }
     }
 
@@ -308,16 +340,23 @@ mod tests {
         fn num_searches(&self) -> usize {
             self.marked.len()
         }
-        fn truth(&mut self, search: usize, item: usize) -> bool {
+        fn truth(&self, search: usize, item: usize) -> bool {
             self.marked[search][item]
         }
         fn evaluate(&mut self, tuple: &[usize]) -> Result<Vec<bool>, AtypicalInputError> {
             self.eval_calls += 1;
             let freq = max_frequency(tuple, self.domain);
             if !is_typical(tuple, self.domain, self.beta) {
-                return Err(AtypicalInputError { max_frequency: freq, beta: self.beta });
+                return Err(AtypicalInputError {
+                    max_frequency: freq,
+                    beta: self.beta,
+                });
             }
-            Ok(tuple.iter().enumerate().map(|(s, &i)| self.marked[s][i]).collect())
+            Ok(tuple
+                .iter()
+                .enumerate()
+                .map(|(s, &i)| self.marked[s][i])
+                .collect())
         }
         fn evaluate_classical(&mut self, item: usize) -> Vec<bool> {
             self.classical_calls += 1;
@@ -337,7 +376,10 @@ mod tests {
         for (s, f) in out.found.iter().enumerate() {
             assert_eq!(*f, Some(s % domain), "search {s}");
         }
-        assert_eq!(out.typicality_violations, 0, "sampled tuples should be typical");
+        assert_eq!(
+            out.typicality_violations, 0,
+            "sampled tuples should be typical"
+        );
     }
 
     #[test]
@@ -426,7 +468,10 @@ mod tests {
 
     #[test]
     fn atypical_error_displays_frequencies() {
-        let e = AtypicalInputError { max_frequency: 9, beta: 4.0 };
+        let e = AtypicalInputError {
+            max_frequency: 9,
+            beta: 4.0,
+        };
         let s = e.to_string();
         assert!(s.contains('9') && s.contains('4'));
     }

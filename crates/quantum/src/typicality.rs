@@ -25,7 +25,10 @@
 pub fn frequency_histogram(tuple: &[usize], domain_size: usize) -> Vec<u64> {
     let mut hist = vec![0u64; domain_size];
     for &x in tuple {
-        assert!(x < domain_size, "tuple entry {x} outside domain of size {domain_size}");
+        assert!(
+            x < domain_size,
+            "tuple entry {x} outside domain of size {domain_size}"
+        );
         hist[x] += 1;
     }
     hist
@@ -33,7 +36,10 @@ pub fn frequency_histogram(tuple: &[usize], domain_size: usize) -> Vec<u64> {
 
 /// The largest frequency of any single element in the tuple.
 pub fn max_frequency(tuple: &[usize], domain_size: usize) -> u64 {
-    frequency_histogram(tuple, domain_size).into_iter().max().unwrap_or(0)
+    frequency_histogram(tuple, domain_size)
+        .into_iter()
+        .max()
+        .unwrap_or(0)
 }
 
 /// Whether `tuple ∈ Υ_β(m, X)`: every element appears at most `β` times.
@@ -69,7 +75,11 @@ impl TypicalityBounds {
     /// Panics if `m == 0` or `domain_size == 0`.
     pub fn new(m: usize, domain_size: usize, beta: f64) -> Self {
         assert!(m > 0 && domain_size > 0);
-        TypicalityBounds { m, domain_size, beta }
+        TypicalityBounds {
+            m,
+            domain_size,
+            beta,
+        }
     }
 
     /// Whether the quantitative assumptions of Theorem 3 hold:

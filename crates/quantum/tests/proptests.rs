@@ -14,7 +14,7 @@ impl SearchOracle for MarkedOracle {
     fn domain_size(&self) -> usize {
         self.marked.len()
     }
-    fn truth(&mut self, item: usize) -> bool {
+    fn truth(&self, item: usize) -> bool {
         self.marked[item]
     }
     fn evaluate_distributed(&mut self, item: usize) -> bool {

@@ -23,7 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("digraph: {n} vertices, {} arcs", g.arc_count());
 
     // Distances via the distributed classical O~(n^{1/3}) baseline.
-    let report = apsp(&g, Params::paper(), ApspAlgorithm::SemiringSquaring, &mut rng)?;
+    let report = apsp(
+        &g,
+        Params::paper(),
+        ApspAlgorithm::SemiringSquaring,
+        &mut rng,
+    )?;
     println!("semiring APSP: {} rounds", report.rounds);
 
     // Eccentricity of v = max over reachable u of dist(v, u); infinite

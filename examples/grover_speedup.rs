@@ -22,7 +22,7 @@ impl SearchOracle for Marked {
     fn domain_size(&self) -> usize {
         self.n
     }
-    fn truth(&mut self, item: usize) -> bool {
+    fn truth(&self, item: usize) -> bool {
         item == self.target
     }
     fn evaluate_distributed(&mut self, item: usize) -> bool {
@@ -43,15 +43,22 @@ impl MultiOracle for ManyNeedles {
     fn num_searches(&self) -> usize {
         self.needles.len()
     }
-    fn truth(&mut self, search: usize, item: usize) -> bool {
+    fn truth(&self, search: usize, item: usize) -> bool {
         self.needles[search] == item
     }
     fn evaluate(&mut self, tuple: &[usize]) -> Result<Vec<bool>, AtypicalInputError> {
         let freq = qcc::quantum::max_frequency(tuple, self.domain);
         if freq as f64 > self.beta {
-            return Err(AtypicalInputError { max_frequency: freq, beta: self.beta });
+            return Err(AtypicalInputError {
+                max_frequency: freq,
+                beta: self.beta,
+            });
         }
-        Ok(tuple.iter().enumerate().map(|(s, &i)| self.needles[s] == i).collect())
+        Ok(tuple
+            .iter()
+            .enumerate()
+            .map(|(s, &i)| self.needles[s] == i)
+            .collect())
     }
     fn evaluate_classical(&mut self, item: usize) -> Vec<bool> {
         self.needles.iter().map(|&t| t == item).collect()
@@ -61,7 +68,10 @@ impl MultiOracle for ManyNeedles {
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(17);
     println!("single search: oracle calls, Grover vs classical scan");
-    println!("{:>8} {:>10} {:>10} {:>8}", "|X|", "grover", "classical", "ratio");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8}",
+        "|X|", "grover", "classical", "ratio"
+    );
     for &n in &[16usize, 64, 256, 1024, 4096] {
         let target = n / 3;
         let mut oracle = Marked { target, n };
@@ -86,10 +96,20 @@ fn main() {
     let needles: Vec<usize> = (0..m).map(|s| (7 * s + 3) % domain).collect();
     let bounds = TypicalityBounds::new(m, domain, 8.0 * m as f64 / domain as f64 + 1.0);
     println!("\nmultiple searches: m = {m}, |X| = {domain}");
-    println!("  Theorem 3 assumptions hold: {}", bounds.assumptions_hold());
-    println!("  atypical-mass bound (Lemma 5): {:.3e}", bounds.projection_mass_bound());
+    println!(
+        "  Theorem 3 assumptions hold: {}",
+        bounds.assumptions_hold()
+    );
+    println!(
+        "  atypical-mass bound (Lemma 5): {:.3e}",
+        bounds.projection_mass_bound()
+    );
     println!("  success target: >= {:.6}", bounds.success_lower_bound());
-    let mut oracle = ManyNeedles { domain, needles: needles.clone(), beta: bounds.beta };
+    let mut oracle = ManyNeedles {
+        domain,
+        needles: needles.clone(),
+        beta: bounds.beta,
+    };
     let out = multi_grover_search(&mut oracle, repetitions_for_target(m), &mut rng);
     let ok = out
         .found

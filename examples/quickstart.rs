@@ -20,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m = g.weight_magnitude()
     );
 
-    let report = apsp(&g, Params::paper(), ApspAlgorithm::QuantumTriangle, &mut rng)?;
+    let report = apsp(
+        &g,
+        Params::paper(),
+        ApspAlgorithm::QuantumTriangle,
+        &mut rng,
+    )?;
     println!(
         "quantum APSP finished: {} physical rounds, {} distance products",
         report.rounds, report.products
@@ -28,11 +33,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Cross-check against the sequential oracle.
     let oracle = floyd_warshall(&g.adjacency_matrix())?;
-    assert_eq!(report.distances, oracle, "distributed result must match the oracle");
+    assert_eq!(
+        report.distances, oracle,
+        "distributed result must match the oracle"
+    );
     println!("distances verified against Floyd–Warshall");
 
     // Print the distance matrix.
-    println!("\n      {}", (0..n).map(|j| format!("{j:>6}")).collect::<String>());
+    println!(
+        "\n      {}",
+        (0..n).map(|j| format!("{j:>6}")).collect::<String>()
+    );
     for i in 0..n {
         print!("{i:>4}: ");
         for j in 0..n {

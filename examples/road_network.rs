@@ -62,8 +62,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ApspAlgorithm::QuantumTriangle,
     ] {
         let report = apsp(&g, Params::paper(), algorithm, &mut rng)?;
-        assert_eq!(report.distances, oracle, "{algorithm:?} must match the oracle");
-        println!("{:<22} {:>10} {:>9}", format!("{algorithm:?}"), report.rounds, report.products);
+        assert_eq!(
+            report.distances, oracle,
+            "{algorithm:?} must match the oracle"
+        );
+        println!(
+            "{:<22} {:>10} {:>9}",
+            format!("{algorithm:?}"),
+            report.rounds,
+            report.products
+        );
     }
 
     // Show one route cost: opposite grid corners.

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 9;
     let mut rng = rand::rngs::StdRng::seed_from_u64(88);
     let g = random_reweighted_digraph(n, 0.45, 7, &mut rng);
-    println!("digraph: {n} vertices, {} arcs (negative arcs allowed)", g.arc_count());
+    println!(
+        "digraph: {n} vertices, {} arcs (negative arcs allowed)",
+        g.arc_count()
+    );
 
     let report = apsp_with_paths(&g, Params::paper(), SearchBackend::Classical, &mut rng)?;
     println!(
@@ -35,8 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     let d = report.oracle.distances()[(u, v)];
                     let w = path_weight(&g, &path).expect("valid route");
                     assert_eq!(ExtWeight::from(w), d, "route weight must equal distance");
-                    let route =
-                        path.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" -> ");
+                    let route = path
+                        .iter()
+                        .map(|x| x.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" -> ");
                     println!("dist({u}, {v}) = {d:<4}  route: {route}");
                     printed += 1;
                 }

@@ -11,9 +11,7 @@
 //!
 //! Run with: `cargo run --release --example triangle_audit`
 
-use qcc::algo::{
-    find_edges, reference_find_edges, PairSet, Params, RoundBreakdown, SearchBackend,
-};
+use qcc::algo::{find_edges, reference_find_edges, PairSet, Params, RoundBreakdown, SearchBackend};
 use qcc::congest::Clique;
 use qcc::graph::UGraph;
 use rand::{Rng, SeedableRng};
@@ -24,7 +22,11 @@ fn clearing_network(n: usize, rng: &mut impl Rng) -> UGraph {
         for v in (u + 1)..n {
             if rng.gen_bool(0.55) {
                 // exposures lean positive, with occasional deep discounts
-                let w = if rng.gen_bool(0.2) { rng.gen_range(-9..0) } else { rng.gen_range(0..7) };
+                let w = if rng.gen_bool(0.2) {
+                    rng.gen_range(-9..0)
+                } else {
+                    rng.gen_range(0..7)
+                };
                 g.add_edge(u, v, w);
             }
         }
@@ -37,10 +39,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let g = clearing_network(n, &mut rng);
     let s = PairSet::all_pairs(n);
-    println!("clearing network: {n} institutions, {} netting agreements", g.edge_count());
+    println!(
+        "clearing network: {n} institutions, {} netting agreements",
+        g.edge_count()
+    );
 
     let mut net = Clique::new(n)?;
-    let report = find_edges(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng)?;
+    let report = find_edges(
+        &g,
+        &s,
+        Params::paper(),
+        SearchBackend::Quantum,
+        &mut net,
+        &mut rng,
+    )?;
     println!(
         "quantum audit: {} flagged pairs in {} rounds ({} ComputePairs calls, \
          {} Grover iterations, {} typicality refusals)",
@@ -52,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let expected = reference_find_edges(&g, &s);
-    assert_eq!(report.found, expected, "audit must match the exhaustive census");
+    assert_eq!(
+        report.found, expected,
+        "audit must match the exhaustive census"
+    );
     println!("verified against the exhaustive O(n^3) census");
 
     println!("\nflagged pairs (in at least one loss triangle):");

@@ -5,8 +5,8 @@
 //! parsing and dispatch logic stays unit-testable.
 
 use crate::algo::{
-    apsp, apsp_with_paths, compute_pairs, quantum_gamma_count, reference_find_edges,
-    ApspAlgorithm, PairSet, Params, SearchBackend,
+    apsp, apsp_with_paths, compute_pairs, quantum_gamma_count, reference_find_edges, ApspAlgorithm,
+    PairSet, Params, SearchBackend,
 };
 use crate::congest::Clique;
 use crate::graph::generators;
@@ -98,13 +98,11 @@ fn get_flag(args: &[String], name: &str) -> Result<Option<String>, CliError> {
     Ok(None)
 }
 
-fn parse_num<T: std::str::FromStr>(
-    args: &[String],
-    name: &str,
-    default: T,
-) -> Result<T, CliError> {
+fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, CliError> {
     match get_flag(args, name)? {
-        Some(v) => v.parse().map_err(|_| CliError(format!("invalid value for {name}: {v}"))),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError(format!("invalid value for {name}: {v}"))),
         None => Ok(default),
     }
 }
@@ -170,7 +168,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             seed: parse_num(args, "--seed", 7)?,
             bits: parse_num(args, "--bits", 9)?,
         }),
-        other => Err(CliError(format!("unknown command: {other} (try `qcc help`)"))),
+        other => Err(CliError(format!(
+            "unknown command: {other} (try `qcc help`)"
+        ))),
     }
 }
 
@@ -184,7 +184,12 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn st
         Command::Help => {
             write!(out, "{USAGE}")?;
         }
-        Command::Apsp { n, seed, algorithm, w_max } => {
+        Command::Apsp {
+            n,
+            seed,
+            algorithm,
+            w_max,
+        } => {
             let mut rng = StdRng::seed_from_u64(seed);
             let g = generators::random_reweighted_digraph(n, 0.5, w_max, &mut rng);
             let report = apsp(&g, Params::paper(), algorithm, &mut rng)?;
@@ -222,8 +227,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn st
         Command::Paths { n, seed } => {
             let mut rng = StdRng::seed_from_u64(seed);
             let g = generators::random_reweighted_digraph(n, 0.5, 6, &mut rng);
-            let report =
-                apsp_with_paths(&g, Params::paper(), SearchBackend::Classical, &mut rng)?;
+            let report = apsp_with_paths(&g, Params::paper(), SearchBackend::Classical, &mut rng)?;
             writeln!(out, "witnessed APSP on n={n}: {} rounds", report.rounds)?;
             for v in 1..n.min(4) {
                 match report.oracle.path(0, v) {
@@ -321,7 +325,11 @@ mod tests {
     #[test]
     fn run_find_edges_smoke() {
         let mut buf = Vec::new();
-        let cmd = Command::FindEdges { n: 16, seed: 2, backend: SearchBackend::Classical };
+        let cmd = Command::FindEdges {
+            n: 16,
+            seed: 2,
+            backend: SearchBackend::Classical,
+        };
         run(&cmd, &mut buf).unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("exact: true"));
     }
@@ -336,7 +344,15 @@ mod tests {
     #[test]
     fn run_gamma_smoke() {
         let mut buf = Vec::new();
-        run(&Command::Gamma { n: 12, seed: 4, bits: 6 }, &mut buf).unwrap();
+        run(
+            &Command::Gamma {
+                n: 12,
+                seed: 4,
+                bits: 6,
+            },
+            &mut buf,
+        )
+        .unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("Gamma("));
     }
 }

@@ -14,7 +14,15 @@ fn total_rounds_equal_the_sum_of_phase_rounds() {
     let g = generators::random_ugraph(16, 0.5, 4, &mut rng);
     let s = PairSet::all_pairs(16);
     let mut net = Clique::new(16).unwrap();
-    compute_pairs(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng).unwrap();
+    compute_pairs(
+        &g,
+        &s,
+        Params::paper(),
+        SearchBackend::Quantum,
+        &mut net,
+        &mut rng,
+    )
+    .unwrap();
     let phase_sum: u64 = net.metrics().phases().iter().map(|p| p.rounds).sum();
     assert_eq!(net.rounds(), phase_sum);
     let breakdown = RoundBreakdown::from_metrics(net.metrics());
@@ -30,12 +38,25 @@ fn identical_seeds_give_identical_runs() {
     for _ in 0..2 {
         let mut rng = StdRng::seed_from_u64(1002);
         let mut net = Clique::new(16).unwrap();
-        let report =
-            find_edges(&g, &s, Params::scaled(), SearchBackend::Quantum, &mut net, &mut rng)
-                .unwrap();
-        results.push((report.found.clone(), report.rounds, net.metrics().total_bits()));
+        let report = find_edges(
+            &g,
+            &s,
+            Params::scaled(),
+            SearchBackend::Quantum,
+            &mut net,
+            &mut rng,
+        )
+        .unwrap();
+        results.push((
+            report.found.clone(),
+            report.rounds,
+            net.metrics().total_bits(),
+        ));
     }
-    assert_eq!(results[0], results[1], "same seed must reproduce bit-for-bit");
+    assert_eq!(
+        results[0], results[1],
+        "same seed must reproduce bit-for-bit"
+    );
 }
 
 #[test]
@@ -47,7 +68,11 @@ fn rounds_are_monotone_in_message_volume() {
         .map(|i| Envelope::new(NodeId::new(0), NodeId::new(1), RawBits::new(i, 32)))
         .collect();
     let mut large = small.clone();
-    large.push(Envelope::new(NodeId::new(0), NodeId::new(1), RawBits::new(9, 32)));
+    large.push(Envelope::new(
+        NodeId::new(0),
+        NodeId::new(1),
+        RawBits::new(9, 32),
+    ));
     low.exchange(small).unwrap();
     high.exchange(large).unwrap();
     assert!(high.rounds() >= low.rounds());
@@ -56,7 +81,13 @@ fn rounds_are_monotone_in_message_volume() {
 #[test]
 fn bandwidth_increase_never_hurts() {
     let sends: Vec<Envelope<RawBits>> = (0..20)
-        .map(|i| Envelope::new(NodeId::new(i % 6), NodeId::new((i + 1) % 6), RawBits::new(0, 48)))
+        .map(|i| {
+            Envelope::new(
+                NodeId::new(i % 6),
+                NodeId::new((i + 1) % 6),
+                RawBits::new(0, 48),
+            )
+        })
         .collect();
     let mut narrow = Clique::with_bandwidth(6, 16).unwrap();
     let mut wide = Clique::with_bandwidth(6, 64).unwrap();
@@ -72,7 +103,13 @@ fn routing_never_beats_the_bisection_lower_bound() {
     let n = 8;
     let mut net = Clique::with_bandwidth(n, 16).unwrap();
     let sends: Vec<Envelope<RawBits>> = (0..5 * n)
-        .map(|i| Envelope::new(NodeId::new(0), NodeId::new(1 + (i % (n - 1))), RawBits::new(0, 16)))
+        .map(|i| {
+            Envelope::new(
+                NodeId::new(0),
+                NodeId::new(1 + (i % (n - 1))),
+                RawBits::new(0, 16),
+            )
+        })
         .collect();
     net.route(sends).unwrap();
     let delta = (5 * n) as u64;
@@ -84,7 +121,8 @@ fn routing_never_beats_the_bisection_lower_bound() {
 fn bits_and_messages_accumulate_across_phases() {
     let mut net = Clique::new(4).unwrap();
     net.begin_phase("a");
-    net.exchange(vec![Envelope::new(NodeId::new(0), NodeId::new(1), 7u64)]).unwrap();
+    net.exchange(vec![Envelope::new(NodeId::new(0), NodeId::new(1), 7u64)])
+        .unwrap();
     net.begin_phase("b");
     net.exchange(vec![
         Envelope::new(NodeId::new(1), NodeId::new(2), 7u64),
@@ -103,11 +141,25 @@ fn reported_rounds_match_network_deltas_across_nested_calls() {
     let s = PairSet::all_pairs(16);
     let mut net = Clique::new(16).unwrap();
     let before = net.rounds();
-    let r1 = compute_pairs(&g, &s, Params::paper(), SearchBackend::Classical, &mut net, &mut rng)
-        .unwrap();
+    let r1 = compute_pairs(
+        &g,
+        &s,
+        Params::paper(),
+        SearchBackend::Classical,
+        &mut net,
+        &mut rng,
+    )
+    .unwrap();
     let mid = net.rounds();
     assert_eq!(r1.rounds, mid - before);
-    let r2 = find_edges(&g, &s, Params::paper(), SearchBackend::Classical, &mut net, &mut rng)
-        .unwrap();
+    let r2 = find_edges(
+        &g,
+        &s,
+        Params::paper(),
+        SearchBackend::Classical,
+        &mut net,
+        &mut rng,
+    )
+    .unwrap();
     assert_eq!(r2.rounds, net.rounds() - mid);
 }

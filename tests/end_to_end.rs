@@ -6,9 +6,7 @@ use qcc::algo::{
     ApspAlgorithm, PairSet, Params, SearchBackend,
 };
 use qcc::congest::Clique;
-use qcc::graph::{
-    distance_product, floyd_warshall, generators, johnson, ExtWeight, WeightMatrix,
-};
+use qcc::graph::{distance_product, floyd_warshall, generators, johnson, ExtWeight, WeightMatrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -16,7 +14,13 @@ use rand::{Rng, SeedableRng};
 fn theorem1_quantum_apsp_equals_three_oracles() {
     let mut rng = StdRng::seed_from_u64(201);
     let g = generators::random_reweighted_digraph(8, 0.55, 5, &mut rng);
-    let report = apsp(&g, Params::paper(), ApspAlgorithm::QuantumTriangle, &mut rng).unwrap();
+    let report = apsp(
+        &g,
+        Params::paper(),
+        ApspAlgorithm::QuantumTriangle,
+        &mut rng,
+    )
+    .unwrap();
     let fw = floyd_warshall(&g.adjacency_matrix()).unwrap();
     let jo = johnson(&g).unwrap();
     assert_eq!(report.distances, fw);
@@ -65,9 +69,15 @@ fn theorem2_find_edges_with_promise_on_exact_partition_sizes() {
     let (g, triangles) = generators::planted_disjoint_triangles(16, 4, 0.3, &mut rng);
     let s = PairSet::all_pairs(16);
     let mut net = Clique::new(16).unwrap();
-    let report =
-        compute_pairs(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng)
-            .unwrap();
+    let report = compute_pairs(
+        &g,
+        &s,
+        Params::paper(),
+        SearchBackend::Quantum,
+        &mut net,
+        &mut rng,
+    )
+    .unwrap();
     for &(a, b, c) in &triangles {
         assert!(report.found.contains(a, b));
         assert!(report.found.contains(a, c));
@@ -83,12 +93,22 @@ fn proposition1_loop_handles_promise_breaking_instances() {
     let s = PairSet::all_pairs(16);
     let mut net = Clique::new(16).unwrap();
     let mut rng = StdRng::seed_from_u64(205);
-    let report =
-        find_edges(&g, &s, Params::scaled(), SearchBackend::Quantum, &mut net, &mut rng).unwrap();
+    let report = find_edges(
+        &g,
+        &s,
+        Params::scaled(),
+        SearchBackend::Quantum,
+        &mut net,
+        &mut rng,
+    )
+    .unwrap();
     let expected = reference_find_edges(&g, &s);
     // the sampling loop plus final call must recover everything
     assert_eq!(report.found, expected);
-    assert!(report.invocations >= 2, "scaled params run the sampling loop");
+    assert!(
+        report.invocations >= 2,
+        "scaled params run the sampling loop"
+    );
 }
 
 #[test]
@@ -106,12 +126,21 @@ fn quantum_step3_beats_classical_step3_in_probe_depth() {
     let q = compute_pairs(&g, &s, params, SearchBackend::Quantum, &mut net_q, &mut rng).unwrap();
 
     let mut net_c = Clique::new(81).unwrap();
-    let c =
-        compute_pairs(&g, &s, Params::paper(), SearchBackend::Classical, &mut net_c, &mut rng)
-            .unwrap();
+    let c = compute_pairs(
+        &g,
+        &s,
+        Params::paper(),
+        SearchBackend::Classical,
+        &mut net_c,
+        &mut rng,
+    )
+    .unwrap();
 
     assert_eq!(q.found, c.found, "both backends are exact");
-    assert_eq!(c.stats.iterations, 9, "classical scans all √n = 9 fine blocks");
+    assert_eq!(
+        c.stats.iterations, 9,
+        "classical scans all √n = 9 fine blocks"
+    );
 }
 
 #[test]
@@ -119,8 +148,17 @@ fn weights_spanning_the_full_range_round_trip() {
     // stress the wire formats: weights up to ±1000 (log W > log n)
     let mut rng = StdRng::seed_from_u64(207);
     let g = generators::random_reweighted_digraph(6, 0.6, 1000, &mut rng);
-    let report = apsp(&g, Params::paper(), ApspAlgorithm::ClassicalTriangle, &mut rng).unwrap();
-    assert_eq!(report.distances, floyd_warshall(&g.adjacency_matrix()).unwrap());
+    let report = apsp(
+        &g,
+        Params::paper(),
+        ApspAlgorithm::ClassicalTriangle,
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(
+        report.distances,
+        floyd_warshall(&g.adjacency_matrix()).unwrap()
+    );
 }
 
 #[test]
@@ -136,16 +174,34 @@ fn structured_graphs_have_textbook_distances() {
     let mut rng = StdRng::seed_from_u64(209);
     // directed path: dist(i, j) = j - i forward
     let path = qcc::graph::path_digraph(7);
-    let r = apsp(&path, Params::paper(), ApspAlgorithm::ClassicalTriangle, &mut rng).unwrap();
+    let r = apsp(
+        &path,
+        Params::paper(),
+        ApspAlgorithm::ClassicalTriangle,
+        &mut rng,
+    )
+    .unwrap();
     assert_eq!(r.distances[(0, 6)], ExtWeight::from(6));
     assert_eq!(r.distances[(6, 0)], ExtWeight::PosInf);
     // directed cycle: dist(i, j) = (j - i) mod n
     let cycle = qcc::graph::cycle_digraph(6);
-    let r = apsp(&cycle, Params::paper(), ApspAlgorithm::SemiringSquaring, &mut rng).unwrap();
+    let r = apsp(
+        &cycle,
+        Params::paper(),
+        ApspAlgorithm::SemiringSquaring,
+        &mut rng,
+    )
+    .unwrap();
     assert_eq!(r.distances[(4, 1)], ExtWeight::from(3));
     // complete graph with metric weights: every distance is the direct arc
     let complete = qcc::graph::complete_digraph(6, 2);
-    let r = apsp(&complete, Params::paper(), ApspAlgorithm::NaiveBroadcast, &mut rng).unwrap();
+    let r = apsp(
+        &complete,
+        Params::paper(),
+        ApspAlgorithm::NaiveBroadcast,
+        &mut rng,
+    )
+    .unwrap();
     assert_eq!(r.distances[(0, 5)], ExtWeight::from(7));
 }
 
@@ -155,18 +211,31 @@ fn compute_pairs_witness_blocks_hold_real_apexes() {
     let (g, _) = generators::planted_disjoint_triangles(16, 4, 0.3, &mut rng);
     let s = PairSet::all_pairs(16);
     let mut net = Clique::new(16).unwrap();
-    let report =
-        compute_pairs(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng)
-            .unwrap();
+    let report = compute_pairs(
+        &g,
+        &s,
+        Params::paper(),
+        SearchBackend::Quantum,
+        &mut net,
+        &mut rng,
+    )
+    .unwrap();
     assert!(!report.witnesses.is_empty());
     let parts = qcc::graph::PaperPartitions::new(16);
     for w in &report.witnesses {
-        assert!(report.found.contains(w.u, w.v), "witness for unreported pair");
+        assert!(
+            report.found.contains(w.u, w.v),
+            "witness for unreported pair"
+        );
         let has_apex = parts
             .fine
             .block(w.block)
             .any(|apex| g.is_negative_triangle(w.u, w.v, apex));
-        assert!(has_apex, "block {} holds no apex for ({}, {})", w.block, w.u, w.v);
+        assert!(
+            has_apex,
+            "block {} holds no apex for ({}, {})",
+            w.block, w.u, w.v
+        );
     }
     // every found pair carries at least one witness
     for (u, v) in report.found.iter() {

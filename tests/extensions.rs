@@ -2,8 +2,8 @@
 //! through the facade crate the way a downstream user would.
 
 use qcc::algo::{
-    apsp_with_paths, max_additive_error, quantized_apsp, quantum_for_epsilon,
-    quantum_gamma_count, sssp, sssp_with_paths, ApspAlgorithm, PairSet, Params, SearchBackend,
+    apsp_with_paths, max_additive_error, quantized_apsp, quantum_for_epsilon, quantum_gamma_count,
+    sssp, sssp_with_paths, ApspAlgorithm, PairSet, Params, SearchBackend,
 };
 use qcc::congest::Clique;
 use qcc::graph::{
@@ -41,7 +41,14 @@ fn sssp_projects_the_apsp_row() {
     let mut rng = StdRng::seed_from_u64(2002);
     let g = generators::random_reweighted_digraph(9, 0.5, 5, &mut rng);
     let bf = bellman_ford(&g, 4).unwrap();
-    let r = sssp(&g, 4, Params::paper(), ApspAlgorithm::NaiveBroadcast, &mut rng).unwrap();
+    let r = sssp(
+        &g,
+        4,
+        Params::paper(),
+        ApspAlgorithm::NaiveBroadcast,
+        &mut rng,
+    )
+    .unwrap();
     assert_eq!(r.distances, bf);
     let (r2, oracle) =
         sssp_with_paths(&g, 4, Params::paper(), SearchBackend::Classical, &mut rng).unwrap();
@@ -82,7 +89,10 @@ fn quantization_error_is_bounded_end_to_end() {
         quantized_apsp(&g, q, Params::paper(), SearchBackend::Classical, &mut rng).unwrap();
     let err = max_additive_error(&exact, &report.distances);
     assert!(err <= (n as i64 - 1) * q);
-    assert!(err as f64 <= 0.2 * w as f64 * 2.0, "err {err} vs epsilon*W budget");
+    assert!(
+        err as f64 <= 0.2 * w as f64 * 2.0,
+        "err {err} vs epsilon*W budget"
+    );
 }
 
 #[test]
@@ -101,7 +111,9 @@ fn gamma_counting_matches_census_through_the_facade() {
 #[test]
 fn extremum_finding_agrees_with_scans() {
     let mut rng = StdRng::seed_from_u64(2006);
-    let values: Vec<i64> = (0..300).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect();
+    let values: Vec<i64> = (0..300)
+        .map(|_| rng.gen_range(-1_000_000..1_000_000))
+        .collect();
     let min = quantum_minimum(values.len(), |i| values[i], &mut rng);
     let max = quantum_maximum(values.len(), |i| values[i], &mut rng);
     assert_eq!(values[min.index], *values.iter().min().unwrap());
@@ -120,5 +132,9 @@ fn amplitude_estimation_register_sizes_are_practical() {
     // and the estimate at that size is exact (±1) in expectation-land
     let mut rng = StdRng::seed_from_u64(2007);
     let out = est.estimate(est.bits_for_exact_count(), &mut rng);
-    assert!((out.count_estimate - 8.0).abs() < 1.0, "{}", out.count_estimate);
+    assert!(
+        (out.count_estimate - 8.0).abs() < 1.0,
+        "{}",
+        out.count_estimate
+    );
 }

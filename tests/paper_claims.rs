@@ -48,9 +48,8 @@ fn lemma2_cover_completeness_with_subunit_sampling() {
     let trials = 8;
     for _ in 0..trials {
         let mut net = Clique::new(81).unwrap();
-        let cover =
-            qcc::algo::lambda::build_lambda_cover_with_retry(&inst, &mut net, 10, &mut rng)
-                .expect("balance cap is generous at this rate");
+        let cover = qcc::algo::lambda::build_lambda_cover_with_retry(&inst, &mut net, 10, &mut rng)
+            .expect("balance cap is generous at this rate");
         if cover.covers_all_s_edges(&inst) {
             covered += 1;
         }
@@ -71,8 +70,8 @@ fn proposition5_class_bands_separate_light_and_heavy() {
     let inst = Instance::new(&g, &s, params);
     let mut net = Clique::new(16).unwrap();
     let mut rng = StdRng::seed_from_u64(303);
-    let a = qcc::algo::identify_class::identify_class_with_retry(&inst, &mut net, 5, &mut rng)
-        .unwrap();
+    let a =
+        qcc::algo::identify_class::identify_class_with_retry(&inst, &mut net, 5, &mut rng).unwrap();
     // with full sampling d == |Δ| exactly, so the bands are exact:
     for (label, (bu, bv, bw)) in inst.triples.triples() {
         let delta = inst.delta(bu, bv, bw).len();

@@ -2,9 +2,7 @@
 //! measured frequencies must match the closed-form quantum mechanics the
 //! simulator claims to implement exactly.
 
-use qcc::quantum::{
-    grover_search, AmplitudeEstimator, GroverAmplitudes, SearchOracle,
-};
+use qcc::quantum::{grover_search, AmplitudeEstimator, GroverAmplitudes, SearchOracle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -64,7 +62,7 @@ fn random_iteration_success_rate_beats_one_quarter() {
         fn domain_size(&self) -> usize {
             self.marked.len()
         }
-        fn truth(&mut self, item: usize) -> bool {
+        fn truth(&self, item: usize) -> bool {
             self.marked[item]
         }
         fn evaluate_distributed(&mut self, item: usize) -> bool {
@@ -81,7 +79,9 @@ fn random_iteration_success_rate_beats_one_quarter() {
         let trials = 300;
         let mut ok = 0;
         for _ in 0..trials {
-            let mut oracle = Marked { marked: marked.clone() };
+            let mut oracle = Marked {
+                marked: marked.clone(),
+            };
             // single repetition, exact-census optimal k: near-certain;
             // what the multi-search analysis needs is ≥ 1/4, so this is a
             // generous margin check
@@ -109,7 +109,10 @@ fn amplitude_angle_consistency() {
     let theta = amp.theta();
     for k in 0..40u64 {
         let expected = ((2.0 * k as f64 + 1.0) * theta).sin().powi(2);
-        assert!((amp.success_probability(k) - expected).abs() < 1e-12, "k = {k}");
+        assert!(
+            (amp.success_probability(k) - expected).abs() < 1e-12,
+            "k = {k}"
+        );
     }
 }
 

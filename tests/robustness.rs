@@ -2,8 +2,8 @@
 //! promises, oversized payloads, and abort paths.
 
 use qcc::algo::{
-    compute_pairs, find_edges, promise_violation, reference_find_edges, ApspError, PairSet,
-    Params, SearchBackend,
+    compute_pairs, find_edges, promise_violation, reference_find_edges, ApspError, PairSet, Params,
+    SearchBackend,
 };
 use qcc::congest::{Clique, CongestError, Envelope, NodeId, RawBits};
 use qcc::graph::{book_graph, generators, UGraph};
@@ -18,9 +18,15 @@ fn non_fourth_power_sizes_still_work() {
         let g = generators::random_ugraph(n, 0.3, 4, &mut rng);
         let s = PairSet::all_pairs(n);
         let mut net = Clique::new(n).unwrap();
-        let report =
-            compute_pairs(&g, &s, Params::paper(), SearchBackend::Classical, &mut net, &mut rng)
-                .unwrap();
+        let report = compute_pairs(
+            &g,
+            &s,
+            Params::paper(),
+            SearchBackend::Classical,
+            &mut net,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(report.found, reference_find_edges(&g, &s), "n = {n}");
     }
 }
@@ -36,8 +42,7 @@ fn violated_promise_degrades_gracefully() {
     assert!(promise_violation(&g, &s, params.promise_bound(16)).is_some());
     let mut net = Clique::new(16).unwrap();
     let mut rng = StdRng::seed_from_u64(402);
-    let report =
-        compute_pairs(&g, &s, params, SearchBackend::Quantum, &mut net, &mut rng).unwrap();
+    let report = compute_pairs(&g, &s, params, SearchBackend::Quantum, &mut net, &mut rng).unwrap();
     let truth = reference_find_edges(&g, &s);
     for (u, v) in report.found.iter() {
         assert!(truth.contains(u, v), "no false positives even off-promise");
@@ -57,8 +62,15 @@ fn find_edges_handles_dense_all_negative_graphs() {
     let s = PairSet::all_pairs(n);
     let mut net = Clique::new(n).unwrap();
     let mut rng = StdRng::seed_from_u64(403);
-    let report =
-        find_edges(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng).unwrap();
+    let report = find_edges(
+        &g,
+        &s,
+        Params::paper(),
+        SearchBackend::Quantum,
+        &mut net,
+        &mut rng,
+    )
+    .unwrap();
     assert_eq!(report.found.len(), n * (n - 1) / 2);
 }
 
@@ -88,7 +100,13 @@ fn stage_abort_errors_are_reported_not_panicked() {
     let mut rng = StdRng::seed_from_u64(404);
     let err =
         compute_pairs(&g, &s, params, SearchBackend::Quantum, &mut net, &mut rng).unwrap_err();
-    assert!(matches!(err, ApspError::StageAborted { stage: "lambda-cover", .. }));
+    assert!(matches!(
+        err,
+        ApspError::StageAborted {
+            stage: "lambda-cover",
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -107,9 +125,15 @@ fn empty_pair_set_and_empty_graph_compose() {
     let s = PairSet::new();
     let mut net = Clique::new(16).unwrap();
     let mut rng = StdRng::seed_from_u64(405);
-    let report =
-        compute_pairs(&g, &s, Params::paper(), SearchBackend::Quantum, &mut net, &mut rng)
-            .unwrap();
+    let report = compute_pairs(
+        &g,
+        &s,
+        Params::paper(),
+        SearchBackend::Quantum,
+        &mut net,
+        &mut rng,
+    )
+    .unwrap();
     assert!(report.found.is_empty());
 }
 
@@ -126,8 +150,14 @@ fn weights_at_the_representational_edge() {
     let s = PairSet::all_pairs(n);
     let mut net = Clique::new(n).unwrap();
     let mut rng = StdRng::seed_from_u64(406);
-    let report =
-        compute_pairs(&g, &s, Params::paper(), SearchBackend::Classical, &mut net, &mut rng)
-            .unwrap();
+    let report = compute_pairs(
+        &g,
+        &s,
+        Params::paper(),
+        SearchBackend::Classical,
+        &mut net,
+        &mut rng,
+    )
+    .unwrap();
     assert_eq!(report.found, reference_find_edges(&g, &s));
 }
