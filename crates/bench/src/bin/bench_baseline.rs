@@ -19,10 +19,14 @@
 //! asserted identical across worker counts — optimisations must never
 //! change simulation semantics.
 //!
-//! Usage: `bench_baseline [--smoke] [--out PATH]`
+//! Usage: `bench_baseline [--smoke] [--out PATH] [--trace FILE]`
+//!
+//! `--trace FILE` writes an NDJSON congestion trace of the simulated
+//! workloads (route stress + end-to-end APSP); render it with
+//! `qcc trace-summary FILE`.
 
-use qcc_apsp::{apsp, ApspAlgorithm, Params};
-use qcc_congest::{Clique, Envelope, NodeId, RawBits};
+use qcc_apsp::{apsp_traced, ApspAlgorithm, Params};
+use qcc_congest::{Clique, Envelope, NodeId, RawBits, TraceSink};
 use qcc_graph::{
     distance_product_with_threads, random_reweighted_digraph, ExtWeight, WeightMatrix,
 };
@@ -96,7 +100,7 @@ fn bench_distance_products(sizes: &[usize], reps: usize, out: &mut Vec<Sample>) 
     }
 }
 
-fn bench_route_stress(n: usize, reps: usize, out: &mut Vec<Sample>) {
+fn bench_route_stress(n: usize, reps: usize, sink: Option<&TraceSink>, out: &mut Vec<Sample>) {
     // All-to-all fragmented payloads: every node sends 3 bandwidth-widths
     // to every other node, so Lemma 1 relaying and fragmentation both run.
     let bits = 16;
@@ -108,6 +112,10 @@ fn bench_route_stress(n: usize, reps: usize, out: &mut Vec<Sample>) {
         })
         .collect();
     let mut net = Clique::with_bandwidth(n, bits).expect("valid network");
+    if let Some(sink) = sink {
+        net.set_trace_sink(sink.clone());
+    }
+    net.push_span("route-stress");
     let mut rounds_per_phase = None;
     let times_ms = time_reps(reps, || {
         let before = net.rounds();
@@ -116,6 +124,7 @@ fn bench_route_stress(n: usize, reps: usize, out: &mut Vec<Sample>) {
         // Warm scratch must not change charged rounds between phases.
         assert_eq!(*rounds_per_phase.get_or_insert(phase), phase);
     });
+    net.close_all_spans();
     out.push(Sample {
         name: "clique_route_all_to_all".into(),
         n,
@@ -126,16 +135,17 @@ fn bench_route_stress(n: usize, reps: usize, out: &mut Vec<Sample>) {
     });
 }
 
-fn bench_apsp_e2e(n: usize, out: &mut Vec<Sample>) {
+fn bench_apsp_e2e(n: usize, sink: Option<&TraceSink>, out: &mut Vec<Sample>) {
     let mut rng = StdRng::seed_from_u64(0xE1);
     let g = random_reweighted_digraph(n, 0.5, 8, &mut rng);
     let mut rounds = 0;
     let times_ms = time_reps(1, || {
-        let report = apsp(
+        let report = apsp_traced(
             &g,
             Params::scaled(),
             ApspAlgorithm::QuantumTriangle,
             &mut rng,
+            sink,
         )
         .expect("pipeline succeeds");
         rounds = report.rounds;
@@ -195,6 +205,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut out_path = String::from("BENCH_baseline.json");
+    let mut trace_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -206,13 +217,26 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--trace" => match it.next() {
+                Some(path) => trace_path = Some(path.clone()),
+                None => {
+                    eprintln!("bench_baseline: --trace requires a path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("bench_baseline: unknown argument `{other}`");
-                eprintln!("usage: bench_baseline [--smoke] [--out PATH]");
+                eprintln!("usage: bench_baseline [--smoke] [--out PATH] [--trace FILE]");
                 std::process::exit(2);
             }
         }
     }
+    let sink = trace_path.map(|p| {
+        TraceSink::to_file(&p).unwrap_or_else(|e| {
+            eprintln!("bench_baseline: cannot create trace file {p}: {e}");
+            std::process::exit(2);
+        })
+    });
 
     let (sizes, reps, e2e_n): (&[usize], usize, usize) = if smoke {
         (&[64], 2, 16)
@@ -224,9 +248,12 @@ fn main() {
     eprintln!("bench_baseline: distance products (n = {sizes:?}, {reps} reps) ...");
     bench_distance_products(sizes, reps, &mut samples);
     eprintln!("bench_baseline: Clique::route stress ...");
-    bench_route_stress(64, reps, &mut samples);
+    bench_route_stress(64, reps, sink.as_ref(), &mut samples);
     eprintln!("bench_baseline: end-to-end quantum APSP at n = {e2e_n} (single run) ...");
-    bench_apsp_e2e(e2e_n, &mut samples);
+    bench_apsp_e2e(e2e_n, sink.as_ref(), &mut samples);
+    if let Some(sink) = &sink {
+        sink.flush().expect("trace flush");
+    }
 
     let json = to_json(&samples, if smoke { "smoke" } else { "full" });
     std::fs::write(&out_path, &json).expect("write baseline JSON");

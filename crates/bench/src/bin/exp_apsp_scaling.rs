@@ -9,13 +9,24 @@
 //! End-to-end runs execute the entire reduction stack, so sizes stay
 //! moderate; per-stage scaling at larger `n` is covered by E2/E8/E11.
 
-use qcc_apsp::{apsp, ApspAlgorithm, Params};
-use qcc_bench::{banner, loglog_slope, Table};
+use qcc_apsp::{apsp_traced, ApspAlgorithm, Params};
+use qcc_bench::{banner, loglog_slope, take_trace_flag, Table};
 use qcc_graph::{floyd_warshall, random_reweighted_digraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let sink = take_trace_flag(&mut args).unwrap_or_else(|e| {
+        eprintln!("exp_apsp_scaling: {e}");
+        eprintln!("usage: exp_apsp_scaling [--trace FILE]");
+        std::process::exit(2);
+    });
+    if let Some(extra) = args.first() {
+        eprintln!("exp_apsp_scaling: unknown argument `{extra}`");
+        eprintln!("usage: exp_apsp_scaling [--trace FILE]");
+        std::process::exit(2);
+    }
     banner(
         "E1/E9",
         "end-to-end APSP: correctness and round counts across algorithms",
@@ -48,7 +59,13 @@ fn main() {
             ApspAlgorithm::ClassicalTriangle,
             ApspAlgorithm::QuantumTriangle,
         ] {
-            let report = apsp(&g, params, algorithm, &mut rng).unwrap();
+            if let Some(sink) = &sink {
+                sink.open_span(&format!("e1/n{n}/{algorithm:?}"));
+            }
+            let report = apsp_traced(&g, params, algorithm, &mut rng, sink.as_ref()).unwrap();
+            if let Some(sink) = &sink {
+                sink.close_span();
+            }
             exact &= report.distances == oracle;
             rounds.push(report.rounds);
         }
@@ -83,7 +100,20 @@ fn main() {
         let oracle = floyd_warshall(&g.adjacency_matrix()).unwrap();
         let mut params = Params::paper();
         params.search_repetitions = Some(12);
-        let report = apsp(&g, params, ApspAlgorithm::QuantumTriangle, &mut rng).unwrap();
+        if let Some(sink) = &sink {
+            sink.open_span(&format!("e1b/w{w}"));
+        }
+        let report = apsp_traced(
+            &g,
+            params,
+            ApspAlgorithm::QuantumTriangle,
+            &mut rng,
+            sink.as_ref(),
+        )
+        .unwrap();
+        if let Some(sink) = &sink {
+            sink.close_span();
+        }
         table.row(&[
             &w,
             &report.rounds,
@@ -92,4 +122,7 @@ fn main() {
         ]);
     }
     table.print();
+    if let Some(sink) = &sink {
+        sink.flush().expect("trace flush");
+    }
 }

@@ -14,11 +14,22 @@ use qcc_apsp::eval_procedure::{evaluate_joint, evaluate_joint_unbounded, AlphaCo
 use qcc_apsp::gather::gather_weights;
 use qcc_apsp::lambda::KeptPair;
 use qcc_apsp::{Instance, PairSet, Params};
-use qcc_bench::{banner, Table};
+use qcc_bench::{banner, take_trace_flag, Table};
 use qcc_congest::Clique;
 use qcc_graph::congestion_hotspot;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let sink = take_trace_flag(&mut args).unwrap_or_else(|e| {
+        eprintln!("exp_congestion: {e}");
+        eprintln!("usage: exp_congestion [--trace FILE]");
+        std::process::exit(2);
+    });
+    if let Some(extra) = args.first() {
+        eprintln!("exp_congestion: unknown argument `{extra}`");
+        eprintln!("usage: exp_congestion [--trace FILE]");
+        std::process::exit(2);
+    }
     banner(
         "E12",
         "load-balancing ablation: hot-block queries with and without the machinery",
@@ -33,6 +44,10 @@ fn main() {
     let inst = Instance::new(&g, &s, params);
     let hot_block = inst.parts.fine.block_of(2 * 64); // first apex vertex
     let mut net = Clique::new(n).unwrap();
+    if let Some(sink) = &sink {
+        net.set_trace_sink(sink.clone());
+    }
+    net.push_span("e12");
     let gathered = gather_weights(&inst, &mut net).unwrap();
     let labels: Vec<usize> = (0..inst.triples.labeling().label_count()).collect();
 
@@ -111,6 +126,7 @@ fn main() {
         &dup_link,
     ]);
 
+    net.close_all_spans();
     table.print();
     println!(
         "\n(duplication cuts the busiest link by ~{}x at the cost of a one-time\n\
@@ -152,6 +168,10 @@ fn main() {
     };
 
     let mut net2 = Clique::new(n2).unwrap();
+    if let Some(sink) = &sink {
+        net2.set_trace_sink(sink.clone());
+    }
+    net2.push_span("e12b");
     let det = qcc_apsp::build_deterministic_cover(&inst2, &mut net2).unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xE12B);
     use rand::SeedableRng;
@@ -160,6 +180,7 @@ fn main() {
     let mut table = Table::new(&["covering", "max |Lambda_x ∩ Delta| (one label)", "|Delta|"]);
     table.row(&[&"deterministic chunks", &max_overlap(&det), &delta.len()]);
     table.row(&[&"randomized (paper)", &max_overlap(&rnd), &delta.len()]);
+    net2.close_all_spans();
     table.print();
     println!(
         "\n(the randomized cover spreads Delta across the sqrt(n) labels — the\n\
@@ -167,6 +188,9 @@ fn main() {
          adversary a single hot label forever; this is why Section 5.1 uses a\n\
          random covering rather than a partition)"
     );
+    if let Some(sink) = &sink {
+        sink.flush().expect("trace flush");
+    }
 }
 
 fn last_max_link(net: &Clique) -> u64 {

@@ -122,6 +122,41 @@ pub fn banner(id: &str, claim: &str) {
     println!("\n## {id} — {claim}\n");
 }
 
+/// Extracts `--trace FILE` from an experiment binary's argument list,
+/// removing both tokens and opening the NDJSON sink.
+///
+/// The experiment binaries share one convention: `--trace` is optional,
+/// everything else is binary-specific. Returns `Err` with a usage-style
+/// message when the flag is present without a value or the file cannot be
+/// created; the caller prints it and exits non-zero.
+///
+/// # Errors
+///
+/// Returns a message naming the problem (`--trace requires a path`, or the
+/// file-creation failure).
+///
+/// # Examples
+///
+/// ```
+/// let mut args = vec!["--smoke".to_string()];
+/// let sink = qcc_bench::take_trace_flag(&mut args).unwrap();
+/// assert!(sink.is_none());
+/// assert_eq!(args, ["--smoke"]);
+/// ```
+pub fn take_trace_flag(args: &mut Vec<String>) -> Result<Option<qcc_congest::TraceSink>, String> {
+    let Some(i) = args.iter().position(|a| a == "--trace") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+        return Err("--trace requires a path".into());
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    qcc_congest::TraceSink::to_file(&path)
+        .map(Some)
+        .map_err(|e| format!("cannot create trace file {path}: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +198,30 @@ mod tests {
     fn geometric_mean_of_powers() {
         assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn take_trace_flag_removes_its_tokens() {
+        let path =
+            std::env::temp_dir().join(format!("qcc-bench-lib-{}.ndjson", std::process::id()));
+        let mut args = vec![
+            "--smoke".to_string(),
+            "--trace".to_string(),
+            path.to_string_lossy().into_owned(),
+            "--out".to_string(),
+            "x.json".to_string(),
+        ];
+        let sink = take_trace_flag(&mut args).unwrap();
+        assert!(sink.is_some());
+        assert_eq!(args, ["--smoke", "--out", "x.json"]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn take_trace_flag_requires_a_value() {
+        let mut args = vec!["--trace".to_string()];
+        assert!(take_trace_flag(&mut args).is_err());
+        let mut args = vec!["--trace".to_string(), "--smoke".to_string()];
+        assert!(take_trace_flag(&mut args).is_err());
     }
 }

@@ -53,10 +53,15 @@ mod metrics;
 mod network;
 mod node;
 mod payload;
+pub mod trace;
 
 pub use envelope::{collect_sends, total_bits, Envelope, Inboxes};
 pub use error::CongestError;
-pub use metrics::{Metrics, PhaseStats};
+pub use metrics::{Metrics, PhaseStats, RoundHistogram, Span};
 pub use network::{Clique, DEFAULT_BANDWIDTH_FACTOR, EXPLICIT_SCHEDULE_LIMIT};
 pub use node::NodeId;
 pub use payload::{bits_for_count, bits_for_weight_range, Payload, RawBits};
+pub use trace::{
+    parse_trace, parse_trace_line, CommEvent, CommTotals, SpanSummary, TraceBuffer, TraceError,
+    TraceEvent, TraceSink, TraceSummary,
+};

@@ -39,6 +39,7 @@ use crate::error::CongestError;
 use crate::metrics::Metrics;
 use crate::node::NodeId;
 use crate::payload::{bits_for_count, Payload};
+use crate::trace::TraceSink;
 
 /// Default multiplier: one message carries `DEFAULT_BANDWIDTH_FACTOR · ⌈log₂ n⌉` bits.
 ///
@@ -184,7 +185,37 @@ impl Clique {
         self.metrics.begin_phase(label);
     }
 
+    /// Ends the current phase's leaf span (see [`Metrics::end_phase`]).
+    pub fn end_phase(&mut self) {
+        self.metrics.end_phase();
+    }
+
+    /// Opens an explicit grouping span (see [`Metrics::push_span`]).
+    pub fn push_span(&mut self, label: &str) {
+        self.metrics.push_span(label);
+    }
+
+    /// Closes the innermost grouping span (see [`Metrics::pop_span`]).
+    pub fn pop_span(&mut self) {
+        self.metrics.pop_span();
+    }
+
+    /// Closes every open span so an attached trace is well formed
+    /// (see [`Metrics::close_all_spans`]).
+    pub fn close_all_spans(&mut self) {
+        self.metrics.close_all_spans();
+    }
+
+    /// Attaches an NDJSON trace sink (see [`Metrics::set_trace_sink`]).
+    /// Tracing is pure observation: charged rounds are byte-identical with
+    /// and without a sink.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.metrics.set_trace_sink(sink);
+    }
+
     /// Resets round and metric counters, keeping the topology.
+    ///
+    /// Any attached trace sink is dropped with the metrics.
     pub fn reset_metrics(&mut self) {
         self.metrics = Metrics::new();
     }
@@ -224,12 +255,17 @@ impl Clique {
     ) -> Result<Inboxes<T>, CongestError> {
         self.validate(&sends)?;
         self.cache_bit_sizes(&sends);
-        Ok(self.exchange_presized(sends))
+        Ok(self.exchange_presized(sends, "exchange"))
     }
 
     /// `exchange` body, assuming endpoints are validated and
     /// `scratch.bit_sizes[i]` already holds the size of `sends[i]`.
-    fn exchange_presized<T: Payload>(&mut self, sends: Vec<Envelope<T>>) -> Inboxes<T> {
+    /// `kind` tags the trace event (`broadcast` and `gossip` funnel here).
+    fn exchange_presized<T: Payload>(
+        &mut self,
+        sends: Vec<Envelope<T>>,
+        kind: &'static str,
+    ) -> Inboxes<T> {
         let n = self.n;
         let s = &mut self.scratch;
         debug_assert_eq!(s.bit_sizes.len(), sends.len());
@@ -270,8 +306,15 @@ impl Clique {
             inboxes.push(e.dst, e.src, e.payload);
         }
         inboxes.sort();
-        self.metrics
-            .record_exchange(rounds, message_count, total_bits, max_link, max_out, max_in);
+        self.metrics.record_comm(
+            kind,
+            rounds,
+            message_count,
+            total_bits,
+            max_link,
+            max_out,
+            max_in,
+        );
         inboxes
     }
 
@@ -359,7 +402,8 @@ impl Clique {
         };
         let unit_count = s.units.len() as u64;
         let mut inboxes = Inboxes::with_capacities(&s.inbox_counts);
-        self.metrics.record_exchange(
+        self.metrics.record_comm(
+            "route",
             rounds,
             2 * unit_count,
             2 * total_bits,
@@ -402,7 +446,7 @@ impl Clique {
             .collect();
         self.scratch.bit_sizes.clear();
         self.scratch.bit_sizes.resize(sends.len(), bits);
-        Ok(self.exchange_presized(sends))
+        Ok(self.exchange_presized(sends, "broadcast"))
     }
 
     /// Every node broadcasts its own list of items to every other node.
@@ -440,7 +484,7 @@ impl Clique {
                 self.scratch.bit_sizes.push(bits);
             }
         }
-        let inboxes = self.exchange_presized(sends);
+        let inboxes = self.exchange_presized(sends, "gossip");
         let mut out: Vec<Vec<(NodeId, T)>> = Vec::with_capacity(self.n);
         for (i, own) in items.into_iter().enumerate() {
             let me = NodeId::new(i);
@@ -466,7 +510,7 @@ impl Clique {
     /// analytically rather than executed (currently only used by tests and
     /// calibration code; every shipped algorithm executes its messages).
     pub fn charge_rounds(&mut self, rounds: u64) {
-        self.metrics.record_exchange(rounds, 0, 0, 0, 0, 0);
+        self.metrics.record_comm("charge", rounds, 0, 0, 0, 0, 0);
     }
 }
 

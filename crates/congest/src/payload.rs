@@ -55,14 +55,21 @@ pub fn bits_for_count(count: usize) -> u64 {
 /// Number of bits needed for a signed integer weight in `[-magnitude, magnitude]`,
 /// plus one sentinel pattern for "infinity" (absent edge).
 ///
+/// The pattern count saturates at `u64::MAX`, so huge magnitudes report the
+/// full 64 bits instead of wrapping (and then underflowing) in the
+/// intermediate `2·magnitude + 2` arithmetic.
+///
 /// # Examples
 ///
 /// ```
 /// // weights in [-8, 8]: 17 values + infinity = 18 patterns -> 5 bits
 /// assert_eq!(qcc_congest::bits_for_weight_range(8), 5);
+/// assert_eq!(qcc_congest::bits_for_weight_range(u64::MAX), 64);
 /// ```
 pub fn bits_for_weight_range(magnitude: u64) -> u64 {
-    let patterns = 2 * magnitude + 2; // [-M, M] plus infinity sentinel
+    // [-M, M] plus infinity sentinel; saturate instead of wrapping for
+    // M >= (u64::MAX - 1) / 2.
+    let patterns = magnitude.saturating_mul(2).saturating_add(2);
     64 - (patterns - 1).leading_zeros() as u64
 }
 
@@ -163,6 +170,23 @@ mod tests {
         assert_eq!(bits_for_weight_range(1), 2);
         // [0, 0]: 1 value + inf = 2 patterns -> 1 bit
         assert_eq!(bits_for_weight_range(0), 1);
+    }
+
+    #[test]
+    fn bits_for_weight_range_saturates_at_huge_magnitudes() {
+        // 2 * magnitude + 2 would wrap for magnitude >= (u64::MAX - 1) / 2
+        // (and then underflow `patterns - 1` at the wrap point). The
+        // saturating form reports the full 64 bits instead.
+        assert_eq!(bits_for_weight_range(u64::MAX), 64);
+        assert_eq!(bits_for_weight_range(u64::MAX / 2), 64);
+        assert_eq!(bits_for_weight_range((u64::MAX - 1) / 2), 64);
+        assert_eq!(bits_for_weight_range(u64::MAX / 2 - 1), 64);
+        // Monotonicity across the former wrap boundary: growing the
+        // magnitude never shrinks the reported width.
+        assert!(bits_for_weight_range(u64::MAX / 4) <= bits_for_weight_range(u64::MAX / 2));
+        // Largest magnitude whose pattern count still fits: 2^62 - 1 gives
+        // 2^63 patterns -> 63 bits.
+        assert_eq!(bits_for_weight_range((1u64 << 62) - 1), 63);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! recorded from the pre-refactor simulator, so any accounting drift —
 //! however it is introduced — fails loudly.
 
-use qcc_congest::{Clique, Envelope, NodeId, RawBits};
+use qcc_congest::{parse_trace, Clique, Envelope, NodeId, RawBits, TraceSink, TraceSummary};
 
 /// The full metric signature of a finished simulation.
 #[derive(Debug, PartialEq, Eq)]
@@ -224,6 +224,89 @@ fn broadcast_fragmented_counts_are_pinned() {
             max_node_in_bits: 20,
         }
     );
+}
+
+/// Runs the pinned scenarios above once more, optionally traced, and
+/// returns their signatures. Used to prove that attaching a [`TraceSink`]
+/// never moves a single charged unit.
+fn run_pinned_scenarios(trace: Option<&TraceSink>) -> Vec<Signature> {
+    let mut signatures = Vec::new();
+    let attach = |c: &mut Clique, label: &str| {
+        if let Some(sink) = trace {
+            c.set_trace_sink(sink.clone());
+        }
+        c.push_span(label);
+    };
+
+    // Balanced all-to-all route (the Lemma 1 workhorse).
+    let n = 8;
+    let mut c = Clique::with_bandwidth(n, 16).unwrap();
+    attach(&mut c, "route-balanced");
+    let mut sends = Vec::new();
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                sends.push(Envelope::new(
+                    NodeId::new(u),
+                    NodeId::new(v),
+                    RawBits::new(0, 16),
+                ));
+            }
+        }
+    }
+    c.route(sends).unwrap();
+    c.close_all_spans();
+    signatures.push(signature(&c));
+
+    // Uneven gossip.
+    let mut c = Clique::new(5).unwrap();
+    attach(&mut c, "gossip-uneven");
+    let items: Vec<Vec<u64>> = (0..5).map(|i| (0..i as u64 * 3).collect()).collect();
+    c.gossip(items).unwrap();
+    c.close_all_spans();
+    signatures.push(signature(&c));
+
+    // Fragmented exchange.
+    let mut c = Clique::with_bandwidth(2, 10).unwrap();
+    attach(&mut c, "exchange-fragmented");
+    c.exchange(vec![Envelope::new(
+        NodeId::new(0),
+        NodeId::new(1),
+        RawBits::new(0, 35),
+    )])
+    .unwrap();
+    c.close_all_spans();
+    signatures.push(signature(&c));
+
+    // Fragmented broadcast.
+    let mut c = Clique::with_bandwidth(6, 8).unwrap();
+    attach(&mut c, "broadcast-fragmented");
+    c.broadcast(NodeId::new(2), RawBits::new(1, 20)).unwrap();
+    c.close_all_spans();
+    signatures.push(signature(&c));
+
+    signatures
+}
+
+#[test]
+fn tracing_leaves_every_charged_unit_untouched() {
+    let plain = run_pinned_scenarios(None);
+    let (sink, _buffer) = TraceSink::in_memory();
+    let traced = run_pinned_scenarios(Some(&sink));
+    assert_eq!(plain, traced, "tracing must be pure observation");
+}
+
+#[test]
+fn traces_of_pinned_scenarios_are_well_formed_and_sum_correctly() {
+    let (sink, buffer) = TraceSink::in_memory();
+    let signatures = run_pinned_scenarios(Some(&sink));
+    let events = parse_trace(&buffer.contents()).unwrap();
+    let summary = TraceSummary::from_events(&events).unwrap();
+    summary.verify().unwrap();
+    let expected: u64 = signatures.iter().map(|s| s.rounds).sum();
+    assert_eq!(summary.total_rounds(), expected);
+    // One root span per scenario, all factor 1.
+    assert_eq!(summary.roots().len(), signatures.len());
 }
 
 #[test]

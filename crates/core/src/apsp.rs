@@ -8,10 +8,11 @@
 //! `O~(√n log W)`, and two further baselines (full broadcast, semiring
 //! matrix multiplication) complete the comparison of experiment E9.
 
-use crate::distance_product::distributed_distance_product;
+use crate::distance_product::distributed_distance_product_traced;
 use crate::params::Params;
 use crate::step3::SearchBackend;
 use crate::ApspError;
+use qcc_congest::TraceSink;
 use qcc_graph::{DiGraph, ExtWeight, WeightMatrix};
 use rand::Rng;
 
@@ -74,14 +75,39 @@ pub fn apsp<R: Rng>(
     algorithm: ApspAlgorithm,
     rng: &mut R,
 ) -> Result<ApspReport, ApspError> {
+    apsp_traced(g, params, algorithm, rng, None)
+}
+
+/// [`apsp`] with an optional NDJSON trace sink.
+///
+/// The run is wrapped in a root `apsp` span; each squaring product becomes
+/// a `product-k` child scaled by the virtual-network simulation factor, so
+/// the trace's scaled root-span round total equals [`ApspReport::rounds`]
+/// exactly (`qcc trace-summary --expect-rounds` checks this). Round charges
+/// are byte-identical with and without a sink.
+///
+/// # Errors
+///
+/// Same as [`apsp`].
+pub fn apsp_traced<R: Rng>(
+    g: &DiGraph,
+    params: Params,
+    algorithm: ApspAlgorithm,
+    rng: &mut R,
+    trace: Option<&TraceSink>,
+) -> Result<ApspReport, ApspError> {
     match algorithm {
-        ApspAlgorithm::QuantumTriangle => squaring_apsp(g, params, SearchBackend::Quantum, rng),
-        ApspAlgorithm::ClassicalTriangle => squaring_apsp(g, params, SearchBackend::Classical, rng),
+        ApspAlgorithm::QuantumTriangle => {
+            squaring_apsp(g, params, SearchBackend::Quantum, rng, trace)
+        }
+        ApspAlgorithm::ClassicalTriangle => {
+            squaring_apsp(g, params, SearchBackend::Classical, rng, trace)
+        }
         ApspAlgorithm::NaiveBroadcast => {
-            crate::baselines::naive_broadcast_apsp_with_threads(g, params.worker_threads())
+            crate::baselines::naive_broadcast_apsp_traced(g, params.worker_threads(), trace)
         }
         ApspAlgorithm::SemiringSquaring => {
-            crate::baselines::semiring_apsp_with_threads(g, params.worker_threads())
+            crate::baselines::semiring_apsp_traced(g, params.worker_threads(), trace)
         }
     }
 }
@@ -91,19 +117,38 @@ fn squaring_apsp<R: Rng>(
     params: Params,
     backend: SearchBackend,
     rng: &mut R,
+    trace: Option<&TraceSink>,
 ) -> Result<ApspReport, ApspError> {
     let n = g.n();
     let mut current = g.adjacency_matrix();
     let mut rounds = 0u64;
     let mut products = 0u32;
+    if let Some(sink) = trace {
+        sink.open_span("apsp");
+    }
     // Square until the exponent reaches n - 1 (paths need at most n - 1 arcs).
     let mut exponent: u64 = 1;
     while exponent < (n.max(2) as u64) - 1 {
-        let report = distributed_distance_product(&current, &current, params, backend, rng)?;
+        let report = if let Some(sink) = trace {
+            // Each product runs on a virtual Clique(3n); its subtree counts
+            // simulation_factor-fold toward the physical total.
+            sink.open_span_scaled(&format!("product-{products}"), 9);
+            let report = distributed_distance_product_traced(
+                &current, &current, params, backend, rng, trace,
+            );
+            sink.close_span();
+            report?
+        } else {
+            distributed_distance_product_traced(&current, &current, params, backend, rng, None)?
+        };
+        debug_assert_eq!(report.simulation_factor, 9);
         rounds += report.physical_rounds();
         current = report.product;
         products += 1;
         exponent *= 2;
+    }
+    if let Some(sink) = trace {
+        sink.close_span(); // the "apsp" root
     }
     // Negative cycle ⟺ some negative diagonal entry of the closure.
     for i in 0..n {

@@ -9,10 +9,11 @@
 //! `O(log M)` call count — the "polylogarithmic factor" the footnote
 //! pays — and every other part of the pipeline is reused unchanged.
 
-use crate::distance_product::distributed_distance_product;
+use crate::distance_product::distributed_distance_product_traced;
 use crate::params::Params;
 use crate::step3::SearchBackend;
 use crate::ApspError;
+use qcc_congest::TraceSink;
 use qcc_graph::{
     decode_witness, scale_for_witness, DiGraph, ExtWeight, PathOracle, WeightMatrix,
     WitnessedProduct,
@@ -42,9 +43,26 @@ pub fn distributed_witnessed_product<R: Rng>(
     backend: SearchBackend,
     rng: &mut R,
 ) -> Result<WitnessedProductReport, ApspError> {
+    distributed_witnessed_product_traced(a, b, params, backend, rng, None)
+}
+
+/// [`distributed_witnessed_product`] with an optional NDJSON trace sink
+/// (see [`distributed_distance_product_traced`]).
+///
+/// # Errors
+///
+/// Same as [`distributed_witnessed_product`].
+pub fn distributed_witnessed_product_traced<R: Rng>(
+    a: &WeightMatrix,
+    b: &WeightMatrix,
+    params: Params,
+    backend: SearchBackend,
+    rng: &mut R,
+    trace: Option<&TraceSink>,
+) -> Result<WitnessedProductReport, ApspError> {
     let n = a.n();
     let (a2, b2) = scale_for_witness(a, b);
-    let report = distributed_distance_product(&a2, &b2, params, backend, rng)?;
+    let report = distributed_distance_product_traced(&a2, &b2, params, backend, rng, trace)?;
     let witnessed = decode_witness(n, &report.product);
     Ok(WitnessedProductReport {
         witnessed,
@@ -97,20 +115,54 @@ pub fn apsp_with_paths<R: Rng>(
     backend: SearchBackend,
     rng: &mut R,
 ) -> Result<ApspPathsReport, ApspError> {
+    apsp_with_paths_traced(g, params, backend, rng, None)
+}
+
+/// [`apsp_with_paths`] with an optional NDJSON trace sink: a root `apsp`
+/// span with one `product-k` child per witnessed squaring, each scaled by
+/// the virtual-network simulation factor so the trace's scaled root total
+/// equals [`ApspPathsReport::rounds`]. Round charges are byte-identical
+/// with and without a sink.
+///
+/// # Errors
+///
+/// Same as [`apsp_with_paths`].
+pub fn apsp_with_paths_traced<R: Rng>(
+    g: &DiGraph,
+    params: Params,
+    backend: SearchBackend,
+    rng: &mut R,
+    trace: Option<&TraceSink>,
+) -> Result<ApspPathsReport, ApspError> {
     let n = g.n();
     let adjacency = g.adjacency_matrix();
     let mut current = adjacency.clone();
     let mut levels = Vec::new();
     let mut rounds = 0u64;
     let mut products = 0u32;
+    if let Some(sink) = trace {
+        sink.open_span("apsp");
+    }
     let mut exponent: u64 = 1;
     while exponent < (n.max(2) as u64) - 1 {
-        let report = distributed_witnessed_product(&current, &current, params, backend, rng)?;
+        let report = if let Some(sink) = trace {
+            sink.open_span_scaled(&format!("product-{products}"), 9);
+            let report = distributed_witnessed_product_traced(
+                &current, &current, params, backend, rng, trace,
+            );
+            sink.close_span();
+            report?
+        } else {
+            distributed_witnessed_product_traced(&current, &current, params, backend, rng, None)?
+        };
         rounds += report.rounds;
         products += 1;
         levels.push(report.witnessed.witness);
         current = report.witnessed.product;
         exponent *= 2;
+    }
+    if let Some(sink) = trace {
+        sink.close_span(); // the "apsp" root
     }
     for i in 0..n {
         if current[(i, i)] < ExtWeight::ZERO {

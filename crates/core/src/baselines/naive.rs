@@ -3,7 +3,7 @@
 use crate::apsp::{ApspAlgorithm, ApspReport};
 use crate::wire::{weight_bits, Wire};
 use crate::ApspError;
-use qcc_congest::Clique;
+use qcc_congest::{Clique, TraceSink};
 use qcc_graph::{floyd_warshall_with_threads, DiGraph};
 
 /// Solves APSP by having every node broadcast its full adjacency row and
@@ -44,8 +44,27 @@ pub fn naive_broadcast_apsp_with_threads(
     g: &DiGraph,
     threads: usize,
 ) -> Result<ApspReport, ApspError> {
+    naive_broadcast_apsp_traced(g, threads, None)
+}
+
+/// [`naive_broadcast_apsp_with_threads`] with an optional NDJSON trace
+/// sink attached to the internal network. Round charges are byte-identical
+/// with and without a sink.
+///
+/// # Errors
+///
+/// Same as [`naive_broadcast_apsp`].
+pub fn naive_broadcast_apsp_traced(
+    g: &DiGraph,
+    threads: usize,
+    trace: Option<&TraceSink>,
+) -> Result<ApspReport, ApspError> {
     let n = g.n();
     let mut net = Clique::new(n)?;
+    if let Some(sink) = trace {
+        net.set_trace_sink(sink.clone());
+    }
+    net.push_span("apsp");
     net.begin_phase("naive/broadcast-rows");
     let wb = weight_bits(g.weight_magnitude());
     // Each node's item list: its full out-row (one weight per other vertex,
@@ -70,6 +89,7 @@ pub fn naive_broadcast_apsp_with_threads(
     }
     debug_assert_eq!(&reconstructed, g, "gossip must reconstruct the graph");
 
+    net.close_all_spans();
     let distances = floyd_warshall_with_threads(&reconstructed.adjacency_matrix(), threads)?;
     Ok(ApspReport {
         distances,

@@ -14,7 +14,7 @@
 use crate::apsp::{ApspAlgorithm, ApspReport};
 use crate::wire::{weight_bits, Wire};
 use crate::ApspError;
-use qcc_congest::{Clique, CongestError, Envelope, NodeId};
+use qcc_congest::{Clique, CongestError, Envelope, NodeId, TraceSink};
 use qcc_graph::{ExtWeight, Labeling, Partition, WeightMatrix};
 
 /// One distributed min-plus product `A ⋆ B`, charged to `net`.
@@ -258,17 +258,39 @@ pub fn semiring_apsp_with_threads(
     g: &qcc_graph::DiGraph,
     threads: usize,
 ) -> Result<ApspReport, ApspError> {
+    semiring_apsp_traced(g, threads, None)
+}
+
+/// [`semiring_apsp_with_threads`] with an optional NDJSON trace sink:
+/// the run is wrapped in a root `apsp` span with one `product-k` child per
+/// squaring. Round charges are byte-identical with and without a sink.
+///
+/// # Errors
+///
+/// Same as [`semiring_apsp`].
+pub fn semiring_apsp_traced(
+    g: &qcc_graph::DiGraph,
+    threads: usize,
+    trace: Option<&TraceSink>,
+) -> Result<ApspReport, ApspError> {
     let n = g.n();
     let mut net = Clique::new(n)?;
+    if let Some(sink) = trace {
+        net.set_trace_sink(sink.clone());
+    }
+    net.push_span("apsp");
     let mut current = g.adjacency_matrix();
     let mut products = 0u32;
     let mut exponent: u64 = 1;
     while exponent < (n.max(2) as u64) - 1 {
+        net.push_span(&format!("product-{products}"));
         current =
             semiring_distance_product_with_threads(&current.clone(), &current, &mut net, threads)?;
+        net.pop_span();
         products += 1;
         exponent *= 2;
     }
+    net.close_all_spans();
     for i in 0..n {
         if current[(i, i)] < ExtWeight::ZERO {
             return Err(ApspError::NegativeCycle);

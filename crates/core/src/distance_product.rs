@@ -18,7 +18,7 @@ use crate::params::Params;
 use crate::problem::PairSet;
 use crate::step3::SearchBackend;
 use crate::ApspError;
-use qcc_congest::Clique;
+use qcc_congest::{Clique, TraceSink};
 use qcc_graph::{build_tripartite, SquareMatrix, WeightMatrix};
 use rand::Rng;
 
@@ -73,6 +73,27 @@ pub fn distributed_distance_product<R: Rng>(
     backend: SearchBackend,
     rng: &mut R,
 ) -> Result<DistanceProductReport, ApspError> {
+    distributed_distance_product_traced(a, b, params, backend, rng, None)
+}
+
+/// [`distributed_distance_product`] with an optional NDJSON trace sink.
+///
+/// The internal virtual `Clique(3n)` attaches to `trace`, so every
+/// `FindEdges` span and communication call lands in the caller's trace
+/// (nested under whatever span the caller has open). Round charges are
+/// byte-identical with and without a sink.
+///
+/// # Errors
+///
+/// Same as [`distributed_distance_product`].
+pub fn distributed_distance_product_traced<R: Rng>(
+    a: &WeightMatrix,
+    b: &WeightMatrix,
+    params: Params,
+    backend: SearchBackend,
+    rng: &mut R,
+    trace: Option<&TraceSink>,
+) -> Result<DistanceProductReport, ApspError> {
     if a.n() != b.n() {
         return Err(ApspError::DimensionMismatch {
             expected: a.n(),
@@ -98,6 +119,9 @@ pub fn distributed_distance_product<R: Rng>(
     let mut hi = SquareMatrix::filled(n, 2 * m + 2);
 
     let mut net = Clique::new(3 * n)?;
+    if let Some(sink) = trace {
+        net.set_trace_sink(sink.clone());
+    }
     let layout = qcc_graph::TripartiteLayout::new(n);
     let mut s = PairSet::new();
     for i in 0..n {
@@ -124,8 +148,9 @@ pub fn distributed_distance_product<R: Rng>(
             }
         });
         let (graph, layout) = build_tripartite(a, b, &d);
-        net.begin_phase(&format!("distance-product/call{calls}"));
+        net.push_span(&format!("distance-product/call{calls}"));
         let report = find_edges(&graph, &s, params, backend, &mut net, rng)?;
+        net.pop_span();
         calls += 1;
         for i in 0..n {
             for j in 0..n {
@@ -151,6 +176,9 @@ pub fn distributed_distance_product<R: Rng>(
             qcc_graph::ExtWeight::from(hi[(i, j)] - 1)
         }
     });
+
+    // Leave the trace well formed: this Clique is dropped on return.
+    net.close_all_spans();
 
     Ok(DistanceProductReport {
         product,

@@ -132,10 +132,12 @@ fn find_edges_inner<R: Rng>(
     };
 
     // While-loop of Algorithm B: sampled subgraphs with increasing density.
+    // Each iteration is an explicit span grouping the compute-pairs phases
+    // run inside it (the flat phase labels are begun by those subroutines).
     let mut i: u32 = 0;
     while params.prop1_continues(n, i) {
         let p = params.prop1_probability(n, i);
-        net.begin_phase(&format!("find-edges/loop{i}"));
+        net.push_span(&format!("find-edges/loop{i}"));
         let sampled = graph.sample_edges(p, rng);
         if !remaining.is_empty() {
             let remaining_before = remaining.len();
@@ -155,6 +157,7 @@ fn find_edges_inner<R: Rng>(
             invocations += 1;
             accumulate(&mut stats, &report);
         }
+        net.pop_span();
         i += 1;
         if i > 64 {
             break; // safety net; unreachable for sane params
@@ -162,7 +165,7 @@ fn find_edges_inner<R: Rng>(
     }
 
     // Final unsampled call on the whole graph.
-    net.begin_phase("find-edges/final");
+    net.push_span("find-edges/final");
     if !remaining.is_empty() {
         let remaining_before = remaining.len();
         let report = compute_pairs(graph, &remaining, params, backend, net, rng)?;
@@ -180,6 +183,7 @@ fn find_edges_inner<R: Rng>(
         invocations += 1;
         accumulate(&mut stats, &report);
     }
+    net.pop_span();
 
     Ok((
         FindEdgesReport {

@@ -73,19 +73,23 @@ pub use step3::{FoundWitness, SearchBackend, Step3Output, Step3Stats};
 pub use wire::{pair_bits, weight_bits, Wire};
 
 pub mod distance_product;
-pub use distance_product::{distributed_distance_product, DistanceProductReport};
+pub use distance_product::{
+    distributed_distance_product, distributed_distance_product_traced, DistanceProductReport,
+};
 
 pub mod apsp;
 pub mod baselines;
-pub use apsp::{apsp, ApspAlgorithm, ApspReport};
+pub use apsp::{apsp, apsp_traced, ApspAlgorithm, ApspReport};
 pub use baselines::{
-    dolev_find_edges, naive_broadcast_apsp, naive_broadcast_apsp_with_threads, semiring_apsp,
+    dolev_find_edges, naive_broadcast_apsp, naive_broadcast_apsp_traced,
+    naive_broadcast_apsp_with_threads, semiring_apsp, semiring_apsp_traced,
     semiring_apsp_with_threads, semiring_distance_product, semiring_distance_product_with_threads,
 };
 
 pub mod apsp_paths;
 pub use apsp_paths::{
-    apsp_with_paths, distributed_witnessed_product, ApspPathsReport, WitnessedProductReport,
+    apsp_with_paths, apsp_with_paths_traced, distributed_witnessed_product,
+    distributed_witnessed_product_traced, ApspPathsReport, WitnessedProductReport,
 };
 
 pub mod gamma_count;

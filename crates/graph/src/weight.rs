@@ -15,8 +15,11 @@ use std::ops::Add;
 /// Addition follows min-plus shortest-path conventions: `+∞` is absorbing
 /// (`+∞ + x = +∞` for every `x`, including `−∞`, since a missing edge kills
 /// a path regardless of what else the path contains), and `−∞ + finite =
-/// −∞`. Finite additions are checked: overflow panics in debug and
-/// saturates in release via `i64::saturating_add`.
+/// −∞`. Finite additions that overflow `i64` saturate to the matching
+/// infinity (`+∞` for positive overflow, `−∞` for negative), preserving the
+/// semiring order: a path longer than every representable finite weight
+/// must never compare *below* `+∞`, or [`ExtWeight::min_with`] would let it
+/// beat a real path.
 ///
 /// # Examples
 ///
@@ -122,10 +125,15 @@ impl Add for ExtWeight {
             // +inf is absorbing: a path through a missing edge does not exist.
             (PosInf, _) | (_, PosInf) => PosInf,
             (NegInf, _) | (_, NegInf) => NegInf,
-            (Finite(a), Finite(b)) => {
-                debug_assert!(a.checked_add(b).is_some(), "weight overflow: {a} + {b}");
-                Finite(a.saturating_add(b))
-            }
+            (Finite(a), Finite(b)) => match a.checked_add(b) {
+                Some(sum) => Finite(sum),
+                // Overflowing operands share a sign; saturate to the
+                // matching infinity so the order stays consistent
+                // (Finite(i64::MAX) < PosInf would rank a fictitious
+                // overflowed distance below "no path").
+                None if a > 0 => PosInf,
+                None => NegInf,
+            },
         }
     }
 }
@@ -170,6 +178,52 @@ mod tests {
             ExtWeight::from(4) + ExtWeight::from(-9),
             ExtWeight::from(-5)
         );
+    }
+
+    #[test]
+    fn overflow_saturates_to_the_matching_infinity() {
+        // Positive overflow must not produce Finite(i64::MAX), which would
+        // compare below PosInf and beat a real path in min_with.
+        assert_eq!(
+            ExtWeight::from(i64::MAX) + ExtWeight::from(1),
+            ExtWeight::PosInf
+        );
+        assert_eq!(
+            ExtWeight::from(i64::MAX) + ExtWeight::from(i64::MAX),
+            ExtWeight::PosInf
+        );
+        assert_eq!(
+            ExtWeight::from(i64::MIN) + ExtWeight::from(-1),
+            ExtWeight::NegInf
+        );
+        assert_eq!(
+            ExtWeight::from(i64::MIN) + ExtWeight::from(i64::MIN),
+            ExtWeight::NegInf
+        );
+    }
+
+    #[test]
+    fn boundary_additions_that_fit_stay_finite() {
+        assert_eq!(
+            ExtWeight::from(i64::MAX - 1) + ExtWeight::from(1),
+            ExtWeight::from(i64::MAX)
+        );
+        assert_eq!(
+            ExtWeight::from(i64::MIN + 1) + ExtWeight::from(-1),
+            ExtWeight::from(i64::MIN)
+        );
+        assert_eq!(
+            ExtWeight::from(i64::MAX) + ExtWeight::from(i64::MIN),
+            ExtWeight::from(-1)
+        );
+    }
+
+    #[test]
+    fn overflowed_path_never_beats_a_real_path() {
+        let overflowed = ExtWeight::from(i64::MAX) + ExtWeight::from(1);
+        let real = ExtWeight::from(i64::MAX);
+        assert_eq!(overflowed.min_with(real), real);
+        assert_eq!(real.min_with(overflowed), real);
     }
 
     #[test]

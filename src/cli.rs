@@ -1,15 +1,18 @@
 //! Command-line front-end (argument parsing and dispatch for `qcc`).
 //!
 //! Kept dependency-free: a small hand-rolled `--flag value` parser feeding
-//! typed commands. The binary in `src/bin/qcc.rs` is a thin wrapper so the
-//! parsing and dispatch logic stays unit-testable.
+//! typed commands. Every subcommand declares the exact flag set it accepts
+//! and anything else — a misspelled flag, a stray positional, a repeated
+//! flag — is rejected with an error naming the offender, so typos like
+//! `--wamx` fail loudly instead of silently running with defaults. The
+//! binary in `src/bin/qcc.rs` is a thin wrapper so the parsing and dispatch
+//! logic stays unit-testable.
 
 use crate::algo::{
-    apsp, apsp_with_paths, compute_pairs, quantum_gamma_count, reference_find_edges, ApspAlgorithm,
-    PairSet, Params, SearchBackend,
+    apsp_traced, apsp_with_paths_traced, compute_pairs, quantum_gamma_count, reference_find_edges,
+    ApspAlgorithm, PairSet, Params, SearchBackend,
 };
-use crate::congest::Clique;
-use crate::graph::generators;
+use crate::congest::{parse_trace, Clique, TraceSink, TraceSummary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -27,6 +30,8 @@ pub enum Command {
         algorithm: ApspAlgorithm,
         /// Maximum weight magnitude.
         w_max: u64,
+        /// NDJSON trace output file.
+        trace: Option<String>,
     },
     /// Run `FindEdgesWithPromise` on a planted instance.
     FindEdges {
@@ -36,6 +41,8 @@ pub enum Command {
         seed: u64,
         /// Quantum or classical Step 3.
         backend: SearchBackend,
+        /// NDJSON trace output file.
+        trace: Option<String>,
     },
     /// Reconstruct explicit shortest routes.
     Paths {
@@ -43,6 +50,8 @@ pub enum Command {
         n: usize,
         /// RNG seed.
         seed: u64,
+        /// NDJSON trace output file.
+        trace: Option<String>,
     },
     /// Count negative triangles through sample pairs by quantum counting.
     Gamma {
@@ -52,6 +61,17 @@ pub enum Command {
         seed: u64,
         /// Phase-register bits.
         bits: u32,
+        /// NDJSON trace output file.
+        trace: Option<String>,
+    },
+    /// Render an NDJSON trace file as a span tree.
+    TraceSummary {
+        /// Trace file to read.
+        file: String,
+        /// Fail unless the scaled round total equals this.
+        expect_rounds: Option<u64>,
+        /// Deepest span level to print.
+        max_depth: usize,
     },
     /// Print usage.
     Help,
@@ -77,33 +97,100 @@ USAGE:
     qcc <COMMAND> [--n N] [--seed S] [flags]
 
 COMMANDS:
-    apsp        run all-pairs shortest paths          [--algorithm quantum|classical|naive|semiring] [--wmax W]
-    find-edges  run FindEdgesWithPromise              [--backend quantum|classical]
-    paths       APSP with explicit route extraction
-    gamma       quantum triangle counting             [--bits B]
-    help        show this message
+    apsp           run all-pairs shortest paths   [--algorithm quantum|classical|naive|semiring] [--wmax W] [--trace FILE]
+    find-edges     run FindEdgesWithPromise       [--backend quantum|classical] [--trace FILE]
+    paths          APSP with explicit route extraction   [--trace FILE]
+    gamma          quantum triangle counting      [--bits B] [--trace FILE]
+    trace-summary  render an NDJSON trace tree    FILE [--expect-rounds R] [--max-depth D]
+    help           show this message
 
 Defaults: --n 8 (apsp/paths), --n 16 (find-edges/gamma), --seed 7.
+--trace FILE writes one NDJSON event per span open/close and per
+communication call; inspect it with `qcc trace-summary FILE`.
 ";
 
-fn get_flag(args: &[String], name: &str) -> Result<Option<String>, CliError> {
-    for (i, a) in args.iter().enumerate() {
-        if a == name {
-            return match args.get(i + 1) {
-                Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
-                _ => Err(CliError(format!("flag {name} needs a value"))),
-            };
-        }
-    }
-    Ok(None)
+/// Flags and positionals of one subcommand, validated against its
+/// declared flag set.
+struct Flags {
+    values: Vec<(String, String)>,
+    positionals: Vec<String>,
 }
 
-fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, CliError> {
-    match get_flag(args, name)? {
-        Some(v) => v
-            .parse()
-            .map_err(|_| CliError(format!("invalid value for {name}: {v}"))),
-        None => Ok(default),
+/// Walks `args`, pairing each `--flag` with its value. Flags not in
+/// `allowed`, flags without a value, and repeated flags are errors;
+/// non-flag tokens are collected as positionals for the caller to vet.
+fn collect_flags(command: &str, args: &[String], allowed: &[&str]) -> Result<Flags, CliError> {
+    let mut values: Vec<(String, String)> = Vec::new();
+    let mut positionals = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            if !allowed.contains(&a.as_str()) {
+                return Err(CliError(format!(
+                    "unknown flag for `{command}`: {a} (allowed: {})",
+                    allowed.join(", ")
+                )));
+            }
+            if values.iter().any(|(k, _)| k == a) {
+                return Err(CliError(format!("flag {a} given more than once")));
+            }
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    values.push((a.clone(), v.clone()));
+                    i += 2;
+                }
+                _ => return Err(CliError(format!("flag {a} needs a value"))),
+            }
+        } else {
+            positionals.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok(Flags {
+        values,
+        positionals,
+    })
+}
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("invalid value for {name}: {v}"))),
+            None => Ok(default),
+        }
+    }
+
+    fn opt_num<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.get(name) {
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError(format!("invalid value for {name}: {v}"))),
+            None => Ok(None),
+        }
+    }
+
+    fn trace(&self) -> Option<String> {
+        self.get("--trace").map(String::from)
+    }
+
+    fn reject_positionals(&self, command: &str) -> Result<(), CliError> {
+        match self.positionals.first() {
+            Some(p) => Err(CliError(format!(
+                "unexpected argument for `{command}`: {p}"
+            ))),
+            None => Ok(()),
+        }
     }
 }
 
@@ -111,8 +198,8 @@ fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> R
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] on unknown commands, unknown enum values, or
-/// malformed numbers.
+/// Returns [`CliError`] on unknown commands, unknown flags, unknown enum
+/// values, repeated flags, stray positionals, or malformed numbers.
 ///
 /// # Examples
 ///
@@ -123,17 +210,32 @@ fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> R
 /// let cmd = parse(&["apsp".into(), "--n".into(), "12".into()]).unwrap();
 /// assert_eq!(
 ///     cmd,
-///     Command::Apsp { n: 12, seed: 7, algorithm: ApspAlgorithm::QuantumTriangle, w_max: 8 }
+///     Command::Apsp {
+///         n: 12,
+///         seed: 7,
+///         algorithm: ApspAlgorithm::QuantumTriangle,
+///         w_max: 8,
+///         trace: None,
+///     }
 /// );
+/// // A misspelled flag is an error, not a silently ignored token:
+/// assert!(parse(&["apsp".into(), "--wamx".into(), "99".into()]).is_err());
 /// ```
 pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let Some(command) = args.first() else {
         return Ok(Command::Help);
     };
+    let rest = &args[1..];
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "apsp" => {
-            let algorithm = match get_flag(args, "--algorithm")?.as_deref() {
+            let flags = collect_flags(
+                command,
+                rest,
+                &["--n", "--seed", "--algorithm", "--wmax", "--trace"],
+            )?;
+            flags.reject_positionals(command)?;
+            let algorithm = match flags.get("--algorithm") {
                 None | Some("quantum") => ApspAlgorithm::QuantumTriangle,
                 Some("classical") => ApspAlgorithm::ClassicalTriangle,
                 Some("naive") => ApspAlgorithm::NaiveBroadcast,
@@ -141,37 +243,85 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 Some(other) => return Err(CliError(format!("unknown algorithm: {other}"))),
             };
             Ok(Command::Apsp {
-                n: parse_num(args, "--n", 8)?,
-                seed: parse_num(args, "--seed", 7)?,
+                n: flags.num("--n", 8)?,
+                seed: flags.num("--seed", 7)?,
                 algorithm,
-                w_max: parse_num(args, "--wmax", 8)?,
+                w_max: flags.num("--wmax", 8)?,
+                trace: flags.trace(),
             })
         }
         "find-edges" => {
-            let backend = match get_flag(args, "--backend")?.as_deref() {
+            let flags = collect_flags(command, rest, &["--n", "--seed", "--backend", "--trace"])?;
+            flags.reject_positionals(command)?;
+            let backend = match flags.get("--backend") {
                 None | Some("quantum") => SearchBackend::Quantum,
                 Some("classical") => SearchBackend::Classical,
                 Some(other) => return Err(CliError(format!("unknown backend: {other}"))),
             };
             Ok(Command::FindEdges {
-                n: parse_num(args, "--n", 16)?,
-                seed: parse_num(args, "--seed", 7)?,
+                n: flags.num("--n", 16)?,
+                seed: flags.num("--seed", 7)?,
                 backend,
+                trace: flags.trace(),
             })
         }
-        "paths" => Ok(Command::Paths {
-            n: parse_num(args, "--n", 8)?,
-            seed: parse_num(args, "--seed", 7)?,
-        }),
-        "gamma" => Ok(Command::Gamma {
-            n: parse_num(args, "--n", 16)?,
-            seed: parse_num(args, "--seed", 7)?,
-            bits: parse_num(args, "--bits", 9)?,
-        }),
+        "paths" => {
+            let flags = collect_flags(command, rest, &["--n", "--seed", "--trace"])?;
+            flags.reject_positionals(command)?;
+            Ok(Command::Paths {
+                n: flags.num("--n", 8)?,
+                seed: flags.num("--seed", 7)?,
+                trace: flags.trace(),
+            })
+        }
+        "gamma" => {
+            let flags = collect_flags(command, rest, &["--n", "--seed", "--bits", "--trace"])?;
+            flags.reject_positionals(command)?;
+            Ok(Command::Gamma {
+                n: flags.num("--n", 16)?,
+                seed: flags.num("--seed", 7)?,
+                bits: flags.num("--bits", 9)?,
+                trace: flags.trace(),
+            })
+        }
+        "trace-summary" => {
+            let flags = collect_flags(command, rest, &["--expect-rounds", "--max-depth"])?;
+            let file = match flags.positionals.as_slice() {
+                [f] => f.clone(),
+                [] => return Err(CliError("trace-summary needs a trace file argument".into())),
+                [_, extra, ..] => {
+                    return Err(CliError(format!(
+                        "unexpected argument for `{command}`: {extra}"
+                    )))
+                }
+            };
+            Ok(Command::TraceSummary {
+                file,
+                expect_rounds: flags.opt_num("--expect-rounds")?,
+                max_depth: flags.num("--max-depth", usize::MAX)?,
+            })
+        }
         other => Err(CliError(format!(
             "unknown command: {other} (try `qcc help`)"
         ))),
     }
+}
+
+/// Creates the NDJSON sink for `--trace FILE`, if requested.
+fn open_sink(path: Option<&String>) -> Result<Option<TraceSink>, CliError> {
+    match path {
+        None => Ok(None),
+        Some(p) => TraceSink::to_file(p)
+            .map(Some)
+            .map_err(|e| CliError(format!("cannot create trace file {p}: {e}"))),
+    }
+}
+
+fn flush_sink(sink: Option<&TraceSink>) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(sink) = sink {
+        sink.flush()?;
+    }
+    Ok(())
 }
 
 /// Executes a parsed command, writing human-readable output to `out`.
@@ -189,10 +339,13 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn st
             seed,
             algorithm,
             w_max,
+            ref trace,
         } => {
             let mut rng = StdRng::seed_from_u64(seed);
-            let g = generators::random_reweighted_digraph(n, 0.5, w_max, &mut rng);
-            let report = apsp(&g, Params::paper(), algorithm, &mut rng)?;
+            let g = crate::graph::generators::random_reweighted_digraph(n, 0.5, w_max, &mut rng);
+            let sink = open_sink(trace.as_ref())?;
+            let report = apsp_traced(&g, Params::paper(), algorithm, &mut rng, sink.as_ref())?;
+            flush_sink(sink.as_ref())?;
             writeln!(
                 out,
                 "{algorithm:?} APSP on n={n} (seed {seed}): {} rounds, {} products",
@@ -205,9 +358,14 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn st
                 .count();
             writeln!(out, "{finite}/{} pairs reachable", n * n)?;
         }
-        Command::FindEdges { n, seed, backend } => {
+        Command::FindEdges {
+            n,
+            seed,
+            backend,
+            ref trace,
+        } => {
             let mut rng = StdRng::seed_from_u64(seed);
-            let (g, _) = generators::planted_disjoint_triangles(
+            let (g, _) = crate::graph::generators::planted_disjoint_triangles(
                 n,
                 n / 8,
                 (8.0 / n as f64).min(0.5),
@@ -215,7 +373,14 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn st
             );
             let s = PairSet::all_pairs(n);
             let mut net = Clique::new(n)?;
+            let sink = open_sink(trace.as_ref())?;
+            if let Some(sink) = &sink {
+                net.set_trace_sink(sink.clone());
+            }
+            net.push_span("find-edges");
             let report = compute_pairs(&g, &s, Params::paper(), backend, &mut net, &mut rng)?;
+            net.close_all_spans();
+            flush_sink(sink.as_ref())?;
             let exact = report.found == reference_find_edges(&g, &s);
             writeln!(
                 out,
@@ -224,10 +389,18 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn st
                 report.rounds
             )?;
         }
-        Command::Paths { n, seed } => {
+        Command::Paths { n, seed, ref trace } => {
             let mut rng = StdRng::seed_from_u64(seed);
-            let g = generators::random_reweighted_digraph(n, 0.5, 6, &mut rng);
-            let report = apsp_with_paths(&g, Params::paper(), SearchBackend::Classical, &mut rng)?;
+            let g = crate::graph::generators::random_reweighted_digraph(n, 0.5, 6, &mut rng);
+            let sink = open_sink(trace.as_ref())?;
+            let report = apsp_with_paths_traced(
+                &g,
+                Params::paper(),
+                SearchBackend::Classical,
+                &mut rng,
+                sink.as_ref(),
+            )?;
+            flush_sink(sink.as_ref())?;
             writeln!(out, "witnessed APSP on n={n}: {} rounds", report.rounds)?;
             for v in 1..n.min(4) {
                 match report.oracle.path(0, v) {
@@ -239,16 +412,28 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn st
                 }
             }
         }
-        Command::Gamma { n, seed, bits } => {
+        Command::Gamma {
+            n,
+            seed,
+            bits,
+            ref trace,
+        } => {
             let mut rng = StdRng::seed_from_u64(seed);
-            let g = generators::random_ugraph(n, 0.5, 5, &mut rng);
+            let g = crate::graph::generators::random_ugraph(n, 0.5, 5, &mut rng);
             let pairs: PairSet = g.edges().map(|(u, v, _)| (u, v)).take(5).collect();
             if pairs.is_empty() {
                 writeln!(out, "instance has no edges; nothing to count")?;
                 return Ok(());
             }
             let mut net = Clique::new(n)?;
+            let sink = open_sink(trace.as_ref())?;
+            if let Some(sink) = &sink {
+                net.set_trace_sink(sink.clone());
+            }
+            net.push_span("gamma");
             let report = quantum_gamma_count(&g, &pairs, bits, 5, &mut net, &mut rng)?;
+            net.close_all_spans();
+            flush_sink(sink.as_ref())?;
             for &(u, v, est, truth) in &report.estimates {
                 writeln!(out, "  Gamma({u}, {v}) ~= {est} (true {truth})")?;
             }
@@ -257,6 +442,27 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn st
                 "{} oracle queries/pair, {} rounds",
                 report.oracle_queries, report.rounds
             )?;
+        }
+        Command::TraceSummary {
+            ref file,
+            expect_rounds,
+            max_depth,
+        } => {
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
+            let events = parse_trace(&text)?;
+            let summary = TraceSummary::from_events(&events)?;
+            summary.verify()?;
+            write!(out, "{}", summary.render(max_depth))?;
+            if let Some(expected) = expect_rounds {
+                let got = summary.total_rounds();
+                if got != expected {
+                    return Err(Box::new(CliError(format!(
+                        "trace total is {got} rounds, expected {expected}"
+                    ))));
+                }
+                writeln!(out, "round total matches expected {expected}")?;
+            }
         }
     }
     Ok(())
@@ -268,6 +474,10 @@ mod tests {
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("qcc-cli-{tag}-{}.ndjson", std::process::id()))
     }
 
     #[test]
@@ -286,9 +496,47 @@ mod tests {
                 n: 12,
                 seed: 3,
                 algorithm: ApspAlgorithm::SemiringSquaring,
-                w_max: 99
+                w_max: 99,
+                trace: None,
             }
         );
+    }
+
+    #[test]
+    fn trace_flag_parses_on_every_runner() {
+        for line in [
+            "apsp --trace out.ndjson",
+            "find-edges --trace out.ndjson",
+            "paths --trace out.ndjson",
+            "gamma --trace out.ndjson",
+        ] {
+            let cmd = parse(&argv(line)).unwrap();
+            let trace = match cmd {
+                Command::Apsp { trace, .. }
+                | Command::FindEdges { trace, .. }
+                | Command::Paths { trace, .. }
+                | Command::Gamma { trace, .. } => trace,
+                other => panic!("unexpected command: {other:?}"),
+            };
+            assert_eq!(trace.as_deref(), Some("out.ndjson"), "{line}");
+        }
+    }
+
+    #[test]
+    fn trace_summary_parses() {
+        assert_eq!(
+            parse(&argv(
+                "trace-summary run.ndjson --expect-rounds 42 --max-depth 3"
+            ))
+            .unwrap(),
+            Command::TraceSummary {
+                file: "run.ndjson".into(),
+                expect_rounds: Some(42),
+                max_depth: 3,
+            }
+        );
+        assert!(parse(&argv("trace-summary")).is_err());
+        assert!(parse(&argv("trace-summary a.ndjson b.ndjson")).is_err());
     }
 
     #[test]
@@ -298,6 +546,25 @@ mod tests {
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("apsp --n")).is_err());
         assert!(parse(&argv("apsp --n twelve")).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_and_named() {
+        let e = parse(&argv("apsp --wamx 99")).unwrap_err();
+        assert!(e.0.contains("--wamx"), "{e}");
+        assert!(e.0.contains("--wmax"), "should list allowed flags: {e}");
+        // Flags valid on one subcommand are still rejected on another.
+        assert!(parse(&argv("paths --bits 3")).is_err());
+        assert!(parse(&argv("gamma --wmax 2")).is_err());
+        assert!(parse(&argv("find-edges --algorithm quantum")).is_err());
+    }
+
+    #[test]
+    fn stray_positionals_and_repeats_are_rejected() {
+        let e = parse(&argv("apsp extra")).unwrap_err();
+        assert!(e.0.contains("extra"), "{e}");
+        let e = parse(&argv("apsp --n 4 --n 5")).unwrap_err();
+        assert!(e.0.contains("--n"), "{e}");
     }
 
     #[test]
@@ -315,6 +582,7 @@ mod tests {
             seed: 1,
             algorithm: ApspAlgorithm::NaiveBroadcast,
             w_max: 5,
+            trace: None,
         };
         run(&cmd, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
@@ -329,6 +597,7 @@ mod tests {
             n: 16,
             seed: 2,
             backend: SearchBackend::Classical,
+            trace: None,
         };
         run(&cmd, &mut buf).unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("exact: true"));
@@ -337,7 +606,15 @@ mod tests {
     #[test]
     fn run_paths_smoke() {
         let mut buf = Vec::new();
-        run(&Command::Paths { n: 6, seed: 3 }, &mut buf).unwrap();
+        run(
+            &Command::Paths {
+                n: 6,
+                seed: 3,
+                trace: None,
+            },
+            &mut buf,
+        )
+        .unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("witnessed APSP"));
     }
 
@@ -349,10 +626,96 @@ mod tests {
                 n: 12,
                 seed: 4,
                 bits: 6,
+                trace: None,
             },
             &mut buf,
         )
         .unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("Gamma("));
+    }
+
+    #[test]
+    fn run_traced_apsp_then_summary_agrees_on_rounds() {
+        let path = temp_path("apsp-summary");
+        let mut buf = Vec::new();
+        run(
+            &Command::Apsp {
+                n: 6,
+                seed: 5,
+                algorithm: ApspAlgorithm::NaiveBroadcast,
+                w_max: 5,
+                trace: Some(path.to_string_lossy().into_owned()),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let rounds: u64 = text
+            .split(": ")
+            .nth(1)
+            .and_then(|s| s.split(' ').next())
+            .and_then(|s| s.parse().ok())
+            .expect("rounds in output");
+
+        let mut buf = Vec::new();
+        run(
+            &Command::TraceSummary {
+                file: path.to_string_lossy().into_owned(),
+                expect_rounds: Some(rounds),
+                max_depth: usize::MAX,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("apsp"), "{text}");
+        assert!(
+            text.contains(&format!("round total matches expected {rounds}")),
+            "{text}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_summary_rejects_wrong_expected_rounds() {
+        let path = temp_path("bad-expect");
+        let mut buf = Vec::new();
+        run(
+            &Command::Paths {
+                n: 5,
+                seed: 6,
+                trace: Some(path.to_string_lossy().into_owned()),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let e = run(
+            &Command::TraceSummary {
+                file: path.to_string_lossy().into_owned(),
+                expect_rounds: Some(u64::MAX),
+                max_depth: usize::MAX,
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("expected"), "{e}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_summary_rejects_malformed_files() {
+        let path = temp_path("malformed");
+        std::fs::write(&path, "this is not ndjson\n").unwrap();
+        let e = run(
+            &Command::TraceSummary {
+                file: path.to_string_lossy().into_owned(),
+                expect_rounds: None,
+                max_depth: usize::MAX,
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("line 1"), "{e}");
+        std::fs::remove_file(&path).ok();
     }
 }
