@@ -7,9 +7,13 @@ use crate::node::NodeId;
 
 /// Errors raised by the CONGEST-CLIQUE simulator.
 ///
-/// All variants indicate *programming errors in the simulated algorithm*
-/// (addressing a node outside the network, self-loops where the model
-/// forbids them), not runtime faults: the model assumes reliable links.
+/// The addressing variants ([`CongestError::UnknownNode`],
+/// [`CongestError::LoadExceeded`], [`CongestError::EmptyNetwork`]) indicate
+/// *programming errors in the simulated algorithm*. By default the model
+/// assumes reliable links, but when a [`crate::FaultPlan`] is active the
+/// runtime-fault variants ([`CongestError::DeliveryFailed`],
+/// [`CongestError::NodeCrashed`]) report injected faults that the
+/// reliable-delivery envelope could not mask.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CongestError {
     /// A message referenced a node outside `0..n`.
@@ -30,6 +34,23 @@ pub enum CongestError {
     },
     /// The network was constructed with zero nodes.
     EmptyNetwork,
+    /// The reliable-delivery envelope exhausted its retry budget with
+    /// messages still undelivered.
+    DeliveryFailed {
+        /// Label of the accounting phase that was active.
+        phase: String,
+        /// Messages still undelivered when the budget ran out.
+        undelivered: u64,
+        /// Delivery waves attempted (initial send plus retransmits).
+        attempts: u32,
+    },
+    /// A fail-stopped node made delivery impossible.
+    NodeCrashed {
+        /// The crashed node.
+        node: NodeId,
+        /// Label of the accounting phase that was active.
+        phase: String,
+    },
 }
 
 impl fmt::Display for CongestError {
@@ -45,6 +66,20 @@ impl fmt::Display for CongestError {
                 )
             }
             CongestError::EmptyNetwork => write!(f, "network must contain at least one node"),
+            CongestError::DeliveryFailed {
+                phase,
+                undelivered,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "reliable delivery failed in phase {phase:?}: {undelivered} messages \
+                     undelivered after {attempts} attempts"
+                )
+            }
+            CongestError::NodeCrashed { node, phase } => {
+                write!(f, "{node} crashed during phase {phase:?}")
+            }
         }
     }
 }
@@ -63,6 +98,24 @@ mod tests {
         };
         assert!(e.to_string().contains("node9"));
         assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn fault_variants_name_the_phase() {
+        let e = CongestError::DeliveryFailed {
+            phase: "semiring/distribute".into(),
+            undelivered: 3,
+            attempts: 9,
+        };
+        let text = e.to_string();
+        assert!(text.contains("semiring/distribute"), "{text}");
+        assert!(text.contains('3') && text.contains('9'), "{text}");
+        let e = CongestError::NodeCrashed {
+            node: NodeId::new(2),
+            phase: "step3".into(),
+        };
+        assert!(e.to_string().contains("node2"));
+        assert!(e.to_string().contains("step3"));
     }
 
     #[test]

@@ -1,0 +1,513 @@
+//! Deterministic fault injection for the simulated network.
+//!
+//! The model's default links are perfectly reliable; a [`FaultPlan`] makes
+//! them misbehave in a *seeded, reproducible* way so robustness machinery
+//! (the ack/retransmit envelope, the Las-Vegas APSP driver) can be
+//! exercised and measured. Four fault kinds are injected:
+//!
+//! * **drop** — the message is transmitted but never delivered;
+//! * **corrupt** — the message arrives damaged; links are checksummed, so
+//!   the receiver detects and discards it (equivalent to a drop on the
+//!   receive side, but counted separately);
+//! * **duplicate** — the message is delivered twice;
+//! * **crash** — a node fail-stops at a scheduled round: from then on it
+//!   transmits nothing and everything addressed to it vanishes.
+//!
+//! Fault *accounting* follows the wire: dropped and corrupted messages are
+//! still charged (the bits were transmitted), duplication is a
+//! delivery-layer artifact (no extra charge), and a crashed sender's
+//! messages are not charged (nothing was transmitted). Every injected fault
+//! is recorded in the metrics span tree and, when a trace sink is attached,
+//! as an NDJSON `fault` event.
+//!
+//! Fault fates are a pure function of `(plan seed, communication-call
+//! counter, message index)` via a SplitMix64 finalizer, so a run with a
+//! given plan is bit-reproducible and independent of the algorithm's own
+//! RNG stream. An **empty** plan (all rates zero, no crashes) is
+//! structurally inert: [`crate::Clique`] stores no fault state for it and
+//! executes the exact unfaulted code path, which `tests/determinism.rs`
+//! pins byte-for-byte.
+
+use crate::node::NodeId;
+
+/// The kind of an injected fault, as recorded in metrics and traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A message was dropped in transit.
+    Drop,
+    /// A message arrived corrupted and was discarded by the receiver.
+    Corrupt,
+    /// A message was delivered twice.
+    Duplicate,
+    /// A node fail-stopped (recorded once, at the crash).
+    Crash,
+}
+
+impl FaultKind {
+    /// The lowercase label used in NDJSON `fault` events.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Crash => "crash",
+        }
+    }
+}
+
+/// Counts of injected faults by kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Messages dropped in transit.
+    pub drops: u64,
+    /// Messages corrupted (detected and discarded by the receiver).
+    pub corruptions: u64,
+    /// Messages delivered twice.
+    pub duplications: u64,
+    /// Nodes that fail-stopped.
+    pub crashes: u64,
+}
+
+impl FaultCounts {
+    /// Folds one fault into the counts.
+    pub fn record(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Drop => self.drops += 1,
+            FaultKind::Corrupt => self.corruptions += 1,
+            FaultKind::Duplicate => self.duplications += 1,
+            FaultKind::Crash => self.crashes += 1,
+        }
+    }
+
+    /// Total faults of every kind.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.drops + self.corruptions + self.duplications + self.crashes
+    }
+}
+
+/// A seeded, deterministic schedule of network faults.
+///
+/// Rates are per-message probabilities in `[0, 1]`; `link_drop` overrides
+/// the global drop rate on specific ordered links; `crashes` fail-stops
+/// nodes once the network's total round count reaches the given round.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_congest::FaultPlan;
+///
+/// let plan = FaultPlan::parse("drop=0.05,corrupt=0.01,seed=7").unwrap();
+/// assert!(!plan.is_empty());
+/// assert_eq!(plan.seed, 7);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that a message is dropped in transit.
+    pub drop_rate: f64,
+    /// Probability that a surviving message arrives corrupted.
+    pub corrupt_rate: f64,
+    /// Probability that a surviving message is delivered twice.
+    pub duplicate_rate: f64,
+    /// Per-ordered-link drop-rate overrides (`(src, dst)` → rate).
+    pub link_drop: Vec<((NodeId, NodeId), f64)>,
+    /// Fail-stop schedule: `(node, round)` crashes `node` once the network
+    /// has consumed at least `round` total rounds.
+    pub crashes: Vec<(NodeId, u64)>,
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            duplicate_rate: 0.0,
+            link_drop: Vec::new(),
+            crashes: Vec::new(),
+            seed: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// `true` when the plan injects nothing: the network then keeps the
+    /// exact unfaulted code path (byte-identical round accounting).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.corrupt_rate == 0.0
+            && self.duplicate_rate == 0.0
+            && self.link_drop.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Derives a plan with the same rates but a fresh seed, for retry
+    /// attempts that must not deterministically re-hit the same faults.
+    #[must_use]
+    pub fn reseeded(&self, salt: u64) -> FaultPlan {
+        let mut plan = self.clone();
+        plan.seed = splitmix64(self.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        plan
+    }
+
+    /// Parses the CLI fault spec: comma-separated `key=value` items with
+    /// keys `drop`, `corrupt`, `dup` (rates in `[0, 1]`), `seed` (u64),
+    /// `crash=NODE@ROUND` (repeatable), and `link=SRC>DST:RATE`
+    /// (repeatable drop-rate override).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending item.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for item in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| format!("fault item {item:?} is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let rate = |v: &str| -> Result<f64, String> {
+                let r: f64 = v
+                    .parse()
+                    .map_err(|_| format!("fault rate {v:?} is not a number"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("fault rate {v} is outside [0, 1]"));
+                }
+                Ok(r)
+            };
+            match key {
+                "drop" => plan.drop_rate = rate(value)?,
+                "corrupt" => plan.corrupt_rate = rate(value)?,
+                "dup" => plan.duplicate_rate = rate(value)?,
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("fault seed {value:?} is not a u64"))?;
+                }
+                "crash" => {
+                    let (node, round) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("crash spec {value:?} is not NODE@ROUND"))?;
+                    let node: usize = node
+                        .parse()
+                        .map_err(|_| format!("crash node {node:?} is not an index"))?;
+                    let round: u64 = round
+                        .parse()
+                        .map_err(|_| format!("crash round {round:?} is not a u64"))?;
+                    plan.crashes.push((NodeId::new(node), round));
+                }
+                "link" => {
+                    let (pair, r) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("link spec {value:?} is not SRC>DST:RATE"))?;
+                    let (src, dst) = pair
+                        .split_once('>')
+                        .ok_or_else(|| format!("link spec {value:?} is not SRC>DST:RATE"))?;
+                    let src: usize = src
+                        .parse()
+                        .map_err(|_| format!("link src {src:?} is not an index"))?;
+                    let dst: usize = dst
+                        .parse()
+                        .map_err(|_| format!("link dst {dst:?} is not an index"))?;
+                    plan.link_drop
+                        .push(((NodeId::new(src), NodeId::new(dst)), rate(r)?));
+                }
+                other => return Err(format!("unknown fault key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// The fate the fault stream assigns to one transmitted message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum MsgFate {
+    Deliver,
+    Drop,
+    Corrupt,
+    Duplicate,
+}
+
+/// Live fault state of a [`crate::Clique`]: the plan plus the per-call
+/// counter driving the deterministic fault stream and the crash flags.
+#[derive(Clone, Debug)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    /// Communication calls seen so far (each call advances the stream).
+    calls: u64,
+    crashed: Vec<bool>,
+    any_crashed: bool,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, n: usize) -> Self {
+        FaultState {
+            plan,
+            calls: 0,
+            crashed: vec![false; n],
+            any_crashed: false,
+        }
+    }
+
+    /// Advances the per-call stream counter. Called once at the start of
+    /// every communication call (including the envelope's internal waves).
+    pub(crate) fn begin_call(&mut self) {
+        self.calls += 1;
+    }
+
+    /// Marks nodes whose crash round has been reached; returns how many
+    /// crashed just now (each is recorded as one `crash` fault).
+    pub(crate) fn update_crashes(&mut self, rounds_so_far: u64) -> u64 {
+        let mut newly = 0;
+        for &(node, round) in &self.plan.crashes {
+            if rounds_so_far >= round {
+                let slot = &mut self.crashed[node.index()];
+                if !*slot {
+                    *slot = true;
+                    self.any_crashed = true;
+                    newly += 1;
+                }
+            }
+        }
+        newly
+    }
+
+    pub(crate) fn is_crashed(&self, node: NodeId) -> bool {
+        self.any_crashed && self.crashed[node.index()]
+    }
+
+    /// The deterministic fate of message `idx` of the current call on the
+    /// ordered link `src → dst`.
+    pub(crate) fn fate(&self, idx: u64, src: NodeId, dst: NodeId) -> MsgFate {
+        let drop_rate = self
+            .plan
+            .link_drop
+            .iter()
+            .find(|((s, d), _)| *s == src && *d == dst)
+            .map_or(self.plan.drop_rate, |(_, r)| *r);
+        if drop_rate > 0.0 && self.unit(idx, 0) < drop_rate {
+            return MsgFate::Drop;
+        }
+        if self.plan.corrupt_rate > 0.0 && self.unit(idx, 1) < self.plan.corrupt_rate {
+            return MsgFate::Corrupt;
+        }
+        if self.plan.duplicate_rate > 0.0 && self.unit(idx, 2) < self.plan.duplicate_rate {
+            return MsgFate::Duplicate;
+        }
+        MsgFate::Deliver
+    }
+
+    /// Uniform `[0, 1)` sample for `(call, message, salt)`, independent of
+    /// the simulated algorithm's RNG.
+    fn unit(&self, idx: u64, salt: u64) -> f64 {
+        let mut h = self.plan.seed;
+        h = splitmix64(h ^ self.calls.wrapping_mul(0xff51_afd7_ed55_8ccd));
+        h = splitmix64(h ^ idx.wrapping_mul(0xc4ce_b9fe_1a85_ec53));
+        h = splitmix64(h ^ salt);
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Network configuration bundle: fault plan plus reliable-delivery
+/// envelope, applied together to a [`crate::Clique`].
+///
+/// Algorithms that build their networks internally (the APSP pipelines)
+/// take a `NetConfig` and call [`NetConfig::apply`] right after
+/// construction; the default config applies nothing and leaves the
+/// network on its exact unfaulted code path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetConfig {
+    /// Faults to inject, if any.
+    pub faults: Option<FaultPlan>,
+    /// Reliable-delivery envelope to arm, if any.
+    pub reliable: Option<crate::reliable::ReliableConfig>,
+}
+
+impl NetConfig {
+    /// A config that injects `faults` and arms the default envelope.
+    #[must_use]
+    pub fn faulty(plan: FaultPlan) -> Self {
+        NetConfig {
+            faults: Some(plan),
+            reliable: Some(crate::reliable::ReliableConfig::default()),
+        }
+    }
+
+    /// `true` when applying this config changes nothing.
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        self.faults.as_ref().is_none_or(FaultPlan::is_empty) && self.reliable.is_none()
+    }
+
+    /// Applies the config to a freshly built network.
+    pub fn apply(&self, net: &mut crate::Clique) {
+        if let Some(plan) = &self.faults {
+            net.set_fault_plan(plan.clone());
+        }
+        if let Some(cfg) = self.reliable {
+            net.set_reliable_delivery(cfg);
+        }
+    }
+
+    /// Derives the config for retry attempt `salt`: same rates and
+    /// envelope, fresh fault seed (see [`FaultPlan::reseeded`]).
+    #[must_use]
+    pub fn reseeded(&self, salt: u64) -> NetConfig {
+        NetConfig {
+            faults: self.faults.as_ref().map(|p| p.reseeded(salt)),
+            reliable: self.reliable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::default().is_empty());
+        let plan = FaultPlan {
+            drop_rate: 0.1,
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_empty());
+        // A seed alone injects nothing.
+        let seeded = FaultPlan {
+            seed: 42,
+            ..FaultPlan::default()
+        };
+        assert!(seeded.is_empty());
+    }
+
+    #[test]
+    fn parse_round_trips_every_key() {
+        let plan =
+            FaultPlan::parse("drop=0.05,corrupt=0.01,dup=0.02,seed=9,crash=3@100,link=0>1:0.5")
+                .unwrap();
+        assert_eq!(plan.drop_rate, 0.05);
+        assert_eq!(plan.corrupt_rate, 0.01);
+        assert_eq!(plan.duplicate_rate, 0.02);
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.crashes, vec![(NodeId::new(3), 100)]);
+        assert_eq!(
+            plan.link_drop,
+            vec![((NodeId::new(0), NodeId::new(1)), 0.5)]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("drop").is_err());
+        assert!(FaultPlan::parse("drop=1.5").is_err());
+        assert!(FaultPlan::parse("drop=-0.1").is_err());
+        assert!(FaultPlan::parse("warp=0.1").is_err());
+        assert!(FaultPlan::parse("crash=3").is_err());
+        assert!(FaultPlan::parse("link=0:0.5").is_err());
+        assert!(FaultPlan::parse("seed=abc").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn fates_are_deterministic_and_seed_sensitive() {
+        let plan = FaultPlan {
+            drop_rate: 0.3,
+            corrupt_rate: 0.1,
+            duplicate_rate: 0.1,
+            seed: 1,
+            ..FaultPlan::default()
+        };
+        let mut a = FaultState::new(plan.clone(), 4);
+        let mut b = FaultState::new(plan.clone(), 4);
+        a.begin_call();
+        b.begin_call();
+        let fates_a: Vec<_> = (0..64)
+            .map(|i| a.fate(i, NodeId::new(0), NodeId::new(1)))
+            .collect();
+        let fates_b: Vec<_> = (0..64)
+            .map(|i| b.fate(i, NodeId::new(0), NodeId::new(1)))
+            .collect();
+        assert_eq!(fates_a, fates_b);
+        assert!(fates_a.contains(&MsgFate::Drop));
+        assert!(fates_a.contains(&MsgFate::Deliver));
+
+        let mut c = FaultState::new(plan.reseeded(7), 4);
+        c.begin_call();
+        let fates_c: Vec<_> = (0..64)
+            .map(|i| c.fate(i, NodeId::new(0), NodeId::new(1)))
+            .collect();
+        assert_ne!(fates_a, fates_c, "reseeding must change the stream");
+    }
+
+    #[test]
+    fn fate_stream_advances_per_call() {
+        let plan = FaultPlan {
+            drop_rate: 0.5,
+            seed: 3,
+            ..FaultPlan::default()
+        };
+        let mut s = FaultState::new(plan, 4);
+        s.begin_call();
+        let first: Vec<_> = (0..32)
+            .map(|i| s.fate(i, NodeId::new(0), NodeId::new(1)))
+            .collect();
+        s.begin_call();
+        let second: Vec<_> = (0..32)
+            .map(|i| s.fate(i, NodeId::new(0), NodeId::new(1)))
+            .collect();
+        assert_ne!(first, second, "each call must see fresh fault randomness");
+    }
+
+    #[test]
+    fn link_override_beats_global_rate() {
+        let plan = FaultPlan {
+            drop_rate: 0.0,
+            link_drop: vec![((NodeId::new(0), NodeId::new(1)), 1.0)],
+            seed: 5,
+            ..FaultPlan::default()
+        };
+        let mut s = FaultState::new(plan, 4);
+        s.begin_call();
+        for i in 0..8 {
+            assert_eq!(s.fate(i, NodeId::new(0), NodeId::new(1)), MsgFate::Drop);
+            assert_eq!(s.fate(i, NodeId::new(1), NodeId::new(0)), MsgFate::Deliver);
+        }
+    }
+
+    #[test]
+    fn crashes_trigger_at_their_round() {
+        let plan = FaultPlan {
+            crashes: vec![(NodeId::new(2), 10)],
+            ..FaultPlan::default()
+        };
+        let mut s = FaultState::new(plan, 4);
+        assert_eq!(s.update_crashes(9), 0);
+        assert!(!s.is_crashed(NodeId::new(2)));
+        assert_eq!(s.update_crashes(10), 1);
+        assert!(s.is_crashed(NodeId::new(2)));
+        // Only counted once.
+        assert_eq!(s.update_crashes(11), 0);
+    }
+
+    #[test]
+    fn fault_counts_accumulate() {
+        let mut c = FaultCounts::default();
+        c.record(FaultKind::Drop);
+        c.record(FaultKind::Drop);
+        c.record(FaultKind::Corrupt);
+        c.record(FaultKind::Duplicate);
+        c.record(FaultKind::Crash);
+        assert_eq!(c.drops, 2);
+        assert_eq!(c.total(), 5);
+    }
+}

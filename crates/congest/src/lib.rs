@@ -49,18 +49,22 @@ mod aggregate;
 pub mod coloring;
 mod envelope;
 mod error;
+mod fault;
 mod metrics;
 mod network;
 mod node;
 mod payload;
+mod reliable;
 pub mod trace;
 
 pub use envelope::{collect_sends, total_bits, Envelope, Inboxes};
 pub use error::CongestError;
+pub use fault::{FaultCounts, FaultKind, FaultPlan, NetConfig};
 pub use metrics::{Metrics, PhaseStats, RoundHistogram, Span};
 pub use network::{Clique, DEFAULT_BANDWIDTH_FACTOR, EXPLICIT_SCHEDULE_LIMIT};
 pub use node::NodeId;
 pub use payload::{bits_for_count, bits_for_weight_range, Payload, RawBits};
+pub use reliable::ReliableConfig;
 pub use trace::{
     parse_trace, parse_trace_line, CommEvent, CommTotals, SpanSummary, TraceBuffer, TraceError,
     TraceEvent, TraceSink, TraceSummary,

@@ -25,6 +25,7 @@
 //! an NDJSON event (see [`crate::trace`]). Tracing is pure observation:
 //! charged round counts are byte-identical with and without a sink.
 
+use crate::fault::{FaultCounts, FaultKind};
 use crate::trace::{CommTotals, TraceSink};
 use std::fmt;
 
@@ -134,6 +135,8 @@ pub struct Span {
     pub totals: CommTotals,
     /// Per-call round histogram over this span's subtree.
     pub histogram: RoundHistogram,
+    /// Injected faults recorded while this span was open.
+    pub faults: FaultCounts,
     /// Indices of child spans, in open order.
     pub children: Vec<usize>,
 }
@@ -176,6 +179,7 @@ pub struct Metrics {
     spans: Vec<Span>,
     open_stack: Vec<usize>,
     histogram: RoundHistogram,
+    faults: FaultCounts,
     sink: Option<TraceSink>,
 }
 
@@ -261,6 +265,7 @@ impl Metrics {
             open: true,
             totals: CommTotals::default(),
             histogram: RoundHistogram::default(),
+            faults: FaultCounts::default(),
             children: Vec::new(),
         });
         if let Some(p) = parent {
@@ -369,6 +374,30 @@ impl Metrics {
                 max_node_in_bits,
             );
         }
+    }
+
+    /// Records one injected fault against the global tally, every open
+    /// span, and the trace sink (as an NDJSON `fault` event).
+    pub(crate) fn record_fault(&mut self, kind: FaultKind) {
+        self.faults.record(kind);
+        for &idx in &self.open_stack {
+            self.spans[idx].faults.record(kind);
+        }
+        if let Some(sink) = &self.sink {
+            sink.emit_fault(kind.label());
+        }
+    }
+
+    /// Injected-fault totals over the whole run.
+    #[must_use]
+    pub fn fault_counts(&self) -> &FaultCounts {
+        &self.faults
+    }
+
+    /// Label of the most recently begun phase, if any.
+    #[must_use]
+    pub fn current_phase(&self) -> Option<&str> {
+        self.phases.last().map(|p| p.label.as_str())
     }
 
     /// Total synchronous rounds consumed so far.
@@ -602,6 +631,23 @@ mod tests {
         assert_eq!(h.counts()[RoundHistogram::BUCKETS - 1], 1); // open-ended
         assert_eq!(h.total_calls(), 6);
         assert_eq!(h.compact(), "0:1 1:2 2:1 4:1 32768:1");
+    }
+
+    #[test]
+    fn faults_land_in_open_spans_and_the_global_tally() {
+        let mut m = Metrics::new();
+        m.push_span("outer");
+        m.begin_phase("a");
+        m.record_fault(FaultKind::Drop);
+        m.record_fault(FaultKind::Corrupt);
+        m.end_phase();
+        m.record_fault(FaultKind::Crash); // outer only
+        m.pop_span();
+        assert_eq!(m.fault_counts().total(), 3);
+        assert_eq!(m.spans()[0].faults.total(), 3);
+        assert_eq!(m.spans()[1].faults.drops, 1);
+        assert_eq!(m.spans()[1].faults.crashes, 0);
+        assert_eq!(m.current_phase(), Some("a"));
     }
 
     #[test]

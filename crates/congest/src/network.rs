@@ -36,9 +36,11 @@
 use crate::coloring::{color_bipartite_into, is_proper_colors, ColoringScratch};
 use crate::envelope::{Envelope, Inboxes};
 use crate::error::CongestError;
+use crate::fault::{FaultCounts, FaultKind, FaultPlan, FaultState, MsgFate};
 use crate::metrics::Metrics;
 use crate::node::NodeId;
 use crate::payload::{bits_for_count, Payload};
+use crate::reliable::{ReliableConfig, Wave};
 use crate::trace::TraceSink;
 
 /// Default multiplier: one message carries `DEFAULT_BANDWIDTH_FACTOR · ⌈log₂ n⌉` bits.
@@ -119,8 +121,15 @@ impl Scratch {
 pub struct Clique {
     n: usize,
     bandwidth_bits: u64,
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     scratch: Scratch,
+    /// Active fault injection, `None` for a perfectly reliable network.
+    /// With `None` every primitive keeps its exact raw code path, so
+    /// round counts stay byte-identical to a fault-free build.
+    pub(crate) faults: Option<FaultState>,
+    /// Ack/retransmit envelope configuration; engages only together with
+    /// `faults` (see [`Clique::envelope_active`]).
+    pub(crate) reliable: Option<ReliableConfig>,
 }
 
 impl Clique {
@@ -153,6 +162,8 @@ impl Clique {
             bandwidth_bits,
             metrics: Metrics::new(),
             scratch: Scratch::new(n),
+            faults: None,
+            reliable: None,
         })
     }
 
@@ -220,6 +231,102 @@ impl Clique {
         self.metrics = Metrics::new();
     }
 
+    /// Arms deterministic fault injection from `plan`.
+    ///
+    /// An empty plan (no rates, no crashes) stores nothing at all, so the
+    /// primitives keep their exact raw code path and round accounting stays
+    /// byte-identical to a network that never heard of faults.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultState::new(plan, self.n))
+        };
+    }
+
+    /// Enables the ack/retransmit envelope (see [`crate::ReliableConfig`]).
+    ///
+    /// The envelope only changes behaviour while a non-empty fault plan is
+    /// armed; on a reliable network it is configuration without effect.
+    pub fn set_reliable_delivery(&mut self, cfg: ReliableConfig) {
+        self.reliable = Some(cfg);
+    }
+
+    /// The armed fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| &f.plan)
+    }
+
+    /// The configured reliable-delivery envelope, if any.
+    #[must_use]
+    pub fn reliable_config(&self) -> Option<ReliableConfig> {
+        self.reliable
+    }
+
+    /// Global tally of injected faults.
+    #[must_use]
+    pub fn fault_counts(&self) -> &FaultCounts {
+        self.metrics.fault_counts()
+    }
+
+    /// True when communication runs through the reliable-delivery envelope:
+    /// faults are armed *and* an envelope is configured.
+    #[must_use]
+    pub fn envelope_active(&self) -> bool {
+        self.faults.is_some() && self.reliable.is_some()
+    }
+
+    /// Label of the innermost open accounting phase, for fault diagnostics.
+    pub(crate) fn phase_label(&self) -> String {
+        self.metrics
+            .current_phase()
+            .unwrap_or("(unlabelled)")
+            .to_string()
+    }
+
+    /// Per-communication-call fault bookkeeping: advances the fate stream
+    /// and fires crash events whose round has arrived. No-op without faults.
+    fn fault_call_begin(&mut self) {
+        let Some(faults) = &mut self.faults else {
+            return;
+        };
+        faults.begin_call();
+        let newly_crashed = faults.update_crashes(self.metrics.total_rounds());
+        for _ in 0..newly_crashed {
+            self.metrics.record_fault(FaultKind::Crash);
+        }
+    }
+
+    /// Applies per-message fates to `sends`, delivering survivors into
+    /// `inboxes`. Local messages never fault; messages touching a crashed
+    /// endpoint vanish silently (the crash itself was recorded once by
+    /// [`Clique::fault_call_begin`]).
+    fn deliver_faulty<T: Payload>(&mut self, sends: Vec<Envelope<T>>, inboxes: &mut Inboxes<T>) {
+        for (idx, e) in sends.into_iter().enumerate() {
+            if e.src == e.dst {
+                inboxes.push(e.dst, e.src, e.payload);
+                continue;
+            }
+            let faults = self.faults.as_ref().expect("deliver_faulty needs faults");
+            if faults.is_crashed(e.src) || faults.is_crashed(e.dst) {
+                continue;
+            }
+            match faults.fate(idx as u64, e.src, e.dst) {
+                MsgFate::Deliver => inboxes.push(e.dst, e.src, e.payload),
+                MsgFate::Drop => self.metrics.record_fault(FaultKind::Drop),
+                // Links are checksummed: a corrupted message is detected
+                // and discarded by the receiver, not delivered mangled.
+                MsgFate::Corrupt => self.metrics.record_fault(FaultKind::Corrupt),
+                MsgFate::Duplicate => {
+                    self.metrics.record_fault(FaultKind::Duplicate);
+                    inboxes.push(e.dst, e.src, e.payload.clone());
+                    inboxes.push(e.dst, e.src, e.payload);
+                }
+            }
+        }
+    }
+
     fn validate<T>(&self, sends: &[Envelope<T>]) -> Result<(), CongestError> {
         for e in sends {
             for node in [e.src, e.dst] {
@@ -232,7 +339,7 @@ impl Clique {
     }
 
     /// Fills the bit-size cache for `sends`, one `bit_size()` call each.
-    fn cache_bit_sizes<T: Payload>(&mut self, sends: &[Envelope<T>]) {
+    pub(crate) fn cache_bit_sizes<T: Payload>(&mut self, sends: &[Envelope<T>]) {
         self.scratch.bit_sizes.clear();
         self.scratch
             .bit_sizes
@@ -254,6 +361,9 @@ impl Clique {
         sends: Vec<Envelope<T>>,
     ) -> Result<Inboxes<T>, CongestError> {
         self.validate(&sends)?;
+        if self.envelope_active() {
+            return self.deliver_reliably(sends, Wave::Exchange("exchange"));
+        }
         self.cache_bit_sizes(&sends);
         Ok(self.exchange_presized(sends, "exchange"))
     }
@@ -261,13 +371,15 @@ impl Clique {
     /// `exchange` body, assuming endpoints are validated and
     /// `scratch.bit_sizes[i]` already holds the size of `sends[i]`.
     /// `kind` tags the trace event (`broadcast` and `gossip` funnel here).
-    fn exchange_presized<T: Payload>(
+    pub(crate) fn exchange_presized<T: Payload>(
         &mut self,
         sends: Vec<Envelope<T>>,
         kind: &'static str,
     ) -> Inboxes<T> {
+        self.fault_call_begin();
         let n = self.n;
         let s = &mut self.scratch;
+        let faults = self.faults.as_ref();
         debug_assert_eq!(s.bit_sizes.len(), sends.len());
         s.out_load.fill(0);
         s.in_load.fill(0);
@@ -275,7 +387,11 @@ impl Clique {
         let mut total_bits = 0u64;
         let mut message_count = 0u64;
         for (e, &bits) in sends.iter().zip(&s.bit_sizes) {
-            if e.src != e.dst {
+            // A fail-stopped sender emits nothing, so its messages are not
+            // charged; a crashed *receiver*'s inbound links still carry the
+            // (wasted) bits.
+            let sender_up = faults.is_none_or(|f| !f.is_crashed(e.src));
+            if e.src != e.dst && sender_up {
                 let link = e.src.index() * n + e.dst.index();
                 if s.link_bits[link] == 0 && bits > 0 {
                     s.touched_links.push(link);
@@ -302,10 +418,8 @@ impl Clique {
         let mut inboxes = Inboxes::with_capacities(&s.inbox_counts);
         let max_out = s.out_load.iter().copied().max().unwrap_or(0);
         let max_in = s.in_load.iter().copied().max().unwrap_or(0);
-        for e in sends {
-            inboxes.push(e.dst, e.src, e.payload);
-        }
-        inboxes.sort();
+        // Record the comm event before delivery so per-message fault events
+        // in the trace follow the call that carried them.
         self.metrics.record_comm(
             kind,
             rounds,
@@ -315,6 +429,14 @@ impl Clique {
             max_out,
             max_in,
         );
+        if self.faults.is_some() {
+            self.deliver_faulty(sends, &mut inboxes);
+        } else {
+            for e in sends {
+                inboxes.push(e.dst, e.src, e.payload);
+            }
+        }
+        inboxes.sort();
         inboxes
     }
 
@@ -338,9 +460,20 @@ impl Clique {
         sends: Vec<Envelope<T>>,
     ) -> Result<Inboxes<T>, CongestError> {
         self.validate(&sends)?;
+        if self.envelope_active() {
+            return self.deliver_reliably(sends, Wave::Route);
+        }
+        Ok(self.route_raw(sends))
+    }
+
+    /// `route` body, assuming endpoints are validated. Faults (if armed)
+    /// apply per message after charging; the envelope is *not* consulted.
+    pub(crate) fn route_raw<T: Payload>(&mut self, sends: Vec<Envelope<T>>) -> Inboxes<T> {
+        self.fault_call_begin();
         self.cache_bit_sizes(&sends);
         let n = self.n;
         let s = &mut self.scratch;
+        let faults = self.faults.as_ref();
         s.units.clear();
         s.out_load.fill(0);
         s.in_load.fill(0);
@@ -348,7 +481,7 @@ impl Clique {
         let mut total_bits = 0u64;
         for (e, &bits) in sends.iter().zip(&s.bit_sizes) {
             s.inbox_counts[e.dst.index()] += 1;
-            if e.src == e.dst {
+            if e.src == e.dst || faults.is_some_and(|f| f.is_crashed(e.src)) {
                 continue;
             }
             total_bits += bits;
@@ -411,11 +544,15 @@ impl Clique {
             max_out * self.bandwidth_bits,
             max_in * self.bandwidth_bits,
         );
-        for e in sends {
-            inboxes.push(e.dst, e.src, e.payload);
+        if self.faults.is_some() {
+            self.deliver_faulty(sends, &mut inboxes);
+        } else {
+            for e in sends {
+                inboxes.push(e.dst, e.src, e.payload);
+            }
         }
         inboxes.sort();
-        Ok(inboxes)
+        inboxes
     }
 
     /// One node sends the same payload to every other node.
@@ -444,6 +581,9 @@ impl Clique {
             .filter(|&dst| dst != src)
             .map(|dst| Envelope::new(src, dst, payload.clone()))
             .collect();
+        if self.envelope_active() {
+            return self.deliver_reliably(sends, Wave::Exchange("broadcast"));
+        }
         self.scratch.bit_sizes.clear();
         self.scratch.bit_sizes.resize(sends.len(), bits);
         Ok(self.exchange_presized(sends, "broadcast"))
@@ -484,7 +624,11 @@ impl Clique {
                 self.scratch.bit_sizes.push(bits);
             }
         }
-        let inboxes = self.exchange_presized(sends, "gossip");
+        let inboxes = if self.envelope_active() {
+            self.deliver_reliably(sends, Wave::Exchange("gossip"))?
+        } else {
+            self.exchange_presized(sends, "gossip")
+        };
         let mut out: Vec<Vec<(NodeId, T)>> = Vec::with_capacity(self.n);
         for (i, own) in items.into_iter().enumerate() {
             let me = NodeId::new(i);
@@ -755,6 +899,219 @@ mod tests {
         let after_route = c.rounds();
         c.route(mk()).unwrap();
         assert_eq!(c.rounds() - after_route, after_route - 2);
+    }
+
+    /// One 32-bit message per node to its successor: a single round at the
+    /// default bandwidth for every `n` used in these tests.
+    fn all_to_successor(n: usize) -> Vec<Envelope<u32>> {
+        (0..n)
+            .map(|u| Envelope::new(NodeId::new(u), NodeId::new((u + 1) % n), u as u32))
+            .collect()
+    }
+
+    fn drop_plan(rate: f64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            drop_rate: rate,
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_arms_nothing() {
+        let mut c = net(4);
+        c.set_fault_plan(FaultPlan::default());
+        assert!(c.fault_plan().is_none());
+        assert!(!c.envelope_active());
+        c.exchange(all_to_successor(4)).unwrap();
+        assert_eq!(c.fault_counts().total(), 0);
+    }
+
+    #[test]
+    fn dropped_messages_are_charged_but_not_delivered() {
+        let n = 8;
+        let run = |seed: u64| {
+            let mut c = net(n);
+            c.set_fault_plan(drop_plan(0.5, seed));
+            let inboxes = c.exchange(all_to_successor(n)).unwrap();
+            (c.rounds(), inboxes.message_count(), c.fault_counts().drops)
+        };
+        let (rounds, delivered, drops) = run(7);
+        // The wire carried every message even though some never arrived.
+        assert_eq!(rounds, 1);
+        assert_eq!(delivered as u64 + drops, n as u64);
+        assert!(drops > 0, "rate 0.5 over 8 messages should drop something");
+        // Same seed, same fates; this is what makes failures replayable.
+        assert_eq!(run(7), (rounds, delivered, drops));
+        assert_ne!(run(7).1, run(8).1, "different seeds should differ here");
+    }
+
+    #[test]
+    fn duplicated_messages_arrive_twice() {
+        let n = 4;
+        let mut c = net(n);
+        c.set_fault_plan(FaultPlan {
+            duplicate_rate: 1.0,
+            ..FaultPlan::default()
+        });
+        let inboxes = c.exchange(all_to_successor(n)).unwrap();
+        assert_eq!(inboxes.message_count(), 2 * n);
+        assert_eq!(c.fault_counts().duplications, n as u64);
+        assert_eq!(c.rounds(), 1, "duplication is delivery-level, not wire");
+    }
+
+    #[test]
+    fn crashed_sender_is_silent_and_free() {
+        let n = 4;
+        let mut c = net(n);
+        c.set_fault_plan(FaultPlan {
+            crashes: vec![(NodeId::new(0), 0)],
+            ..FaultPlan::default()
+        });
+        let sends = vec![Envelope::new(NodeId::new(0), NodeId::new(1), 5u32)];
+        let inboxes = c.exchange(sends).unwrap();
+        assert_eq!(c.rounds(), 0, "a fail-stopped sender emits nothing");
+        assert_eq!(inboxes.message_count(), 0);
+        assert_eq!(c.fault_counts().crashes, 1);
+        // The crash is recorded once, not once per subsequent call.
+        c.exchange(vec![Envelope::new(NodeId::new(1), NodeId::new(2), 5u64)])
+            .unwrap();
+        assert_eq!(c.fault_counts().crashes, 1);
+    }
+
+    #[test]
+    fn crashed_receiver_still_costs_the_sender() {
+        let n = 4;
+        let mut c = net(n);
+        c.set_fault_plan(FaultPlan {
+            crashes: vec![(NodeId::new(1), 0)],
+            ..FaultPlan::default()
+        });
+        let sends = vec![Envelope::new(NodeId::new(0), NodeId::new(1), 5u32)];
+        let inboxes = c.exchange(sends).unwrap();
+        assert_eq!(c.rounds(), 1, "bits to a dead node still occupy the link");
+        assert_eq!(inboxes.message_count(), 0);
+    }
+
+    #[test]
+    fn route_applies_fates_per_message() {
+        let n = 8;
+        let mut c = net(n);
+        c.set_fault_plan(drop_plan(0.5, 3));
+        let inboxes = c.route(all_to_successor(n)).unwrap();
+        assert_eq!(c.rounds(), 2, "Lemma 1 charge is fault-independent");
+        assert_eq!(
+            inboxes.message_count() as u64 + c.fault_counts().drops,
+            n as u64
+        );
+        assert!(c.fault_counts().drops > 0);
+    }
+
+    #[test]
+    fn envelope_masks_heavy_drop_rates() {
+        let n = 8;
+        let mut raw = net(n);
+        raw.exchange(all_to_successor(n)).unwrap();
+        let raw_rounds = raw.rounds();
+
+        let mut c = net(n);
+        c.set_fault_plan(drop_plan(0.4, 11));
+        c.set_reliable_delivery(ReliableConfig::default());
+        assert!(c.envelope_active());
+        let inboxes = c.exchange(all_to_successor(n)).unwrap();
+        for u in 0..n {
+            let inbox = inboxes.of(NodeId::new((u + 1) % n));
+            assert_eq!(inbox, &[(NodeId::new(u), u as u32)]);
+        }
+        assert!(
+            c.rounds() > raw_rounds,
+            "retransmits and acks must cost extra rounds ({} vs {raw_rounds})",
+            c.rounds()
+        );
+        assert!(c.fault_counts().drops > 0);
+    }
+
+    #[test]
+    fn envelope_reports_delivery_failure_when_budget_runs_out() {
+        let mut c = net(4);
+        c.set_fault_plan(drop_plan(1.0, 1));
+        c.set_reliable_delivery(ReliableConfig {
+            max_retries: 2,
+            backoff_base: 1,
+        });
+        c.begin_phase("doomed");
+        let err = c.exchange(all_to_successor(4)).unwrap_err();
+        match err {
+            CongestError::DeliveryFailed {
+                phase,
+                undelivered,
+                attempts,
+            } => {
+                assert_eq!(phase, "doomed");
+                assert_eq!(undelivered, 4);
+                assert_eq!(attempts, 3, "initial wave plus two retries");
+            }
+            other => panic!("expected DeliveryFailed, got {other:?}"),
+        }
+        // Backoff before waves 1 and 2 is charged: 1 + 2 idle rounds on top
+        // of 3 data waves of ⌈(32 + 2 seq bits) / 32⌉ = 2 rounds each (acks
+        // never fire — nothing arrives).
+        assert_eq!(c.rounds(), 3 * 2 + 1 + 2);
+    }
+
+    #[test]
+    fn envelope_blames_a_crashed_endpoint() {
+        let mut c = net(4);
+        c.set_fault_plan(FaultPlan {
+            crashes: vec![(NodeId::new(2), 0)],
+            ..FaultPlan::default()
+        });
+        c.set_reliable_delivery(ReliableConfig {
+            max_retries: 1,
+            backoff_base: 0,
+        });
+        c.begin_phase("gather");
+        let err = c
+            .exchange(vec![Envelope::new(NodeId::new(0), NodeId::new(2), 9u64)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CongestError::NodeCrashed {
+                node: NodeId::new(2),
+                phase: "gather".into()
+            }
+        );
+    }
+
+    #[test]
+    fn envelope_preserves_gossip_and_broadcast_semantics() {
+        let n = 5;
+        let mut c = net(n);
+        c.set_fault_plan(drop_plan(0.3, 21));
+        c.set_reliable_delivery(ReliableConfig::default());
+        let items: Vec<Vec<u64>> = (0..n).map(|i| vec![i as u64 * 10]).collect();
+        let all = c.gossip(items).unwrap();
+        for view in &all {
+            let values: Vec<u64> = view.iter().map(|(_, x)| *x).collect();
+            assert_eq!(values, vec![0, 10, 20, 30, 40]);
+        }
+        let inboxes = c.broadcast(NodeId::new(0), 7u64).unwrap();
+        for v in 1..n {
+            assert_eq!(inboxes.of(NodeId::new(v)), &[(NodeId::new(0), 7u64)]);
+        }
+    }
+
+    #[test]
+    fn faults_are_visible_in_metrics_spans() {
+        let mut c = net(6);
+        c.set_fault_plan(drop_plan(0.5, 2));
+        c.push_span("phase-a");
+        c.exchange(all_to_successor(6)).unwrap();
+        c.pop_span();
+        let drops = c.fault_counts().drops;
+        assert!(drops > 0);
+        let span = &c.metrics().spans()[0];
+        assert_eq!(span.faults.drops, drops);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Reliable delivery over a faulty network: ack/retransmit with bounded
+//! retries and deterministic backoff.
+//!
+//! When a [`crate::Clique`] has both a non-empty [`crate::FaultPlan`] and a
+//! [`ReliableConfig`], every communication primitive transparently runs
+//! this envelope protocol instead of raw delivery:
+//!
+//! 1. each payload is sealed with a per-call sequence number
+//!    ([`Sealed`], costing `⌈log₂ #messages⌉` extra bits on the wire);
+//! 2. the sealed wave is transmitted with the raw primitive (faults
+//!    apply); receivers deduplicate by sequence number and return one ack
+//!    (the sequence number) per received copy — the ack wave is itself
+//!    subject to faults;
+//! 3. the sender retransmits every unacked message, after charging
+//!    `backoff_base · wave` idle rounds of deterministic backoff;
+//! 4. after `1 + max_retries` waves with survivors, the call fails with
+//!    [`crate::CongestError::NodeCrashed`] (some undelivered message has a
+//!    fail-stopped endpoint — no retry count can save it) or
+//!    [`crate::CongestError::DeliveryFailed`].
+//!
+//! Every wave is charged honestly through the normal accounting path:
+//! retry rounds, ack rounds, and backoff rounds all land in the metrics
+//! and the trace. The envelope only engages when faults are present; with
+//! an empty fault plan the primitives keep their exact raw code path, so
+//! round counts stay byte-identical (pinned by `tests/determinism.rs`).
+
+use crate::envelope::{Envelope, Inboxes};
+use crate::error::CongestError;
+use crate::network::Clique;
+use crate::node::NodeId;
+use crate::payload::{bits_for_count, Payload, RawBits};
+
+/// Configuration of the ack/retransmit envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReliableConfig {
+    /// Retransmit waves allowed after the initial send.
+    pub max_retries: u32,
+    /// Idle rounds charged before retransmit wave `w` are
+    /// `backoff_base · w` (linear, deterministic backoff).
+    pub backoff_base: u64,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            max_retries: 8,
+            backoff_base: 1,
+        }
+    }
+}
+
+/// A payload sealed with the envelope's per-call sequence number.
+#[derive(Clone, Debug)]
+pub(crate) struct Sealed<T> {
+    /// Index of the original message within the call.
+    pub(crate) seq: u64,
+    /// Wire width of the sequence-number field.
+    pub(crate) seq_bits: u64,
+    /// The original payload.
+    pub(crate) payload: T,
+}
+
+impl<T: Payload> Payload for Sealed<T> {
+    fn bit_size(&self) -> u64 {
+        self.seq_bits + self.payload.bit_size()
+    }
+}
+
+/// Which raw primitive carries the envelope's data waves.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Wave {
+    /// Direct link delivery, tagged with the original call kind
+    /// (`"exchange"`, `"broadcast"`, `"gossip"`).
+    Exchange(&'static str),
+    /// Lemma 1 relay routing.
+    Route,
+}
+
+impl Clique {
+    /// Runs one communication call through the ack/retransmit envelope.
+    ///
+    /// Preconditions: endpoints are validated and [`Clique::envelope_active`]
+    /// is true. Returns the same inboxes the raw primitive would produce on
+    /// a reliable network (payloads in send order per `(dst, src)` pair), or
+    /// [`CongestError::NodeCrashed`] / [`CongestError::DeliveryFailed`] when
+    /// the retry budget runs out.
+    pub(crate) fn deliver_reliably<T: Payload>(
+        &mut self,
+        sends: Vec<Envelope<T>>,
+        wave: Wave,
+    ) -> Result<Inboxes<T>, CongestError> {
+        let cfg = self.reliable.expect("envelope_active implies a config");
+        let total = sends.len();
+        let seq_bits = bits_for_count(total.max(2));
+        let mut pending: Vec<Envelope<Sealed<T>>> = sends
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| {
+                Envelope::new(
+                    e.src,
+                    e.dst,
+                    Sealed {
+                        seq: i as u64,
+                        seq_bits,
+                        payload: e.payload,
+                    },
+                )
+            })
+            .collect();
+        // Receiver-side dedup and sender-side ack bookkeeping, indexed by
+        // the per-call sequence number.
+        let mut delivered = vec![false; total];
+        let mut acked = vec![false; total];
+        let mut accepted: Vec<(u64, NodeId, NodeId, T)> = Vec::with_capacity(total);
+        let mut waves = 0u32;
+        while !pending.is_empty() && waves <= cfg.max_retries {
+            if waves > 0 {
+                // Deterministic linear backoff before each retransmit wave,
+                // charged as idle rounds.
+                self.charge_rounds(cfg.backoff_base * u64::from(waves));
+            }
+            waves += 1;
+            let data = pending.clone();
+            let inboxes = match wave {
+                Wave::Exchange(kind) => {
+                    self.cache_bit_sizes(&data);
+                    self.exchange_presized(data, kind)
+                }
+                Wave::Route => self.route_raw(data),
+            };
+            // Receivers accept the first copy of each sequence number and
+            // ack every copy they see (re-acking tells a sender whose
+            // earlier ack was lost).
+            let mut acks: Vec<Envelope<RawBits>> = Vec::new();
+            for (receiver, inbox) in inboxes.into_vec().into_iter().enumerate() {
+                let me = NodeId::new(receiver);
+                for (src, sealed) in inbox {
+                    let seq = sealed.seq as usize;
+                    if !delivered[seq] {
+                        delivered[seq] = true;
+                        accepted.push((sealed.seq, src, me, sealed.payload));
+                    }
+                    acks.push(Envelope::new(me, src, RawBits::new(sealed.seq, seq_bits)));
+                }
+            }
+            // The ack wave rides the direct links and is itself faultable.
+            if !acks.is_empty() {
+                self.cache_bit_sizes(&acks);
+                let ack_inboxes = self.exchange_presized(acks, "ack");
+                for inbox in ack_inboxes.into_vec() {
+                    for (_, ack) in inbox {
+                        acked[ack.tag as usize] = true;
+                    }
+                }
+            }
+            pending.retain(|e| !acked[e.payload.seq as usize]);
+        }
+        if !pending.is_empty() {
+            if let Some(faults) = &self.faults {
+                for e in &pending {
+                    for node in [e.src, e.dst] {
+                        if faults.is_crashed(node) {
+                            return Err(CongestError::NodeCrashed {
+                                node,
+                                phase: self.phase_label(),
+                            });
+                        }
+                    }
+                }
+            }
+            return Err(CongestError::DeliveryFailed {
+                phase: self.phase_label(),
+                undelivered: pending.len() as u64,
+                attempts: waves,
+            });
+        }
+        // Rebuild the raw primitive's inbox layout: per destination, in
+        // send (sequence) order, then the usual stable sort by sender.
+        accepted.sort_by_key(|&(seq, _, _, _)| seq);
+        let mut counts = vec![0usize; self.n()];
+        for &(_, _, dst, _) in &accepted {
+            counts[dst.index()] += 1;
+        }
+        let mut inboxes = Inboxes::with_capacities(&counts);
+        for (_, src, dst, payload) in accepted {
+            inboxes.push(dst, src, payload);
+        }
+        inboxes.sort();
+        Ok(inboxes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_bounds_retries() {
+        let cfg = ReliableConfig::default();
+        assert_eq!(cfg.max_retries, 8);
+        assert_eq!(cfg.backoff_base, 1);
+    }
+
+    #[test]
+    fn sealing_adds_the_sequence_field_width() {
+        let sealed = Sealed {
+            seq: 3,
+            seq_bits: 7,
+            payload: 5u64,
+        };
+        assert_eq!(sealed.bit_size(), 7 + 64);
+    }
+}

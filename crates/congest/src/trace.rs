@@ -24,6 +24,10 @@
 //! * `{"ev":"comm","kind":"route","span":3,"rounds":2,...}` — one
 //!   communication call, attributed to the innermost open span (`span`
 //!   omitted if none was open).
+//! * `{"ev":"fault","kind":"drop","span":3}` — one injected network fault
+//!   (`drop`, `corrupt`, `duplicate`, or `crash`; see [`crate::FaultPlan`]),
+//!   attributed like a `comm` event. Fault events carry no round charges —
+//!   the wire cost of a faulted message is already in its `comm` event.
 //!
 //! Spans are strictly nested (the file is a preorder walk of the tree) and
 //! ids are unique and increasing. [`parse_trace`] reads a file back,
@@ -35,6 +39,7 @@ use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Totals accumulated from `comm` events attributed to one span.
@@ -143,14 +148,18 @@ impl SinkInner {
 #[derive(Clone)]
 pub struct TraceSink {
     inner: Arc<Mutex<SinkInner>>,
+    /// Events dropped because the mutex was poisoned (see
+    /// [`TraceSink::dropped_events`]).
+    dropped: Arc<AtomicU64>,
 }
 
 impl fmt::Debug for TraceSink {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.lock();
+        let inner = self.lock_read();
         f.debug_struct("TraceSink")
             .field("events", &inner.events)
             .field("open_spans", &inner.stack.len())
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -194,6 +203,7 @@ impl TraceSink {
                 events: 0,
                 error: None,
             })),
+            dropped: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -214,7 +224,24 @@ impl TraceSink {
         (Self::to_writer(Box::new(buffer.clone())), buffer)
     }
 
-    fn lock(&self) -> MutexGuard<'_, SinkInner> {
+    /// Write-path lock. A poisoned mutex (a clique thread panicked while
+    /// holding the sink) degrades to dropping the event and bumping the
+    /// dropped-event counter, instead of propagating the poison panic into
+    /// unrelated cliques sharing the sink.
+    fn lock_mut(&self) -> Option<MutexGuard<'_, SinkInner>> {
+        match self.inner.lock() {
+            Ok(guard) => Some(guard),
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Read-path lock: observing state left by a panicked writer is
+    /// harmless (every write either completed a whole line or set the
+    /// sticky error first).
+    fn lock_read(&self) -> MutexGuard<'_, SinkInner> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -228,7 +255,9 @@ impl TraceSink {
     /// product run on `n` physical nodes costs 9 physical rounds per
     /// virtual round).
     pub fn open_span_scaled(&self, label: &str, factor: u64) -> u64 {
-        let mut inner = self.lock();
+        let Some(mut inner) = self.lock_mut() else {
+            return 0;
+        };
         let id = inner.next_id;
         inner.next_id += 1;
         let mut line = format!("{{\"ev\":\"open\",\"id\":{id}");
@@ -249,7 +278,9 @@ impl TraceSink {
 
     /// Closes the innermost open span without statistics (driver spans).
     pub fn close_span(&self) {
-        let mut inner = self.lock();
+        let Some(mut inner) = self.lock_mut() else {
+            return;
+        };
         if let Some(id) = inner.stack.pop() {
             inner.emit(&format!("{{\"ev\":\"close\",\"id\":{id}}}"));
         }
@@ -260,7 +291,9 @@ impl TraceSink {
     /// a compact `floor:count` histogram of per-call round charges.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn close_span_with_stats(&self, totals: &CommTotals, hist: &str) {
-        let mut inner = self.lock();
+        let Some(mut inner) = self.lock_mut() else {
+            return;
+        };
         if let Some(id) = inner.stack.pop() {
             let mut line = format!(
                 "{{\"ev\":\"close\",\"id\":{id},\"rounds\":{},\"messages\":{},\"bits\":{},\
@@ -293,7 +326,9 @@ impl TraceSink {
         max_node_out_bits: u64,
         max_node_in_bits: u64,
     ) {
-        let mut inner = self.lock();
+        let Some(mut inner) = self.lock_mut() else {
+            return;
+        };
         let mut line = String::from("{\"ev\":\"comm\",\"kind\":\"");
         escape_into(kind, &mut line);
         line.push('"');
@@ -308,10 +343,32 @@ impl TraceSink {
         inner.emit(&line);
     }
 
+    /// Records one injected network fault against the innermost open span.
+    pub(crate) fn emit_fault(&self, kind: &str) {
+        let Some(mut inner) = self.lock_mut() else {
+            return;
+        };
+        let mut line = String::from("{\"ev\":\"fault\",\"kind\":\"");
+        escape_into(kind, &mut line);
+        line.push('"');
+        if let Some(&span) = inner.stack.last() {
+            line.push_str(&format!(",\"span\":{span}"));
+        }
+        line.push('}');
+        inner.emit(&line);
+    }
+
     /// Number of events successfully written.
     #[must_use]
     pub fn events_written(&self) -> u64 {
-        self.lock().events
+        self.lock_read().events
+    }
+
+    /// Events silently dropped because the sink's mutex was poisoned by a
+    /// panicking writer thread.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Flushes the underlying stream.
@@ -319,13 +376,21 @@ impl TraceSink {
     /// # Errors
     ///
     /// Reports the first write error encountered (writes are otherwise
-    /// fire-and-forget so tracing never aborts a simulation mid-run).
+    /// fire-and-forget so tracing never aborts a simulation mid-run), or an
+    /// error describing how many events were dropped on a poisoned sink.
     pub fn flush(&self) -> Result<(), std::io::Error> {
-        let mut inner = self.lock();
+        let mut inner = self.lock_read();
         if let Some(e) = inner.error.take() {
             return Err(std::io::Error::other(e));
         }
-        inner.out.flush()
+        inner.out.flush()?;
+        let dropped = self.dropped.load(Ordering::Relaxed);
+        if dropped > 0 {
+            return Err(std::io::Error::other(format!(
+                "{dropped} trace events dropped: sink mutex was poisoned by a panicking writer"
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -390,6 +455,13 @@ pub enum TraceEvent {
     },
     /// One communication call.
     Comm(CommEvent),
+    /// One injected network fault (carries no round charges).
+    Fault {
+        /// Fault kind (`"drop"`, `"corrupt"`, `"duplicate"`, `"crash"`).
+        kind: String,
+        /// Innermost open span when the fault was injected, if any.
+        span: Option<u64>,
+    },
 }
 
 /// A trace parsing or consistency error, with the 1-based line number when
@@ -603,6 +675,10 @@ pub fn parse_trace_line(line: &str, line_no: usize) -> Result<TraceEvent, TraceE
             max_node_out_bits: take_num(&pairs, "max_node_out_bits", line_no)?,
             max_node_in_bits: take_num(&pairs, "max_node_in_bits", line_no)?,
         })),
+        "fault" => Ok(TraceEvent::Fault {
+            kind: take_str(&pairs, "kind", line_no)?,
+            span: opt_num(&pairs, "span", line_no)?,
+        }),
         other => Err(err(line_no, format!("unknown event kind: {other}"))),
     }
 }
@@ -640,6 +716,8 @@ pub struct SpanSummary {
     pub depth: usize,
     /// Comm totals attributed directly to this span (children excluded).
     pub own: CommTotals,
+    /// Fault events attributed directly to this span (children excluded).
+    pub faults: u64,
     /// Whether a close event was seen.
     pub closed: bool,
     /// Rounds recorded by the closing `Metrics`, for cross-checking.
@@ -654,6 +732,8 @@ pub struct TraceSummary {
     roots: Vec<usize>,
     /// Comm events that ran with no span open.
     pub unspanned: CommTotals,
+    /// Fault events injected with no span open.
+    pub unspanned_faults: u64,
 }
 
 impl TraceSummary {
@@ -693,6 +773,7 @@ impl TraceSummary {
                         factor: *factor,
                         depth,
                         own: CommTotals::default(),
+                        faults: 0,
                         closed: false,
                         closed_rounds: None,
                         children: Vec::new(),
@@ -721,6 +802,15 @@ impl TraceSummary {
                             .get(&id)
                             .ok_or_else(|| err(0, format!("comm in unknown span {id}")))?;
                         summary.spans[idx].own.absorb(comm);
+                    }
+                },
+                TraceEvent::Fault { span, .. } => match span {
+                    None => summary.unspanned_faults += 1,
+                    Some(id) => {
+                        let &idx = index_of
+                            .get(id)
+                            .ok_or_else(|| err(0, format!("fault in unknown span {id}")))?;
+                        summary.spans[idx].faults += 1;
                     }
                 },
             }
@@ -760,6 +850,29 @@ impl TraceSummary {
                 .children
                 .iter()
                 .map(|&c| self.subtree_rounds_unscaled(c))
+                .sum::<u64>()
+    }
+
+    /// Total fault events in the subtree of span `idx`.
+    #[must_use]
+    pub fn subtree_faults(&self, idx: usize) -> u64 {
+        let span = &self.spans[idx];
+        span.faults
+            + span
+                .children
+                .iter()
+                .map(|&c| self.subtree_faults(c))
+                .sum::<u64>()
+    }
+
+    /// Total fault events in the whole trace.
+    #[must_use]
+    pub fn total_faults(&self) -> u64 {
+        self.unspanned_faults
+            + self
+                .roots
+                .iter()
+                .map(|&r| self.subtree_faults(r))
                 .sum::<u64>()
     }
 
@@ -866,14 +979,21 @@ impl TraceSummary {
             format!("{rounds}x{}", span.factor)
         };
         let calls: u64 = self.subtree_calls(idx);
+        let faults = self.subtree_faults(idx);
+        let fault_cell = if faults == 0 {
+            String::new()
+        } else {
+            format!(" [{faults} faults]")
+        };
         out.push_str(&format!(
-            "{:>12} {:>8} {:>14} {:>12}  {}{}\n",
+            "{:>12} {:>8} {:>14} {:>12}  {}{}{}\n",
             rounds_cell,
             calls,
             self.subtree_bits(idx),
             self.subtree_max_link_bits(idx),
             "  ".repeat(span.depth),
-            span.label
+            span.label,
+            fault_cell
         ));
         for &child in &span.children {
             self.render_span(child, max_depth, out);
@@ -1009,6 +1129,62 @@ mod tests {
         assert_eq!(summary.unspanned.rounds, 5);
         assert_eq!(summary.total_rounds(), 5);
         assert!(summary.render(4).contains("(no span)"));
+    }
+
+    #[test]
+    fn fault_events_round_trip_and_attribute_to_spans() {
+        let (sink, buffer) = TraceSink::in_memory();
+        sink.emit_fault("drop");
+        let apsp = sink.open_span("apsp");
+        sink.emit_fault("corrupt");
+        sink.emit_fault("crash");
+        sink.close_span();
+        let events = parse_trace(&buffer.contents()).unwrap();
+        assert_eq!(
+            events[0],
+            TraceEvent::Fault {
+                kind: "drop".into(),
+                span: None
+            }
+        );
+        assert_eq!(
+            events[2],
+            TraceEvent::Fault {
+                kind: "corrupt".into(),
+                span: Some(apsp)
+            }
+        );
+        let summary = TraceSummary::from_events(&events).unwrap();
+        assert_eq!(summary.unspanned_faults, 1);
+        assert_eq!(summary.spans()[0].faults, 2);
+        assert_eq!(summary.total_faults(), 3);
+        assert!(summary.render(4).contains("[2 faults]"));
+    }
+
+    #[test]
+    fn poisoned_sink_degrades_to_dropped_events() {
+        let (sink, buffer) = TraceSink::in_memory();
+        sink.open_span("before");
+        sink.close_span();
+        let clone = sink.clone();
+        std::thread::spawn(move || {
+            let _guard = clone.inner.lock().unwrap();
+            panic!("poison the sink on purpose");
+        })
+        .join()
+        .unwrap_err();
+        // Writes now degrade to counted drops instead of propagating the
+        // poison panic.
+        assert_eq!(sink.open_span("after"), 0);
+        sink.emit_comm("exchange", 1, 1, 8, 8, 8, 8);
+        sink.emit_fault("drop");
+        sink.close_span();
+        assert!(sink.dropped_events() >= 3);
+        let err = sink.flush().unwrap_err();
+        assert!(err.to_string().contains("dropped"), "{err}");
+        // Events written before the poison are still parseable.
+        let events = parse_trace(&buffer.contents()).unwrap();
+        assert_eq!(events.len(), 2);
     }
 
     #[test]

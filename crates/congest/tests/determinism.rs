@@ -8,7 +8,10 @@
 //! recorded from the pre-refactor simulator, so any accounting drift —
 //! however it is introduced — fails loudly.
 
-use qcc_congest::{parse_trace, Clique, Envelope, NodeId, RawBits, TraceSink, TraceSummary};
+use qcc_congest::{
+    parse_trace, Clique, Envelope, FaultPlan, NodeId, RawBits, ReliableConfig, TraceSink,
+    TraceSummary,
+};
 
 /// The full metric signature of a finished simulation.
 #[derive(Debug, PartialEq, Eq)]
@@ -226,15 +229,21 @@ fn broadcast_fragmented_counts_are_pinned() {
     );
 }
 
-/// Runs the pinned scenarios above once more, optionally traced, and
-/// returns their signatures. Used to prove that attaching a [`TraceSink`]
-/// never moves a single charged unit.
-fn run_pinned_scenarios(trace: Option<&TraceSink>) -> Vec<Signature> {
+/// Runs the pinned scenarios above once more, optionally traced and with an
+/// arbitrary extra configuration step, and returns their signatures. Used to
+/// prove that pure-observation features (tracing) and inert configuration
+/// (an empty fault plan, an envelope with no faults to mask) never move a
+/// single charged unit.
+fn run_pinned_scenarios_with(
+    trace: Option<&TraceSink>,
+    configure: impl Fn(&mut Clique),
+) -> Vec<Signature> {
     let mut signatures = Vec::new();
     let attach = |c: &mut Clique, label: &str| {
         if let Some(sink) = trace {
             c.set_trace_sink(sink.clone());
         }
+        configure(c);
         c.push_span(label);
     };
 
@@ -288,12 +297,35 @@ fn run_pinned_scenarios(trace: Option<&TraceSink>) -> Vec<Signature> {
     signatures
 }
 
+fn run_pinned_scenarios(trace: Option<&TraceSink>) -> Vec<Signature> {
+    run_pinned_scenarios_with(trace, |_| {})
+}
+
 #[test]
 fn tracing_leaves_every_charged_unit_untouched() {
     let plain = run_pinned_scenarios(None);
     let (sink, _buffer) = TraceSink::in_memory();
     let traced = run_pinned_scenarios(Some(&sink));
     assert_eq!(plain, traced, "tracing must be pure observation");
+}
+
+#[test]
+fn empty_fault_plan_leaves_every_charged_unit_untouched() {
+    // Arming an empty plan (and even a reliable-delivery envelope on top)
+    // must keep the raw code path: every signature stays byte-identical.
+    let plain = run_pinned_scenarios(None);
+    let with_empty_plan = run_pinned_scenarios_with(None, |c| {
+        c.set_fault_plan(FaultPlan::default());
+    });
+    assert_eq!(plain, with_empty_plan, "an empty fault plan must be inert");
+    let with_idle_envelope = run_pinned_scenarios_with(None, |c| {
+        c.set_fault_plan(FaultPlan::default());
+        c.set_reliable_delivery(ReliableConfig::default());
+    });
+    assert_eq!(
+        plain, with_idle_envelope,
+        "the envelope must not engage without faults"
+    );
 }
 
 #[test]

@@ -3,7 +3,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use qcc_congest::coloring::{color_bipartite, is_proper, max_degree};
-use qcc_congest::{Clique, Envelope, NodeId, RawBits};
+use qcc_congest::{Clique, Envelope, FaultPlan, NodeId, RawBits, ReliableConfig};
 
 proptest! {
     /// König coloring is always proper and uses exactly Δ colors.
@@ -77,6 +77,62 @@ proptest! {
         let views = net.gossip(items).unwrap();
         for w in views.windows(2) {
             prop_assert_eq!(&w[0], &w[1]);
+        }
+    }
+
+    /// An empty fault plan (with or without an armed envelope) is
+    /// byte-identical to no plan at all: same inboxes, same rounds.
+    #[test]
+    fn empty_fault_plan_is_inert(
+        n in 1usize..8,
+        raw in vec((0usize..8, 0usize..8, 0u32..1000), 0..60),
+        arm_envelope in 0u8..2,
+    ) {
+        let sends: Vec<Envelope<u32>> = raw
+            .into_iter()
+            .map(|(u, v, x)| Envelope::new(NodeId::new(u % n), NodeId::new(v % n), x))
+            .collect();
+
+        let mut plain = Clique::new(n).unwrap();
+        let baseline = plain.exchange(sends.clone()).unwrap();
+
+        let mut armed = Clique::new(n).unwrap();
+        armed.set_fault_plan(FaultPlan::default());
+        if arm_envelope == 1 {
+            armed.set_reliable_delivery(ReliableConfig::default());
+        }
+        let inboxes = armed.exchange(sends).unwrap();
+
+        prop_assert_eq!(armed.rounds(), plain.rounds());
+        for node in NodeId::all(n) {
+            prop_assert_eq!(inboxes.of(node), baseline.of(node));
+        }
+    }
+
+    /// Under pure drop faults the envelope either delivers everything
+    /// exactly once or fails with a typed error — never a silent loss.
+    #[test]
+    fn envelope_is_all_or_error(
+        n in 2usize..8,
+        raw in vec((0usize..8, 0usize..8, 0u32..1000), 1..40),
+        drop in 0.0f64..0.6,
+        seed in 0u64..500,
+    ) {
+        let sends: Vec<Envelope<u32>> = raw
+            .into_iter()
+            .map(|(u, v, x)| Envelope::new(NodeId::new(u % n), NodeId::new(v % n), x))
+            .collect();
+        let count = sends.len();
+        let mut net = Clique::new(n).unwrap();
+        net.set_fault_plan(FaultPlan {
+            drop_rate: drop,
+            seed,
+            ..FaultPlan::default()
+        });
+        net.set_reliable_delivery(ReliableConfig::default());
+        match net.exchange(sends) {
+            Ok(inboxes) => prop_assert_eq!(inboxes.message_count(), count),
+            Err(e) => prop_assert!(e.to_string().contains("undelivered")),
         }
     }
 }

@@ -8,11 +8,11 @@
 //! `O~(√n log W)`, and two further baselines (full broadcast, semiring
 //! matrix multiplication) complete the comparison of experiment E9.
 
-use crate::distance_product::distributed_distance_product_traced;
+use crate::distance_product::distributed_distance_product_configured;
 use crate::params::Params;
 use crate::step3::SearchBackend;
 use crate::ApspError;
-use qcc_congest::TraceSink;
+use qcc_congest::{NetConfig, TraceSink};
 use qcc_graph::{DiGraph, ExtWeight, WeightMatrix};
 use rand::Rng;
 
@@ -96,18 +96,40 @@ pub fn apsp_traced<R: Rng>(
     rng: &mut R,
     trace: Option<&TraceSink>,
 ) -> Result<ApspReport, ApspError> {
+    apsp_configured(g, params, algorithm, rng, trace, &NetConfig::default())
+}
+
+/// [`apsp_traced`] with a network configuration: every internal `Clique`
+/// is armed with `netcfg`'s fault plan and reliable-delivery envelope.
+///
+/// # Errors
+///
+/// Same as [`apsp`]; additionally, injected faults that break through the
+/// envelope surface as [`ApspError::Faulted`], carrying the physical rounds
+/// the failed run already charged (so callers can account for wasted work).
+pub fn apsp_configured<R: Rng>(
+    g: &DiGraph,
+    params: Params,
+    algorithm: ApspAlgorithm,
+    rng: &mut R,
+    trace: Option<&TraceSink>,
+    netcfg: &NetConfig,
+) -> Result<ApspReport, ApspError> {
     match algorithm {
         ApspAlgorithm::QuantumTriangle => {
-            squaring_apsp(g, params, SearchBackend::Quantum, rng, trace)
+            squaring_apsp(g, params, SearchBackend::Quantum, rng, trace, netcfg)
         }
         ApspAlgorithm::ClassicalTriangle => {
-            squaring_apsp(g, params, SearchBackend::Classical, rng, trace)
+            squaring_apsp(g, params, SearchBackend::Classical, rng, trace, netcfg)
         }
-        ApspAlgorithm::NaiveBroadcast => {
-            crate::baselines::naive_broadcast_apsp_traced(g, params.worker_threads(), trace)
-        }
+        ApspAlgorithm::NaiveBroadcast => crate::baselines::naive_broadcast_apsp_configured(
+            g,
+            params.worker_threads(),
+            trace,
+            netcfg,
+        ),
         ApspAlgorithm::SemiringSquaring => {
-            crate::baselines::semiring_apsp_traced(g, params.worker_threads(), trace)
+            crate::baselines::semiring_apsp_configured(g, params.worker_threads(), trace, netcfg)
         }
     }
 }
@@ -118,6 +140,7 @@ fn squaring_apsp<R: Rng>(
     backend: SearchBackend,
     rng: &mut R,
     trace: Option<&TraceSink>,
+    netcfg: &NetConfig,
 ) -> Result<ApspReport, ApspError> {
     let n = g.n();
     let mut current = g.adjacency_matrix();
@@ -129,17 +152,29 @@ fn squaring_apsp<R: Rng>(
     // Square until the exponent reaches n - 1 (paths need at most n - 1 arcs).
     let mut exponent: u64 = 1;
     while exponent < (n.max(2) as u64) - 1 {
-        let report = if let Some(sink) = trace {
+        let result = if let Some(sink) = trace {
             // Each product runs on a virtual Clique(3n); its subtree counts
             // simulation_factor-fold toward the physical total.
             sink.open_span_scaled(&format!("product-{products}"), 9);
-            let report = distributed_distance_product_traced(
-                &current, &current, params, backend, rng, trace,
+            let result = distributed_distance_product_configured(
+                &current, &current, params, backend, rng, trace, netcfg,
             );
             sink.close_span();
-            report?
+            result
         } else {
-            distributed_distance_product_traced(&current, &current, params, backend, rng, None)?
+            distributed_distance_product_configured(
+                &current, &current, params, backend, rng, None, netcfg,
+            )
+        };
+        let report = match result {
+            Ok(report) => report,
+            Err(e) => {
+                if let Some(sink) = trace {
+                    sink.close_span(); // the "apsp" root
+                }
+                // Completed products plus the aborted one: the full bill.
+                return Err(ApspError::faulted(rounds + e.rounds_charged(), e));
+            }
         };
         debug_assert_eq!(report.simulation_factor, 9);
         rounds += report.physical_rounds();

@@ -3,7 +3,7 @@
 use crate::apsp::{ApspAlgorithm, ApspReport};
 use crate::wire::{weight_bits, Wire};
 use crate::ApspError;
-use qcc_congest::{Clique, TraceSink};
+use qcc_congest::{Clique, NetConfig, TraceSink};
 use qcc_graph::{floyd_warshall_with_threads, DiGraph};
 
 /// Solves APSP by having every node broadcast its full adjacency row and
@@ -59,11 +59,29 @@ pub fn naive_broadcast_apsp_traced(
     threads: usize,
     trace: Option<&TraceSink>,
 ) -> Result<ApspReport, ApspError> {
+    naive_broadcast_apsp_configured(g, threads, trace, &NetConfig::default())
+}
+
+/// [`naive_broadcast_apsp_traced`] with a network configuration: the
+/// internal `Clique` is armed with `netcfg`'s fault plan and
+/// reliable-delivery envelope before the gossip.
+///
+/// # Errors
+///
+/// Same as [`naive_broadcast_apsp`]; additionally, injected faults that
+/// break through the envelope surface as [`ApspError::Faulted`].
+pub fn naive_broadcast_apsp_configured(
+    g: &DiGraph,
+    threads: usize,
+    trace: Option<&TraceSink>,
+    netcfg: &NetConfig,
+) -> Result<ApspReport, ApspError> {
     let n = g.n();
     let mut net = Clique::new(n)?;
     if let Some(sink) = trace {
         net.set_trace_sink(sink.clone());
     }
+    netcfg.apply(&mut net);
     net.push_span("apsp");
     net.begin_phase("naive/broadcast-rows");
     let wb = weight_bits(g.weight_magnitude());
@@ -77,7 +95,13 @@ pub fn naive_broadcast_apsp_traced(
                 .collect()
         })
         .collect();
-    let views = net.gossip(items)?;
+    let views = match net.gossip(items) {
+        Ok(views) => views,
+        Err(e) => {
+            net.close_all_spans();
+            return Err(ApspError::faulted(net.rounds(), e.into()));
+        }
+    };
 
     // Every node now reconstructs the full graph; verify on node 0's view.
     let mut reconstructed = DiGraph::new(n);
@@ -87,7 +111,12 @@ pub fn naive_broadcast_apsp_traced(
             reconstructed.add_arc(origin.index(), v, w);
         }
     }
-    debug_assert_eq!(&reconstructed, g, "gossip must reconstruct the graph");
+    // On a faulty network without the envelope the gossip can silently lose
+    // rows; the reconstruction invariant only holds on reliable runs.
+    debug_assert!(
+        net.fault_plan().is_some() || &reconstructed == g,
+        "gossip must reconstruct the graph"
+    );
 
     net.close_all_spans();
     let distances = floyd_warshall_with_threads(&reconstructed.adjacency_matrix(), threads)?;

@@ -14,7 +14,7 @@
 use crate::apsp::{ApspAlgorithm, ApspReport};
 use crate::wire::{weight_bits, Wire};
 use crate::ApspError;
-use qcc_congest::{Clique, CongestError, Envelope, NodeId, TraceSink};
+use qcc_congest::{Clique, CongestError, Envelope, NetConfig, NodeId, TraceSink};
 use qcc_graph::{ExtWeight, Labeling, Partition, WeightMatrix};
 
 /// One distributed min-plus product `A ⋆ B`, charged to `net`.
@@ -273,19 +273,48 @@ pub fn semiring_apsp_traced(
     threads: usize,
     trace: Option<&TraceSink>,
 ) -> Result<ApspReport, ApspError> {
+    semiring_apsp_configured(g, threads, trace, &NetConfig::default())
+}
+
+/// [`semiring_apsp_traced`] with a network configuration: the internal
+/// `Clique` is armed with `netcfg`'s fault plan and reliable-delivery
+/// envelope before any message moves.
+///
+/// # Errors
+///
+/// Same as [`semiring_apsp`]; additionally, injected faults that break
+/// through the envelope surface as [`ApspError::Faulted`], carrying the
+/// rounds the failed run already charged.
+pub fn semiring_apsp_configured(
+    g: &qcc_graph::DiGraph,
+    threads: usize,
+    trace: Option<&TraceSink>,
+    netcfg: &NetConfig,
+) -> Result<ApspReport, ApspError> {
     let n = g.n();
     let mut net = Clique::new(n)?;
     if let Some(sink) = trace {
         net.set_trace_sink(sink.clone());
     }
+    netcfg.apply(&mut net);
     net.push_span("apsp");
     let mut current = g.adjacency_matrix();
     let mut products = 0u32;
     let mut exponent: u64 = 1;
     while exponent < (n.max(2) as u64) - 1 {
         net.push_span(&format!("product-{products}"));
-        current =
-            semiring_distance_product_with_threads(&current.clone(), &current, &mut net, threads)?;
+        current = match semiring_distance_product_with_threads(
+            &current.clone(),
+            &current,
+            &mut net,
+            threads,
+        ) {
+            Ok(product) => product,
+            Err(e) => {
+                net.close_all_spans();
+                return Err(ApspError::faulted(net.rounds(), e));
+            }
+        };
         net.pop_span();
         products += 1;
         exponent *= 2;

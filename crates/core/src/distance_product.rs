@@ -18,7 +18,7 @@ use crate::params::Params;
 use crate::problem::PairSet;
 use crate::step3::SearchBackend;
 use crate::ApspError;
-use qcc_congest::{Clique, TraceSink};
+use qcc_congest::{Clique, NetConfig, TraceSink};
 use qcc_graph::{build_tripartite, SquareMatrix, WeightMatrix};
 use rand::Rng;
 
@@ -94,6 +94,37 @@ pub fn distributed_distance_product_traced<R: Rng>(
     rng: &mut R,
     trace: Option<&TraceSink>,
 ) -> Result<DistanceProductReport, ApspError> {
+    distributed_distance_product_configured(
+        a,
+        b,
+        params,
+        backend,
+        rng,
+        trace,
+        &NetConfig::default(),
+    )
+}
+
+/// [`distributed_distance_product_traced`] with a network configuration:
+/// the internal virtual `Clique(3n)` is armed with `netcfg`'s fault plan
+/// and reliable-delivery envelope before any message moves.
+///
+/// # Errors
+///
+/// Same as [`distributed_distance_product`]; additionally, injected faults
+/// that break through the envelope surface as [`ApspError::Faulted`]
+/// wrapping the underlying [`qcc_congest::CongestError`], carrying the
+/// physical rounds the failed run already charged.
+#[allow(clippy::too_many_arguments)]
+pub fn distributed_distance_product_configured<R: Rng>(
+    a: &WeightMatrix,
+    b: &WeightMatrix,
+    params: Params,
+    backend: SearchBackend,
+    rng: &mut R,
+    trace: Option<&TraceSink>,
+    netcfg: &NetConfig,
+) -> Result<DistanceProductReport, ApspError> {
     if a.n() != b.n() {
         return Err(ApspError::DimensionMismatch {
             expected: a.n(),
@@ -122,6 +153,7 @@ pub fn distributed_distance_product_traced<R: Rng>(
     if let Some(sink) = trace {
         net.set_trace_sink(sink.clone());
     }
+    netcfg.apply(&mut net);
     let layout = qcc_graph::TripartiteLayout::new(n);
     let mut s = PairSet::new();
     for i in 0..n {
@@ -149,7 +181,15 @@ pub fn distributed_distance_product_traced<R: Rng>(
         });
         let (graph, layout) = build_tripartite(a, b, &d);
         net.push_span(&format!("distance-product/call{calls}"));
-        let report = find_edges(&graph, &s, params, backend, &mut net, rng)?;
+        let report = match find_edges(&graph, &s, params, backend, &mut net, rng) {
+            Ok(report) => report,
+            Err(e) => {
+                // Leave the trace well formed and report the physical
+                // rounds this aborted product already charged.
+                net.close_all_spans();
+                return Err(ApspError::faulted(9 * net.rounds(), e));
+            }
+        };
         net.pop_span();
         calls += 1;
         for i in 0..n {

@@ -1,0 +1,551 @@
+//! The self-verifying Las-Vegas APSP driver.
+//!
+//! On a fault-injected network the pipeline can fail in two visible ways
+//! (a typed error after the reliable envelope exhausts its budget) and one
+//! silent way (lost messages skew the output matrix when the envelope is
+//! off). The driver turns both into a Las-Vegas guarantee: run the chosen
+//! algorithm, *verify* the output with a distributed certificate, and
+//! retry with fresh fault randomness until a verified matrix emerges or
+//! the attempt budget runs out — then optionally degrade to the classical
+//! semiring baseline as a last resort.
+//!
+//! ## The certificate
+//!
+//! A candidate matrix `D` is accepted iff
+//!
+//! 1. `D[i, i] = 0` for every `i` (checked locally),
+//! 2. `D ≤ A₀` pointwise, where `A₀` is the adjacency matrix (locally),
+//! 3. `D ⊗ D = D` under the min-plus product (one distributed
+//!    [`semiring_distance_product`], charged to the network).
+//!
+//! Conditions 2–3 imply `D ≤ dist` by induction on path length, so the
+//! certificate rejects every *overestimate*. Underestimates are outside
+//! the threat model: injected faults only ever *discard* messages
+//! (corruption is detected-and-dropped, never delivered mangled), and a
+//! lost relaxation can only leave `D` too large — so for the failure
+//! modes that can actually occur the certificate is complete.
+//!
+//! The verifier always runs over the reliable envelope, even when the
+//! algorithm under test does not: a certificate computed on a lossy
+//! channel would certify nothing.
+
+use crate::apsp::{apsp_configured, ApspAlgorithm, ApspReport};
+use crate::baselines::{semiring_apsp_configured, semiring_distance_product};
+use crate::params::Params;
+use crate::ApspError;
+use qcc_congest::{Clique, NetConfig, ReliableConfig, TraceSink};
+use qcc_graph::{DiGraph, ExtWeight, WeightMatrix};
+use rand::Rng;
+
+/// Salt decoupling the verifier's fault randomness from the run's.
+const VERIFY_SALT: u64 = 0x5eed_0000;
+/// Salt for the fallback run's fault randomness.
+const FALLBACK_SALT: u64 = 0xfa11_0000;
+
+/// What to do when every Las-Vegas attempt fails.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FallbackPolicy {
+    /// Degrade to the classical semiring baseline, run with the reliable
+    /// envelope forced on, and verify it like any other attempt.
+    #[default]
+    Semiring,
+    /// Report the failure instead of degrading.
+    Fail,
+}
+
+/// Configuration of the Las-Vegas driver.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// The algorithm each attempt runs.
+    pub algorithm: ApspAlgorithm,
+    /// Paper constants for the pipeline algorithms.
+    pub params: Params,
+    /// Extra attempts after the first (total attempts = `max_retries + 1`,
+    /// not counting the fallback).
+    pub max_retries: u32,
+    /// Verify every output with the distributed certificate. When `false`
+    /// the driver still retries typed errors but accepts the first matrix
+    /// that arrives.
+    pub verify: bool,
+    /// What to do once the attempt budget is spent.
+    pub fallback: FallbackPolicy,
+    /// Fault plan and envelope for the networks the attempts build. Each
+    /// attempt reseeds the plan so retries see fresh fault randomness.
+    pub net: NetConfig,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            algorithm: ApspAlgorithm::QuantumTriangle,
+            params: Params::paper(),
+            max_retries: 3,
+            verify: true,
+            fallback: FallbackPolicy::Semiring,
+            net: NetConfig::default(),
+        }
+    }
+}
+
+/// The outcome of one driver attempt (or the fallback).
+#[derive(Clone, Debug)]
+pub struct AttemptRecord {
+    /// Attempt index (`0`-based; the fallback reuses the next index).
+    pub attempt: u32,
+    /// The algorithm this attempt ran.
+    pub algorithm: ApspAlgorithm,
+    /// Rounds this attempt charged, including its verification product
+    /// and any rounds wasted by a failed run.
+    pub rounds: u64,
+    /// Certificate verdict: `None` when verification was skipped.
+    pub verified: Option<bool>,
+    /// The typed error that ended the attempt, if one did.
+    pub error: Option<String>,
+    /// `true` for the fallback entry.
+    pub fallback: bool,
+}
+
+/// A verified APSP result with its full attempt history.
+#[derive(Clone, Debug)]
+pub struct DriverReport {
+    /// The accepted run's report (distances, rounds, algorithm).
+    pub report: ApspReport,
+    /// Every attempt in order, the accepted one last.
+    pub attempts: Vec<AttemptRecord>,
+    /// Rounds across *all* attempts, failed ones and verification included
+    /// — the honest price of the Las-Vegas loop.
+    pub total_rounds: u64,
+    /// `true` iff the accepted matrix passed the certificate.
+    pub verified: bool,
+    /// `true` iff the accepted matrix came from the fallback.
+    pub used_fallback: bool,
+}
+
+/// Runs the Las-Vegas loop: attempt → verify → retry → fallback.
+///
+/// # Errors
+///
+/// * Non-retryable errors ([`ApspError::NegativeCycle`], dimension and
+///   addressing bugs) propagate immediately — retrying cannot help.
+/// * [`ApspError::VerificationFailed`] when no attempt (fallback
+///   included) produced a matrix that passes the certificate.
+/// * The last typed error when the budget runs out under
+///   [`FallbackPolicy::Fail`].
+///
+/// # Examples
+///
+/// ```
+/// use qcc_apsp::{apsp_driver, ApspAlgorithm, DriverConfig};
+/// use qcc_graph::{floyd_warshall, DiGraph};
+/// use rand::SeedableRng;
+///
+/// let mut g = DiGraph::new(6);
+/// g.add_arc(0, 1, 2);
+/// g.add_arc(1, 2, -1);
+/// let cfg = DriverConfig {
+///     algorithm: ApspAlgorithm::NaiveBroadcast,
+///     ..DriverConfig::default()
+/// };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let out = apsp_driver(&g, &cfg, &mut rng, None)?;
+/// assert!(out.verified);
+/// assert_eq!(out.report.distances, floyd_warshall(&g.adjacency_matrix())?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn apsp_driver<R: Rng>(
+    g: &DiGraph,
+    cfg: &DriverConfig,
+    rng: &mut R,
+    trace: Option<&TraceSink>,
+) -> Result<DriverReport, ApspError> {
+    if let Some(sink) = trace {
+        sink.open_span("driver");
+    }
+    let result = drive(g, cfg, rng, trace);
+    if let Some(sink) = trace {
+        sink.close_span();
+    }
+    result
+}
+
+fn drive<R: Rng>(
+    g: &DiGraph,
+    cfg: &DriverConfig,
+    rng: &mut R,
+    trace: Option<&TraceSink>,
+) -> Result<DriverReport, ApspError> {
+    let mut attempts: Vec<AttemptRecord> = Vec::new();
+    let mut total_rounds = 0u64;
+    let mut last_error: Option<ApspError> = None;
+
+    for attempt in 0..=cfg.max_retries {
+        let netcfg = cfg.net.reseeded(u64::from(attempt));
+        if let Some(sink) = trace {
+            sink.open_span(&format!("attempt-{attempt}"));
+        }
+        let run = apsp_configured(g, cfg.params, cfg.algorithm, rng, trace, &netcfg);
+        if let Some(sink) = trace {
+            sink.close_span();
+        }
+        match run {
+            Ok(report) => {
+                let mut rounds = report.rounds;
+                let verdict = if cfg.verify {
+                    match certify(
+                        g,
+                        &report.distances,
+                        &hardened(&cfg.net, VERIFY_SALT + u64::from(attempt)),
+                        trace,
+                        &format!("verify-{attempt}"),
+                    ) {
+                        Ok((ok, vrounds)) => {
+                            rounds += vrounds;
+                            Some(ok)
+                        }
+                        Err(e) => {
+                            // The verifier itself lost its messages: the
+                            // attempt proves nothing either way. Treat it
+                            // like a failed run and retry.
+                            rounds += e.rounds_charged();
+                            total_rounds += rounds;
+                            attempts.push(AttemptRecord {
+                                attempt,
+                                algorithm: report.algorithm,
+                                rounds,
+                                verified: None,
+                                error: Some(e.to_string()),
+                                fallback: false,
+                            });
+                            if !e.is_retryable() {
+                                return Err(e);
+                            }
+                            last_error = Some(e);
+                            continue;
+                        }
+                    }
+                } else {
+                    None
+                };
+                total_rounds += rounds;
+                attempts.push(AttemptRecord {
+                    attempt,
+                    algorithm: report.algorithm,
+                    rounds,
+                    verified: verdict,
+                    error: None,
+                    fallback: false,
+                });
+                if verdict.unwrap_or(true) {
+                    return Ok(DriverReport {
+                        report,
+                        attempts,
+                        total_rounds,
+                        verified: verdict.unwrap_or(false),
+                        used_fallback: false,
+                    });
+                }
+            }
+            Err(e) => {
+                let rounds = e.rounds_charged();
+                total_rounds += rounds;
+                attempts.push(AttemptRecord {
+                    attempt,
+                    algorithm: cfg.algorithm,
+                    rounds,
+                    verified: None,
+                    error: Some(e.to_string()),
+                    fallback: false,
+                });
+                if !e.is_retryable() {
+                    return Err(e);
+                }
+                last_error = Some(e);
+            }
+        }
+    }
+
+    match cfg.fallback {
+        FallbackPolicy::Fail => match last_error {
+            Some(e) => Err(e),
+            None => Err(ApspError::VerificationFailed {
+                attempts: attempts.len() as u32,
+            }),
+        },
+        FallbackPolicy::Semiring => {
+            fallback(g, cfg, trace, attempts, total_rounds).map_err(|e| match e {
+                // The fallback's own failure still means "nothing verified".
+                e if e.is_retryable() => ApspError::VerificationFailed {
+                    attempts: cfg.max_retries + 2,
+                },
+                e => e,
+            })
+        }
+    }
+}
+
+/// The last resort: the classical semiring baseline under a forced
+/// reliable envelope, verified like any other attempt.
+fn fallback(
+    g: &DiGraph,
+    cfg: &DriverConfig,
+    trace: Option<&TraceSink>,
+    mut attempts: Vec<AttemptRecord>,
+    mut total_rounds: u64,
+) -> Result<DriverReport, ApspError> {
+    let attempt = cfg.max_retries + 1;
+    let netcfg = hardened(&cfg.net, FALLBACK_SALT);
+    if let Some(sink) = trace {
+        sink.open_span("fallback");
+    }
+    let run = semiring_apsp_configured(g, cfg.params.worker_threads(), trace, &netcfg);
+    if let Some(sink) = trace {
+        sink.close_span();
+    }
+    let report = run?;
+    let mut rounds = report.rounds;
+    let verdict = if cfg.verify {
+        let (ok, vrounds) = certify(
+            g,
+            &report.distances,
+            &hardened(&cfg.net, VERIFY_SALT + u64::from(attempt)),
+            trace,
+            "verify-fallback",
+        )?;
+        rounds += vrounds;
+        Some(ok)
+    } else {
+        None
+    };
+    total_rounds += rounds;
+    attempts.push(AttemptRecord {
+        attempt,
+        algorithm: report.algorithm,
+        rounds,
+        verified: verdict,
+        error: None,
+        fallback: true,
+    });
+    if verdict == Some(false) {
+        return Err(ApspError::VerificationFailed {
+            attempts: attempts.len() as u32,
+        });
+    }
+    Ok(DriverReport {
+        report,
+        attempts,
+        total_rounds,
+        verified: verdict.unwrap_or(false),
+        used_fallback: true,
+    })
+}
+
+/// The verifier's network config: same fault plan (reseeded by `salt`),
+/// reliable envelope forced on with a generous retry budget — the
+/// verifier and the fallback are the last line of defense, so they never
+/// run unprotected and get more retransmit waves than a regular attempt.
+fn hardened(net: &NetConfig, salt: u64) -> NetConfig {
+    let mut cfg = net.reseeded(salt);
+    if cfg.faults.is_some() {
+        let base = cfg.reliable.unwrap_or_default();
+        cfg.reliable = Some(ReliableConfig {
+            max_retries: base.max_retries.max(32),
+            ..base
+        });
+    }
+    cfg
+}
+
+/// Checks the three-part certificate. Returns `(verdict, rounds charged)`;
+/// the distributed product's rounds are charged even on rejection.
+///
+/// # Errors
+///
+/// [`ApspError::Faulted`] when the verification product itself dies on the
+/// (fault-injected) network.
+fn certify(
+    g: &DiGraph,
+    d: &WeightMatrix,
+    netcfg: &NetConfig,
+    trace: Option<&TraceSink>,
+    label: &str,
+) -> Result<(bool, u64), ApspError> {
+    let n = g.n();
+    // (1) zero diagonal, locally.
+    if (0..n).any(|i| d[(i, i)] != ExtWeight::ZERO) {
+        return Ok((false, 0));
+    }
+    // (2) D ≤ A₀ pointwise, locally.
+    let a0 = g.adjacency_matrix();
+    for i in 0..n {
+        for j in 0..n {
+            if d[(i, j)] > a0[(i, j)] {
+                return Ok((false, 0));
+            }
+        }
+    }
+    // (3) D ⊗ D = D, distributed.
+    let mut net = Clique::new(n)?;
+    if let Some(sink) = trace {
+        net.set_trace_sink(sink.clone());
+    }
+    netcfg.apply(&mut net);
+    net.push_span(label);
+    let dd = match semiring_distance_product(d, d, &mut net) {
+        Ok(dd) => dd,
+        Err(e) => {
+            net.close_all_spans();
+            return Err(ApspError::faulted(net.rounds(), e));
+        }
+    };
+    net.close_all_spans();
+    Ok((&dd == d, net.rounds()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_congest::FaultPlan;
+    use qcc_graph::{floyd_warshall, random_reweighted_digraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive_cfg(net: NetConfig) -> DriverConfig {
+        DriverConfig {
+            algorithm: ApspAlgorithm::NaiveBroadcast,
+            net,
+            ..DriverConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_verifies_in_one_attempt() {
+        let mut rng = StdRng::seed_from_u64(201);
+        let g = random_reweighted_digraph(10, 0.5, 6, &mut rng);
+        let out = apsp_driver(&g, &naive_cfg(NetConfig::default()), &mut rng, None).unwrap();
+        assert_eq!(out.attempts.len(), 1);
+        assert!(out.verified && !out.used_fallback);
+        assert_eq!(out.attempts[0].verified, Some(true));
+        assert_eq!(
+            out.report.distances,
+            floyd_warshall(&g.adjacency_matrix()).unwrap()
+        );
+        // total = run + verification product
+        assert!(out.total_rounds > out.report.rounds);
+    }
+
+    #[test]
+    fn enveloped_faults_still_verify_exactly() {
+        let mut rng = StdRng::seed_from_u64(202);
+        let g = random_reweighted_digraph(10, 0.5, 6, &mut rng);
+        let plan = FaultPlan::parse("drop=0.2,corrupt=0.05,dup=0.1,seed=11").unwrap();
+        let out = apsp_driver(&g, &naive_cfg(NetConfig::faulty(plan)), &mut rng, None).unwrap();
+        assert!(out.verified);
+        assert_eq!(
+            out.report.distances,
+            floyd_warshall(&g.adjacency_matrix()).unwrap()
+        );
+    }
+
+    #[test]
+    fn unprotected_faults_degrade_to_the_fallback() {
+        let mut rng = StdRng::seed_from_u64(203);
+        let g = random_reweighted_digraph(10, 0.6, 6, &mut rng);
+        // Heavy drops, no envelope: every pipeline attempt loses rows and
+        // its (over-estimated) matrix flunks the certificate.
+        let net = NetConfig {
+            faults: Some(FaultPlan::parse("drop=0.35,seed=12").unwrap()),
+            reliable: None,
+        };
+        let mut cfg = naive_cfg(net);
+        cfg.max_retries = 1;
+        let out = apsp_driver(&g, &cfg, &mut rng, None).unwrap();
+        assert!(out.used_fallback && out.verified);
+        assert_eq!(out.attempts.len(), 3); // 2 failed attempts + fallback
+        assert!(out.attempts[..2]
+            .iter()
+            .all(|a| a.verified == Some(false) || a.error.is_some()));
+        assert!(out.attempts[2].fallback);
+        assert_eq!(out.attempts[2].algorithm, ApspAlgorithm::SemiringSquaring);
+        assert_eq!(
+            out.report.distances,
+            floyd_warshall(&g.adjacency_matrix()).unwrap()
+        );
+    }
+
+    #[test]
+    fn fallback_policy_fail_surfaces_the_last_error() {
+        let mut rng = StdRng::seed_from_u64(204);
+        let g = random_reweighted_digraph(8, 0.6, 6, &mut rng);
+        let net = NetConfig {
+            faults: Some(FaultPlan::parse("drop=0.5,seed=13").unwrap()),
+            reliable: None,
+        };
+        let mut cfg = naive_cfg(net);
+        cfg.max_retries = 0;
+        cfg.fallback = FallbackPolicy::Fail;
+        let err = apsp_driver(&g, &cfg, &mut rng, None).unwrap_err();
+        // Either a typed error from the run or verification exhaustion —
+        // both are honest; what must NOT happen is a silent wrong answer.
+        assert!(
+            err.is_retryable() || matches!(err, ApspError::VerificationFailed { .. }),
+            "unexpected terminal error: {err}"
+        );
+    }
+
+    #[test]
+    fn negative_cycles_are_not_retried() {
+        let mut g = DiGraph::new(6);
+        g.add_arc(0, 1, -4);
+        g.add_arc(1, 0, 2);
+        let mut rng = StdRng::seed_from_u64(205);
+        let err = apsp_driver(&g, &naive_cfg(NetConfig::default()), &mut rng, None).unwrap_err();
+        assert_eq!(err, ApspError::NegativeCycle);
+    }
+
+    #[test]
+    fn certificate_rejects_tampered_matrices() {
+        let mut rng = StdRng::seed_from_u64(206);
+        let g = random_reweighted_digraph(9, 0.5, 6, &mut rng);
+        let exact = floyd_warshall(&g.adjacency_matrix()).unwrap();
+        let clean = NetConfig::default();
+        assert!(certify(&g, &exact, &clean, None, "v").unwrap().0);
+
+        // Overestimate one reachable off-diagonal entry: condition 2 or 3
+        // must catch it.
+        let mut skewed = exact.clone();
+        let (mut u, mut v) = (0, 0);
+        'outer: for i in 0..g.n() {
+            for j in 0..g.n() {
+                if i != j && skewed[(i, j)] != ExtWeight::PosInf {
+                    (u, v) = (i, j);
+                    break 'outer;
+                }
+            }
+        }
+        skewed[(u, v)] = skewed[(u, v)] + ExtWeight::from(1);
+        assert!(!certify(&g, &skewed, &clean, None, "v").unwrap().0);
+
+        // Nonzero diagonal: condition 1.
+        let mut bad_diag = exact.clone();
+        bad_diag[(0, 0)] = ExtWeight::from(1);
+        let (ok, rounds) = certify(&g, &bad_diag, &clean, None, "v").unwrap();
+        assert!(!ok);
+        assert_eq!(rounds, 0, "local rejection must be free");
+    }
+
+    #[test]
+    fn quantum_pipeline_drives_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(207);
+        let g = random_reweighted_digraph(8, 0.5, 4, &mut rng);
+        let cfg = DriverConfig {
+            algorithm: ApspAlgorithm::QuantumTriangle,
+            ..DriverConfig::default()
+        };
+        let out = apsp_driver(&g, &cfg, &mut rng, None).unwrap();
+        assert!(out.verified && !out.used_fallback);
+        assert_eq!(
+            out.report.distances,
+            floyd_warshall(&g.adjacency_matrix()).unwrap()
+        );
+    }
+}

@@ -28,6 +28,76 @@ pub enum ApspError {
         /// Actual size.
         actual: usize,
     },
+    /// An internal invariant of the algorithm was violated at runtime —
+    /// typically because injected faults corrupted intermediate state that
+    /// a reliable run could never produce.
+    Internal {
+        /// What went wrong, in one line.
+        context: String,
+    },
+    /// The Las-Vegas driver exhausted its attempt budget without producing
+    /// a matrix that passes the distributed verification certificate.
+    VerificationFailed {
+        /// Total attempts made (including any classical fallback).
+        attempts: u32,
+    },
+    /// An error that interrupted a run after rounds had already been
+    /// charged. Wrapping preserves the cost of the failed work so callers
+    /// (the driver, the CLI) can account for it honestly.
+    Faulted {
+        /// Rounds charged before the failure.
+        rounds: u64,
+        /// The underlying failure.
+        source: Box<ApspError>,
+    },
+}
+
+impl ApspError {
+    /// Wraps `source` with the rounds its failed run already charged.
+    /// Flattens nesting: re-wrapping a [`ApspError::Faulted`] accumulates
+    /// rounds instead of stacking boxes.
+    #[must_use]
+    pub fn faulted(rounds: u64, source: ApspError) -> ApspError {
+        match source {
+            ApspError::Faulted {
+                rounds: inner,
+                source,
+            } => ApspError::Faulted {
+                rounds: rounds.max(inner),
+                source,
+            },
+            other => ApspError::Faulted {
+                rounds,
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// Rounds charged by the failed run, if tracked.
+    #[must_use]
+    pub fn rounds_charged(&self) -> u64 {
+        match self {
+            ApspError::Faulted { rounds, .. } => *rounds,
+            _ => 0,
+        }
+    }
+
+    /// True for failures that a fresh attempt with new randomness can
+    /// plausibly avoid: injected faults that broke through the envelope and
+    /// unlucky randomized-stage aborts. Addressing bugs, bad inputs, and
+    /// verification exhaustion are not retryable.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ApspError::Congest(
+                CongestError::DeliveryFailed { .. } | CongestError::NodeCrashed { .. },
+            ) => true,
+            ApspError::StageAborted { .. } => true,
+            ApspError::Internal { .. } => true,
+            ApspError::Faulted { source, .. } => source.is_retryable(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for ApspError {
@@ -41,6 +111,18 @@ impl fmt::Display for ApspError {
             ApspError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
             }
+            ApspError::Internal { context } => {
+                write!(f, "internal invariant violated: {context}")
+            }
+            ApspError::VerificationFailed { attempts } => {
+                write!(
+                    f,
+                    "no APSP attempt passed verification after {attempts} attempts"
+                )
+            }
+            ApspError::Faulted { rounds, source } => {
+                write!(f, "{source} (after charging {rounds} rounds)")
+            }
         }
     }
 }
@@ -49,6 +131,7 @@ impl Error for ApspError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ApspError::Congest(e) => Some(e),
+            ApspError::Faulted { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -106,5 +189,46 @@ mod tests {
     fn errors_are_send_sync() {
         fn check<T: Send + Sync>() {}
         check::<ApspError>();
+    }
+
+    #[test]
+    fn faulted_wrapping_flattens_and_tracks_rounds() {
+        let base = ApspError::Congest(CongestError::DeliveryFailed {
+            phase: "x".into(),
+            undelivered: 1,
+            attempts: 9,
+        });
+        let once = ApspError::faulted(10, base.clone());
+        assert_eq!(once.rounds_charged(), 10);
+        let twice = ApspError::faulted(25, once);
+        assert_eq!(twice.rounds_charged(), 25);
+        match &twice {
+            ApspError::Faulted { source, .. } => assert_eq!(**source, base),
+            other => panic!("expected flat Faulted, got {other:?}"),
+        }
+        assert!(twice.source().is_some());
+    }
+
+    #[test]
+    fn retryability_classifies_fault_and_logic_errors() {
+        let delivery = ApspError::Congest(CongestError::DeliveryFailed {
+            phase: "p".into(),
+            undelivered: 2,
+            attempts: 3,
+        });
+        assert!(delivery.is_retryable());
+        assert!(ApspError::faulted(5, delivery).is_retryable());
+        assert!(ApspError::StageAborted {
+            stage: "lambda",
+            attempts: 3
+        }
+        .is_retryable());
+        assert!(ApspError::Internal {
+            context: "mangled".into()
+        }
+        .is_retryable());
+        assert!(!ApspError::NegativeCycle.is_retryable());
+        assert!(!ApspError::VerificationFailed { attempts: 4 }.is_retryable());
+        assert!(!ApspError::Congest(CongestError::EmptyNetwork).is_retryable());
     }
 }

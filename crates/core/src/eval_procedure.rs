@@ -67,6 +67,12 @@ impl AlphaContext {
             .unwrap_or_else(|| panic!("triple {label} copy {y} not in this α-context"))
     }
 
+    /// Non-panicking [`AlphaContext::copy_node`]: `None` if the triple is
+    /// not of this context's class or `y ≥ dup`.
+    pub fn try_copy_node(&self, label: usize, y: usize) -> Option<NodeId> {
+        self.copy_node.get(&(label, y)).copied()
+    }
+
     /// Builds the context for class `alpha` and, when `dup > 1`, performs
     /// the Step-0 duplication broadcast of the gathered weight tables
     /// (charged to the network).
@@ -208,7 +214,12 @@ fn evaluate_with_cap(
         // Figure 5: split the list round-robin across the dup copies.
         for (pos, &idx) in list.iter().enumerate() {
             let y = pos % actx.dup;
-            let dst = actx.copy_node(triple_label, y);
+            let dst = actx.try_copy_node(triple_label, y).ok_or_else(|| {
+                EvalJointError::Internal(format!(
+                    "triple {triple_label} copy {y} not in the α = {} context",
+                    actx.alpha
+                ))
+            })?;
             let q = &queries[idx];
             sends.push(Envelope::new(
                 src,
@@ -228,7 +239,9 @@ fn evaluate_with_cap(
     for host in NodeId::all(n) {
         for (asker, msg) in boxes.of(host) {
             let (idx, triple_label, u, v, f_uv) = msg.value;
-            let answer = gathered.check_negative(inst, triple_label, u, v, f_uv);
+            let answer = gathered
+                .check_negative(inst, triple_label, u, v, f_uv)
+                .map_err(|e| EvalJointError::Internal(e.to_string()))?;
             replies.push(Envelope::new(
                 host,
                 *asker,
@@ -247,7 +260,14 @@ fn evaluate_with_cap(
             answered[idx] = true;
         }
     }
-    debug_assert!(answered.iter().all(|&a| a), "every query must be answered");
+    // On a reliable network every query is answered; on a fault-injected
+    // one without the delivery envelope, lost messages surface here.
+    if let Some(idx) = answered.iter().position(|&a| !a) {
+        return Err(EvalJointError::Internal(format!(
+            "query {idx} of {} went unanswered — messages lost in transit",
+            queries.len()
+        )));
+    }
     Ok(answers)
 }
 
@@ -258,6 +278,9 @@ pub enum EvalJointError {
     Atypical(AtypicalInputError),
     /// Simulator-level addressing bug.
     Congest(CongestError),
+    /// Broken invariant: a foreign pair, an unknown triple copy, or an
+    /// unanswered query (lost messages on an unprotected faulty network).
+    Internal(String),
 }
 
 impl From<CongestError> for EvalJointError {
@@ -271,6 +294,7 @@ impl std::fmt::Display for EvalJointError {
         match self {
             EvalJointError::Atypical(e) => write!(f, "{e}"),
             EvalJointError::Congest(e) => write!(f, "{e}"),
+            EvalJointError::Internal(context) => write!(f, "{context}"),
         }
     }
 }

@@ -12,6 +12,7 @@
 
 use crate::instance::Instance;
 use crate::wire::{weight_bits, Wire};
+use crate::ApspError;
 use qcc_congest::{Clique, CongestError, Envelope, NodeId};
 
 /// The per-triple weight tables loaded in Step 1.
@@ -58,7 +59,19 @@ impl GatheredWeights {
 
     /// `min_{w ∈ w} (f(u, w) + f(w, v))` over existing apex edges, using
     /// only the tables gathered at `label`.
-    pub fn min_plus(&self, inst: &Instance<'_>, label: usize, u: usize, v: usize) -> Option<i64> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApspError::Internal`] if the pair does not belong to the
+    /// triple's block pair — an addressing bug, or corrupted routing state
+    /// on a fault-injected network.
+    pub fn min_plus(
+        &self,
+        inst: &Instance<'_>,
+        label: usize,
+        u: usize,
+        v: usize,
+    ) -> Result<Option<i64>, ApspError> {
         let (bu, bv, bw) = inst.triples.decode(label);
         let ublock = inst.parts.coarse.block(bu);
         let vblock = inst.parts.coarse.block(bv);
@@ -68,7 +81,9 @@ impl GatheredWeights {
         } else if ublock.contains(&v) && vblock.contains(&u) {
             (v, u)
         } else {
-            panic!("pair ({u}, {v}) does not belong to block pair ({bu}, {bv})");
+            return Err(ApspError::Internal {
+                context: format!("pair ({u}, {v}) does not belong to block pair ({bu}, {bv})"),
+            });
         };
         let wblock = inst.parts.fine.block(bw);
         let i = su - ublock.start;
@@ -89,7 +104,7 @@ impl GatheredWeights {
                 best = Some(best.map_or(sum, |cur: i64| cur.min(sum)));
             }
         }
-        best
+        Ok(best)
     }
 
     /// The Step-3 checking predicate: does some apex in the triple's fine
@@ -101,6 +116,11 @@ impl GatheredWeights {
     /// `min < −f(u, v)` — we implement the definition (the inequality in
     /// the paper is a typo; the surrounding text confirms the check is
     /// "is `{u, v, w}` a negative triangle").
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ApspError::Internal`] from [`GatheredWeights::min_plus`]
+    /// when the pair does not belong to the triple's block pair.
     pub fn check_negative(
         &self,
         inst: &Instance<'_>,
@@ -108,11 +128,11 @@ impl GatheredWeights {
         u: usize,
         v: usize,
         f_uv: i64,
-    ) -> bool {
-        match self.min_plus(inst, label, u, v) {
+    ) -> Result<bool, ApspError> {
+        Ok(match self.min_plus(inst, label, u, v)? {
             Some(min_sum) => min_sum < -f_uv,
             None => false,
-        }
+        })
     }
 }
 
@@ -141,7 +161,7 @@ impl GatheredWeights {
 /// let bu = inst.parts.coarse.block_of(0);
 /// let bw = inst.parts.fine.block_of(2); // apex 2's block
 /// let label = inst.triples.encode(bu, inst.parts.coarse.block_of(1), bw);
-/// assert!(gathered.check_negative(&inst, label, 0, 1, f_uv));
+/// assert!(gathered.check_negative(&inst, label, 0, 1, f_uv)?);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn gather_weights(
@@ -281,7 +301,7 @@ mod tests {
                         .block(bw)
                         .any(|w| g.is_negative_triangle(u, v, w));
                     assert_eq!(
-                        gathered.check_negative(&inst, label, u, v, f_uv),
+                        gathered.check_negative(&inst, label, u, v, f_uv).unwrap(),
                         expected,
                         "label {label} pair ({u},{v})"
                     );
@@ -310,11 +330,13 @@ mod tests {
             .block(bw)
             .any(|w| g.is_negative_triangle(0, 1, w));
         let f_uv = g.weight(0, 1).finite().unwrap();
-        assert_eq!(gathered.check_negative(&inst, label, 0, 1, f_uv), census);
+        assert_eq!(
+            gathered.check_negative(&inst, label, 0, 1, f_uv).unwrap(),
+            census
+        );
     }
 
     #[test]
-    #[should_panic(expected = "does not belong")]
     fn min_plus_rejects_foreign_pairs() {
         let (g, s) = setup(16, 54);
         let inst = Instance::new(&g, &s, Params::scaled());
@@ -323,6 +345,8 @@ mod tests {
         // triple (0, 0, 0) covers only block 0's pairs; vertex 15 is in the
         // last coarse block
         let label = inst.triples.encode(0, 0, 0);
-        let _ = gathered.min_plus(&inst, label, 0, 15);
+        let err = gathered.min_plus(&inst, label, 0, 15).unwrap_err();
+        assert!(matches!(err, ApspError::Internal { .. }));
+        assert!(err.to_string().contains("does not belong"));
     }
 }

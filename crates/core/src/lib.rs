@@ -74,17 +74,22 @@ pub use wire::{pair_bits, weight_bits, Wire};
 
 pub mod distance_product;
 pub use distance_product::{
-    distributed_distance_product, distributed_distance_product_traced, DistanceProductReport,
+    distributed_distance_product, distributed_distance_product_configured,
+    distributed_distance_product_traced, DistanceProductReport,
 };
 
 pub mod apsp;
 pub mod baselines;
-pub use apsp::{apsp, apsp_traced, ApspAlgorithm, ApspReport};
+pub use apsp::{apsp, apsp_configured, apsp_traced, ApspAlgorithm, ApspReport};
 pub use baselines::{
-    dolev_find_edges, naive_broadcast_apsp, naive_broadcast_apsp_traced,
-    naive_broadcast_apsp_with_threads, semiring_apsp, semiring_apsp_traced,
-    semiring_apsp_with_threads, semiring_distance_product, semiring_distance_product_with_threads,
+    dolev_find_edges, naive_broadcast_apsp, naive_broadcast_apsp_configured,
+    naive_broadcast_apsp_traced, naive_broadcast_apsp_with_threads, semiring_apsp,
+    semiring_apsp_configured, semiring_apsp_traced, semiring_apsp_with_threads,
+    semiring_distance_product, semiring_distance_product_with_threads,
 };
+
+pub mod driver;
+pub use driver::{apsp_driver, AttemptRecord, DriverConfig, DriverReport, FallbackPolicy};
 
 pub mod apsp_paths;
 pub use apsp_paths::{

@@ -199,6 +199,9 @@ pub fn run_step3_quantum<R: Rng>(
                     }
                     Err(EvalJointError::Atypical(_)) => stats.typicality_violations += 1,
                     Err(EvalJointError::Congest(e)) => return Err(e.into()),
+                    Err(EvalJointError::Internal(context)) => {
+                        return Err(ApspError::Internal { context })
+                    }
                 }
             }
             // Measure every search and verify the measured tuple jointly.
@@ -227,6 +230,9 @@ pub fn run_step3_quantum<R: Rng>(
                 }
                 Err(EvalJointError::Atypical(_)) => stats.typicality_violations += 1,
                 Err(EvalJointError::Congest(e)) => return Err(e.into()),
+                Err(EvalJointError::Internal(context)) => {
+                    return Err(ApspError::Internal { context })
+                }
             }
             if searches.iter().all(|s| s.found || s.solutions.is_empty()) {
                 break;
@@ -296,9 +302,12 @@ pub fn run_step3_classical(
                 }
             }
             Err(EvalJointError::Atypical(e)) => {
-                unreachable!("unbounded evaluator cannot reject: {e}")
+                return Err(ApspError::Internal {
+                    context: format!("unbounded evaluator rejected its input: {e}"),
+                })
             }
             Err(EvalJointError::Congest(e)) => return Err(e.into()),
+            Err(EvalJointError::Internal(context)) => return Err(ApspError::Internal { context }),
         }
     }
     stats.iterations = inst.parts.fine.num_blocks() as u64;

@@ -2,9 +2,10 @@
 
 use proptest::prelude::*;
 use qcc_apsp::{
-    apsp, dolev_find_edges, reference_find_edges, ApspAlgorithm, PairSet, Params, Wire,
+    apsp, apsp_driver, dolev_find_edges, reference_find_edges, ApspAlgorithm, DriverConfig,
+    PairSet, Params, Wire,
 };
-use qcc_congest::Payload;
+use qcc_congest::{FaultPlan, NetConfig, Payload};
 use qcc_graph::{floyd_warshall, random_reweighted_digraph, random_ugraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -58,6 +59,40 @@ proptest! {
     fn wire_bits_are_exact(bits in 1u64..10_000) {
         let w = Wire::new((1usize, 2usize), bits);
         prop_assert_eq!(w.bit_size(), bits);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any moderate fault plan behind the reliable envelope still yields
+    /// the exact, certificate-verified APSP matrix through the driver.
+    #[test]
+    fn enveloped_faults_never_skew_apsp(
+        seed in 0u64..200,
+        n in 4usize..10,
+        drop in 0.0f64..0.5,
+        corrupt in 0.0f64..0.2,
+        dup in 0.0f64..0.3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_reweighted_digraph(n, 0.5, 6, &mut rng);
+        let oracle = floyd_warshall(&g.adjacency_matrix()).unwrap();
+        let plan = FaultPlan {
+            drop_rate: drop,
+            corrupt_rate: corrupt,
+            duplicate_rate: dup,
+            seed,
+            ..FaultPlan::default()
+        };
+        let cfg = DriverConfig {
+            algorithm: ApspAlgorithm::NaiveBroadcast,
+            net: NetConfig::faulty(plan),
+            ..DriverConfig::default()
+        };
+        let out = apsp_driver(&g, &cfg, &mut rng, None).unwrap();
+        prop_assert!(out.verified);
+        prop_assert_eq!(&out.report.distances, &oracle);
     }
 }
 

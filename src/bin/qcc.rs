@@ -9,12 +9,17 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprint!("{}", qcc::cli::USAGE);
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let mut stdout = std::io::stdout();
     match qcc::cli::run(&cmd, &mut stdout) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(status) => {
+            if let Some(diag) = status.diagnostic() {
+                eprintln!("qcc: {diag}");
+            }
+            ExitCode::from(status.exit_code())
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

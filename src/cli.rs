@@ -9,10 +9,11 @@
 //! logic stays unit-testable.
 
 use crate::algo::{
-    apsp_traced, apsp_with_paths_traced, compute_pairs, quantum_gamma_count, reference_find_edges,
-    ApspAlgorithm, PairSet, Params, SearchBackend,
+    apsp_driver, apsp_traced, apsp_with_paths_traced, compute_pairs, quantum_gamma_count,
+    reference_find_edges, ApspAlgorithm, ApspError, DriverConfig, FallbackPolicy, PairSet, Params,
+    SearchBackend,
 };
-use crate::congest::{parse_trace, Clique, TraceSink, TraceSummary};
+use crate::congest::{parse_trace, Clique, FaultPlan, NetConfig, TraceSink, TraceSummary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -32,6 +33,12 @@ pub enum Command {
         w_max: u64,
         /// NDJSON trace output file.
         trace: Option<String>,
+        /// Seeded fault plan to inject (arms the reliable envelope).
+        faults: Option<FaultPlan>,
+        /// Verify the output with the Las-Vegas driver's certificate.
+        verify: bool,
+        /// Driver retry budget (extra attempts after the first).
+        max_retries: u32,
     },
     /// Run `FindEdgesWithPromise` on a planted instance.
     FindEdges {
@@ -98,6 +105,7 @@ USAGE:
 
 COMMANDS:
     apsp           run all-pairs shortest paths   [--algorithm quantum|classical|naive|semiring] [--wmax W] [--trace FILE]
+                   [--faults SPEC] [--verify] [--max-retries K]
     find-edges     run FindEdgesWithPromise       [--backend quantum|classical] [--trace FILE]
     paths          APSP with explicit route extraction   [--trace FILE]
     gamma          quantum triangle counting      [--bits B] [--trace FILE]
@@ -105,31 +113,64 @@ COMMANDS:
     help           show this message
 
 Defaults: --n 8 (apsp/paths), --n 16 (find-edges/gamma), --seed 7.
---trace FILE writes one NDJSON event per span open/close and per
-communication call; inspect it with `qcc trace-summary FILE`.
+--trace FILE writes one NDJSON event per span open/close, per
+communication call, and per injected fault; inspect it with
+`qcc trace-summary FILE`.
+
+--faults SPEC injects seeded, deterministic network faults and arms the
+ack/retransmit envelope. SPEC is comma-separated key=value items:
+drop=R, corrupt=R, dup=R (rates in [0,1]), seed=S, crash=NODE@ROUND,
+link=SRC>DST:RATE. --verify runs the self-verifying Las-Vegas driver
+(retry up to --max-retries times, then degrade to the classical
+semiring fallback).
+
+EXIT CODES:
+    0  success
+    1  error (bad input, algorithm failure)
+    2  usage error
+    3  no attempt passed verification
+    4  the answer came from the classical fallback (degraded)
 ";
 
 /// Flags and positionals of one subcommand, validated against its
 /// declared flag set.
 struct Flags {
     values: Vec<(String, String)>,
+    switches: Vec<String>,
     positionals: Vec<String>,
 }
 
-/// Walks `args`, pairing each `--flag` with its value. Flags not in
-/// `allowed`, flags without a value, and repeated flags are errors;
-/// non-flag tokens are collected as positionals for the caller to vet.
-fn collect_flags(command: &str, args: &[String], allowed: &[&str]) -> Result<Flags, CliError> {
+/// Walks `args`, pairing each `--flag` with its value. Flags listed in
+/// `switches` take no value and merely toggle; flags in neither list,
+/// value flags without a value, and repeated flags are errors; non-flag
+/// tokens are collected as positionals for the caller to vet.
+fn collect_flags(
+    command: &str,
+    args: &[String],
+    allowed: &[&str],
+    switches: &[&str],
+) -> Result<Flags, CliError> {
     let mut values: Vec<(String, String)> = Vec::new();
+    let mut seen_switches: Vec<String> = Vec::new();
     let mut positionals = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
         if a.starts_with("--") {
+            if switches.contains(&a.as_str()) {
+                if seen_switches.iter().any(|s| s == a) {
+                    return Err(CliError(format!("flag {a} given more than once")));
+                }
+                seen_switches.push(a.clone());
+                i += 1;
+                continue;
+            }
             if !allowed.contains(&a.as_str()) {
+                let mut all: Vec<&str> = allowed.to_vec();
+                all.extend_from_slice(switches);
                 return Err(CliError(format!(
                     "unknown flag for `{command}`: {a} (allowed: {})",
-                    allowed.join(", ")
+                    all.join(", ")
                 )));
             }
             if values.iter().any(|(k, _)| k == a) {
@@ -149,6 +190,7 @@ fn collect_flags(command: &str, args: &[String], allowed: &[&str]) -> Result<Fla
     }
     Ok(Flags {
         values,
+        switches: seen_switches,
         positionals,
     })
 }
@@ -178,6 +220,10 @@ impl Flags {
                 .map_err(|_| CliError(format!("invalid value for {name}: {v}"))),
             None => Ok(None),
         }
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
     }
 
     fn trace(&self) -> Option<String> {
@@ -216,6 +262,9 @@ impl Flags {
 ///         algorithm: ApspAlgorithm::QuantumTriangle,
 ///         w_max: 8,
 ///         trace: None,
+///         faults: None,
+///         verify: false,
+///         max_retries: 3,
 ///     }
 /// );
 /// // A misspelled flag is an error, not a silently ignored token:
@@ -232,7 +281,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let flags = collect_flags(
                 command,
                 rest,
-                &["--n", "--seed", "--algorithm", "--wmax", "--trace"],
+                &[
+                    "--n",
+                    "--seed",
+                    "--algorithm",
+                    "--wmax",
+                    "--trace",
+                    "--faults",
+                    "--max-retries",
+                ],
+                &["--verify"],
             )?;
             flags.reject_positionals(command)?;
             let algorithm = match flags.get("--algorithm") {
@@ -242,16 +300,31 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 Some("semiring") => ApspAlgorithm::SemiringSquaring,
                 Some(other) => return Err(CliError(format!("unknown algorithm: {other}"))),
             };
+            let faults = match flags.get("--faults") {
+                None => None,
+                Some(spec) => Some(
+                    FaultPlan::parse(spec)
+                        .map_err(|e| CliError(format!("invalid --faults spec: {e}")))?,
+                ),
+            };
             Ok(Command::Apsp {
                 n: flags.num("--n", 8)?,
                 seed: flags.num("--seed", 7)?,
                 algorithm,
                 w_max: flags.num("--wmax", 8)?,
                 trace: flags.trace(),
+                faults,
+                verify: flags.switch("--verify"),
+                max_retries: flags.num("--max-retries", 3)?,
             })
         }
         "find-edges" => {
-            let flags = collect_flags(command, rest, &["--n", "--seed", "--backend", "--trace"])?;
+            let flags = collect_flags(
+                command,
+                rest,
+                &["--n", "--seed", "--backend", "--trace"],
+                &[],
+            )?;
             flags.reject_positionals(command)?;
             let backend = match flags.get("--backend") {
                 None | Some("quantum") => SearchBackend::Quantum,
@@ -266,7 +339,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             })
         }
         "paths" => {
-            let flags = collect_flags(command, rest, &["--n", "--seed", "--trace"])?;
+            let flags = collect_flags(command, rest, &["--n", "--seed", "--trace"], &[])?;
             flags.reject_positionals(command)?;
             Ok(Command::Paths {
                 n: flags.num("--n", 8)?,
@@ -275,7 +348,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             })
         }
         "gamma" => {
-            let flags = collect_flags(command, rest, &["--n", "--seed", "--bits", "--trace"])?;
+            let flags = collect_flags(command, rest, &["--n", "--seed", "--bits", "--trace"], &[])?;
             flags.reject_positionals(command)?;
             Ok(Command::Gamma {
                 n: flags.num("--n", 16)?,
@@ -285,7 +358,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             })
         }
         "trace-summary" => {
-            let flags = collect_flags(command, rest, &["--expect-rounds", "--max-depth"])?;
+            let flags = collect_flags(command, rest, &["--expect-rounds", "--max-depth"], &[])?;
             let file = match flags.positionals.as_slice() {
                 [f] => f.clone(),
                 [] => return Err(CliError("trace-summary needs a trace file argument".into())),
@@ -324,12 +397,58 @@ fn flush_sink(sink: Option<&TraceSink>) -> Result<(), Box<dyn std::error::Error>
     Ok(())
 }
 
+/// How a successfully-parsed command finished, mapped to the process
+/// exit code by `src/bin/qcc.rs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The command completed normally (exit 0).
+    Success,
+    /// The Las-Vegas driver exhausted its retries and no attempt (nor
+    /// the fallback) produced a certificate-verified answer (exit 3).
+    VerificationFailed,
+    /// The answer is correct and verified, but it came from the
+    /// classical semiring fallback, not the requested algorithm
+    /// (exit 4 — distinguishable in scripts and CI).
+    DegradedFallback,
+}
+
+impl RunStatus {
+    /// The process exit code this status maps to.
+    #[must_use]
+    pub fn exit_code(self) -> u8 {
+        match self {
+            RunStatus::Success => 0,
+            RunStatus::VerificationFailed => 3,
+            RunStatus::DegradedFallback => 4,
+        }
+    }
+
+    /// A one-line stderr diagnostic, if the status warrants one.
+    #[must_use]
+    pub fn diagnostic(self) -> Option<&'static str> {
+        match self {
+            RunStatus::Success => None,
+            RunStatus::VerificationFailed => {
+                Some("verification failed: no attempt produced a certified answer")
+            }
+            RunStatus::DegradedFallback => {
+                Some("degraded: answer came from the classical semiring fallback")
+            }
+        }
+    }
+}
+
 /// Executes a parsed command, writing human-readable output to `out`.
 ///
 /// # Errors
 ///
-/// Propagates algorithm errors and I/O errors.
-pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::error::Error>> {
+/// Propagates algorithm errors and I/O errors. Driver outcomes that are
+/// not hard errors (verification exhaustion, fallback degradation) are
+/// reported through the returned [`RunStatus`] instead.
+pub fn run(
+    cmd: &Command,
+    out: &mut dyn std::io::Write,
+) -> Result<RunStatus, Box<dyn std::error::Error>> {
     match *cmd {
         Command::Help => {
             write!(out, "{USAGE}")?;
@@ -340,23 +459,71 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn st
             algorithm,
             w_max,
             ref trace,
+            ref faults,
+            verify,
+            max_retries,
         } => {
             let mut rng = StdRng::seed_from_u64(seed);
             let g = crate::graph::generators::random_reweighted_digraph(n, 0.5, w_max, &mut rng);
             let sink = open_sink(trace.as_ref())?;
-            let report = apsp_traced(&g, Params::paper(), algorithm, &mut rng, sink.as_ref())?;
+            if faults.is_none() && !verify {
+                let report = apsp_traced(&g, Params::paper(), algorithm, &mut rng, sink.as_ref())?;
+                flush_sink(sink.as_ref())?;
+                writeln!(
+                    out,
+                    "{algorithm:?} APSP on n={n} (seed {seed}): {} rounds, {} products",
+                    report.rounds, report.products
+                )?;
+                let finite = report
+                    .distances
+                    .entries()
+                    .filter(|(_, _, w)| w.is_finite())
+                    .count();
+                writeln!(out, "{finite}/{} pairs reachable", n * n)?;
+                return Ok(RunStatus::Success);
+            }
+            let cfg = DriverConfig {
+                algorithm,
+                params: Params::paper(),
+                max_retries,
+                verify,
+                fallback: FallbackPolicy::Semiring,
+                net: faults.clone().map(NetConfig::faulty).unwrap_or_default(),
+            };
+            let driven = apsp_driver(&g, &cfg, &mut rng, sink.as_ref());
             flush_sink(sink.as_ref())?;
-            writeln!(
-                out,
-                "{algorithm:?} APSP on n={n} (seed {seed}): {} rounds, {} products",
-                report.rounds, report.products
-            )?;
-            let finite = report
-                .distances
-                .entries()
-                .filter(|(_, _, w)| w.is_finite())
-                .count();
-            writeln!(out, "{finite}/{} pairs reachable", n * n)?;
+            match driven {
+                Ok(out_report) => {
+                    writeln!(
+                        out,
+                        "{algorithm:?} APSP on n={n} (seed {seed}): {} rounds total, \
+                         {} attempt(s), verified: {}, fallback: {}",
+                        out_report.total_rounds,
+                        out_report.attempts.len(),
+                        out_report.verified,
+                        out_report.used_fallback
+                    )?;
+                    let finite = out_report
+                        .report
+                        .distances
+                        .entries()
+                        .filter(|(_, _, w)| w.is_finite())
+                        .count();
+                    writeln!(out, "{finite}/{} pairs reachable", n * n)?;
+                    if out_report.used_fallback {
+                        return Ok(RunStatus::DegradedFallback);
+                    }
+                }
+                Err(ApspError::VerificationFailed { attempts }) => {
+                    writeln!(
+                        out,
+                        "{algorithm:?} APSP on n={n} (seed {seed}): \
+                         {attempts} attempt(s) exhausted without a verified answer"
+                    )?;
+                    return Ok(RunStatus::VerificationFailed);
+                }
+                Err(e) => return Err(Box::new(e)),
+            }
         }
         Command::FindEdges {
             n,
@@ -423,7 +590,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn st
             let pairs: PairSet = g.edges().map(|(u, v, _)| (u, v)).take(5).collect();
             if pairs.is_empty() {
                 writeln!(out, "instance has no edges; nothing to count")?;
-                return Ok(());
+                return Ok(RunStatus::Success);
             }
             let mut net = Clique::new(n)?;
             let sink = open_sink(trace.as_ref())?;
@@ -465,7 +632,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn st
             }
         }
     }
-    Ok(())
+    Ok(RunStatus::Success)
 }
 
 #[cfg(test)]
@@ -498,8 +665,46 @@ mod tests {
                 algorithm: ApspAlgorithm::SemiringSquaring,
                 w_max: 99,
                 trace: None,
+                faults: None,
+                verify: false,
+                max_retries: 3,
             }
         );
+    }
+
+    #[test]
+    fn apsp_fault_flags_parse() {
+        let cmd = parse(&argv(
+            "apsp --faults drop=0.1,seed=3 --verify --max-retries 2",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Apsp {
+                faults,
+                verify,
+                max_retries,
+                ..
+            } => {
+                let plan = faults.expect("fault plan parsed");
+                assert!((plan.drop_rate - 0.1).abs() < 1e-12);
+                assert_eq!(plan.seed, 3);
+                assert!(verify);
+                assert_eq!(max_retries, 2);
+            }
+            other => panic!("unexpected command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_fault_specs_are_rejected() {
+        let e = parse(&argv("apsp --faults drop=eleven")).unwrap_err();
+        assert!(e.0.contains("invalid --faults spec"), "{e}");
+        assert!(parse(&argv("apsp --faults warp=0.5")).is_err());
+        // --verify is a switch: a trailing value becomes a stray positional.
+        let e = parse(&argv("apsp --verify yes")).unwrap_err();
+        assert!(e.0.contains("yes"), "{e}");
+        // Switches cannot repeat either.
+        assert!(parse(&argv("apsp --verify --verify")).is_err());
     }
 
     #[test]
@@ -583,8 +788,12 @@ mod tests {
             algorithm: ApspAlgorithm::NaiveBroadcast,
             w_max: 5,
             trace: None,
+            faults: None,
+            verify: false,
+            max_retries: 3,
         };
-        run(&cmd, &mut buf).unwrap();
+        let status = run(&cmd, &mut buf).unwrap();
+        assert_eq!(status, RunStatus::Success);
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("NaiveBroadcast"));
         assert!(text.contains("rounds"));
@@ -635,6 +844,83 @@ mod tests {
     }
 
     #[test]
+    fn run_faulty_verified_apsp_reports_success() {
+        let path = temp_path("faulty-verify");
+        let mut buf = Vec::new();
+        let cmd = Command::Apsp {
+            n: 6,
+            seed: 9,
+            algorithm: ApspAlgorithm::NaiveBroadcast,
+            w_max: 5,
+            trace: Some(path.to_string_lossy().into_owned()),
+            faults: Some(FaultPlan::parse("drop=0.1,corrupt=0.02,seed=4").unwrap()),
+            verify: true,
+            max_retries: 3,
+        };
+        let status = run(&cmd, &mut buf).unwrap();
+        assert_eq!(status, RunStatus::Success);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("verified: true"), "{text}");
+        assert!(text.contains("fallback: false"), "{text}");
+
+        // The driver's reported round total must agree with the trace.
+        let rounds: u64 = text
+            .split(": ")
+            .nth(1)
+            .and_then(|s| s.split(' ').next())
+            .and_then(|s| s.parse().ok())
+            .expect("rounds in output");
+        let mut buf = Vec::new();
+        let status = run(
+            &Command::TraceSummary {
+                file: path.to_string_lossy().into_owned(),
+                expect_rounds: Some(rounds),
+                max_depth: usize::MAX,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(status, RunStatus::Success);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains(&format!("round total matches expected {rounds}")),
+            "{text}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_crashed_node_exhausts_verification() {
+        // Node 0 crashes at round 0 and stays down: every attempt and the
+        // semiring fallback lose it, so the driver can never certify.
+        let mut buf = Vec::new();
+        let cmd = Command::Apsp {
+            n: 5,
+            seed: 2,
+            algorithm: ApspAlgorithm::NaiveBroadcast,
+            w_max: 5,
+            trace: None,
+            faults: Some(FaultPlan::parse("crash=0@0").unwrap()),
+            verify: true,
+            max_retries: 0,
+        };
+        let status = run(&cmd, &mut buf).unwrap();
+        assert_eq!(status, RunStatus::VerificationFailed);
+        assert_eq!(status.exit_code(), 3);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("without a verified answer"), "{text}");
+    }
+
+    #[test]
+    fn run_status_exit_codes_are_distinct() {
+        assert_eq!(RunStatus::Success.exit_code(), 0);
+        assert_eq!(RunStatus::VerificationFailed.exit_code(), 3);
+        assert_eq!(RunStatus::DegradedFallback.exit_code(), 4);
+        assert!(RunStatus::Success.diagnostic().is_none());
+        assert!(RunStatus::DegradedFallback.diagnostic().is_some());
+    }
+
+    #[test]
     fn run_traced_apsp_then_summary_agrees_on_rounds() {
         let path = temp_path("apsp-summary");
         let mut buf = Vec::new();
@@ -645,6 +931,9 @@ mod tests {
                 algorithm: ApspAlgorithm::NaiveBroadcast,
                 w_max: 5,
                 trace: Some(path.to_string_lossy().into_owned()),
+                faults: None,
+                verify: false,
+                max_retries: 3,
             },
             &mut buf,
         )

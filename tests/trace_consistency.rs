@@ -63,6 +63,9 @@ fn traced_quantum_apsp_agrees_with_its_report() {
             algorithm: ApspAlgorithm::QuantumTriangle,
             w_max: 4,
             trace: Some(path.to_string_lossy().into_owned()),
+            faults: None,
+            verify: false,
+            max_retries: 3,
         },
         &path,
     );
@@ -78,6 +81,9 @@ fn traced_classical_apsp_agrees_with_its_report() {
             algorithm: ApspAlgorithm::ClassicalTriangle,
             w_max: 4,
             trace: Some(path.to_string_lossy().into_owned()),
+            faults: None,
+            verify: false,
+            max_retries: 3,
         },
         &path,
     );
@@ -97,6 +103,9 @@ fn traced_baseline_apsp_agrees_with_their_reports() {
                 algorithm,
                 w_max: 6,
                 trace: Some(path.to_string_lossy().into_owned()),
+                faults: None,
+                verify: false,
+                max_retries: 3,
             },
             &path,
         );
@@ -156,6 +165,9 @@ fn quantum_trace_has_the_expected_hierarchy() {
         algorithm: ApspAlgorithm::QuantumTriangle,
         w_max: 4,
         trace: Some(path.to_string_lossy().into_owned()),
+        faults: None,
+        verify: false,
+        max_retries: 3,
     };
     run(&cmd, &mut Vec::new()).unwrap();
     let text = std::fs::read_to_string(&path).unwrap();
