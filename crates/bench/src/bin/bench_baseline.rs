@@ -55,9 +55,21 @@ impl Sample {
             (sorted[mid - 1] + sorted[mid]) / 2.0
         }
     }
+
+    fn min_ms(&self) -> f64 {
+        self.times_ms.iter().copied().fold(f64::INFINITY, f64::min)
+    }
 }
 
+/// Times `reps` executions of `f`, preceded by one discarded warmup run
+/// (when `reps > 1`) so cold caches, lazy allocations, and first-touch page
+/// faults don't skew the recorded samples. Single-rep workloads (the
+/// end-to-end pipeline) skip the warmup — doubling a minutes-long run buys
+/// no precision.
 fn time_reps<F: FnMut()>(reps: usize, mut f: F) -> Vec<f64> {
+    if reps > 1 {
+        f();
+    }
     (0..reps)
         .map(|_| {
             let t = Instant::now();
@@ -177,12 +189,13 @@ fn to_json(samples: &[Sample], mode: &str) -> String {
         s.push_str("    {");
         let _ = write!(
             s,
-            "\"name\": \"{}\", \"n\": {}, \"threads\": {}, \"reps\": {}, \"median_ms\": {:.3}",
+            "\"name\": \"{}\", \"n\": {}, \"threads\": {}, \"reps\": {}, \"median_ms\": {:.3}, \"min_ms\": {:.3}",
             sample.name,
             sample.n,
             sample.threads,
             sample.reps,
-            sample.median_ms()
+            sample.median_ms(),
+            sample.min_ms()
         );
         if let Some(r) = sample.rounds {
             let _ = write!(s, ", \"rounds\": {r}");

@@ -40,13 +40,29 @@ pub struct EdgeColoring {
 #[derive(Clone, Debug, Default)]
 pub struct ColoringScratch {
     /// Flat `n_left × Δ` slot table: `left_at[u · Δ + c]` is the edge of
-    /// color `c` at left node `u`, or `usize::MAX`.
-    left_at: Vec<usize>,
+    /// color `c` at left node `u`, or `u32::MAX`. Edge indices are `u32` so
+    /// the tables stay small enough to be cache-resident — the Kempe walk
+    /// is a chain of dependent random accesses into them.
+    left_at: Vec<u32>,
     /// Flat `n_right × Δ` slot table, as `left_at`.
-    right_at: Vec<usize>,
+    right_at: Vec<u32>,
+    /// Occupancy bitmask mirror of `left_at`, `⌈Δ/64⌉` words per node: bit
+    /// `c` set ⟺ `left_at[u · Δ + c] != u32::MAX`. Lets the free-color
+    /// scan test 64 slots per word instead of one slot per load, without
+    /// changing which color it finds (always the lowest free one).
+    left_mask: Vec<u64>,
+    /// Bitmask mirror of `right_at`, as `left_mask`.
+    right_mask: Vec<u64>,
+    /// Per-left-node lower bound on the first non-full mask word (every
+    /// word strictly below it is `!0`), so the free-color scan skips the
+    /// saturated prefix.
+    left_hint: Vec<usize>,
+    /// Per-right-node first-non-full-word bound, as `left_hint`.
+    right_hint: Vec<usize>,
+    /// `u32` copy of the input edges, halving the walk's lookup footprint.
+    edg: Vec<(u32, u32)>,
     left_deg: Vec<usize>,
     right_deg: Vec<usize>,
-    path: Vec<usize>,
 }
 
 impl ColoringScratch {
@@ -136,91 +152,162 @@ pub fn color_bipartite_into(
     if delta == 0 {
         return 0;
     }
+    assert!(
+        edges.len() < u32::MAX as usize,
+        "demand multigraph too large for u32 edge indices"
+    );
     colors.resize(edges.len(), usize::MAX);
     // at[node · Δ + color] = edge index carrying that color at that node,
-    // or usize::MAX. Flat layout keeps the tables in two contiguous
-    // reusable buffers.
+    // or u32::MAX. Flat layout keeps the tables in two contiguous
+    // reusable buffers. The mask tables mirror occupancy one bit per slot;
+    // padding bits at indices ≥ Δ in each node's last word are pre-set so
+    // the free-color scan never selects them.
+    let words = delta.div_ceil(64);
+    let pad = if delta.is_multiple_of(64) {
+        0
+    } else {
+        !0u64 << (delta % 64)
+    };
     scratch.left_at.clear();
-    scratch.left_at.resize(n_left * delta, usize::MAX);
+    scratch.left_at.resize(n_left * delta, u32::MAX);
     scratch.right_at.clear();
-    scratch.right_at.resize(n_right * delta, usize::MAX);
+    scratch.right_at.resize(n_right * delta, u32::MAX);
+    scratch.left_mask.clear();
+    scratch.left_mask.resize(n_left * words, 0);
+    scratch.right_mask.clear();
+    scratch.right_mask.resize(n_right * words, 0);
+    for u in 0..n_left {
+        scratch.left_mask[u * words + words - 1] = pad;
+    }
+    for v in 0..n_right {
+        scratch.right_mask[v * words + words - 1] = pad;
+    }
+    scratch.left_hint.clear();
+    scratch.left_hint.resize(n_left, 0);
+    scratch.right_hint.clear();
+    scratch.right_hint.resize(n_right, 0);
+    scratch.edg.clear();
+    scratch
+        .edg
+        .extend(edges.iter().map(|&(eu, ev)| (eu as u32, ev as u32)));
     let left_at = &mut scratch.left_at;
     let right_at = &mut scratch.right_at;
-    let path = &mut scratch.path;
+    let left_mask = &mut scratch.left_mask;
+    let right_mask = &mut scratch.right_mask;
+    let left_hint = &mut scratch.left_hint;
+    let right_hint = &mut scratch.right_hint;
+    let edg = &scratch.edg;
 
     for (idx, &(u, v)) in edges.iter().enumerate() {
         assert!(u < n_left && v < n_right, "edge endpoint out of range");
-        let a = free_color(&left_at[u * delta..(u + 1) * delta]);
-        let b = free_color(&right_at[v * delta..(v + 1) * delta]);
+        let a = free_color(left_mask, left_hint, words, u);
+        let b = free_color(right_mask, right_hint, words, v);
+        debug_assert_eq!(left_at[u * delta + a], u32::MAX);
+        debug_assert_eq!(right_at[v * delta + b], u32::MAX);
         if a == b {
-            assign(left_at, right_at, colors, edges, delta, idx, a);
+            colors[idx] = a;
+            left_at[u * delta + a] = idx as u32;
+            right_at[v * delta + a] = idx as u32;
+            set_bit(left_mask, words, u, a);
+            set_bit(right_mask, words, v, a);
             continue;
         }
         // Make color `a` free at `v` by flipping the (a, b)-alternating path
         // starting from `v`. The path cannot reach `u` because `u` has no
         // `a`-colored edge, and left vertices are entered via `a`.
-        path.clear();
+        //
+        // The flip happens during the walk itself: recoloring the path swaps
+        // the contents of slots `a` and `b` at every visited node (for the
+        // ends, one of the two is empty), and since the path never revisits
+        // a node the swap at the current node cannot disturb a later lookup.
+        // Occupancy only changes at the two path ends — interior nodes keep
+        // both colors — so the masks stay untouched in the loop body.
         let mut node = v;
         let mut on_right = true;
         let mut want = a;
+        let mut steps = 0usize;
         loop {
-            let e = if on_right {
-                right_at[node * delta + want]
-            } else {
-                left_at[node * delta + want]
-            };
-            if e == usize::MAX {
+            let at: &mut Vec<u32> = if on_right { right_at } else { left_at };
+            let slot_w = node * delta + want;
+            let e = at[slot_w];
+            if e == u32::MAX {
                 break;
             }
-            path.push(e);
-            let (eu, ev) = edges[e];
-            node = if on_right { eu } else { ev };
+            let other = a + b - want;
+            let slot_o = node * delta + other;
+            at[slot_w] = at[slot_o];
+            at[slot_o] = e;
+            if steps == 0 {
+                // The start node `v` gains color `b` (its `a`-edge flips);
+                // its bit `a` stays set because the final assignment below
+                // re-occupies it.
+                set_bit(right_mask, words, node, b);
+            }
+            // The traversed edge had color `want` and flips to the other.
+            colors[e as usize] = other;
+            let (eu, ev) = edg[e as usize];
+            node = if on_right { eu as usize } else { ev as usize };
             on_right = !on_right;
-            want = if want == a { b } else { a };
+            want = other;
+            steps += 1;
         }
-        // Unset the path, then re-set with swapped colors.
-        for &e in path.iter() {
-            let (eu, ev) = edges[e];
-            let c = colors[e];
-            left_at[eu * delta + c] = usize::MAX;
-            right_at[ev * delta + c] = usize::MAX;
+        if steps > 0 {
+            // Path end: the incoming edge moves from slot `other` to the
+            // free slot `want`, the only occupancy change besides `v`.
+            let other = a + b - want;
+            let (at, mask, hint) = if on_right {
+                (&mut *right_at, &mut *right_mask, &mut *right_hint)
+            } else {
+                (&mut *left_at, &mut *left_mask, &mut *left_hint)
+            };
+            at[node * delta + want] = at[node * delta + other];
+            at[node * delta + other] = u32::MAX;
+            clear_bit(mask, hint, words, node, other);
+            set_bit(mask, words, node, want);
         }
-        for &e in path.iter() {
-            let (eu, ev) = edges[e];
-            let c = if colors[e] == a { b } else { a };
-            colors[e] = c;
-            left_at[eu * delta + c] = e;
-            right_at[ev * delta + c] = e;
-        }
-        debug_assert_eq!(left_at[u * delta + a], usize::MAX);
-        debug_assert_eq!(right_at[v * delta + a], usize::MAX);
-        assign(left_at, right_at, colors, edges, delta, idx, a);
+        debug_assert_eq!(left_at[u * delta + a], u32::MAX);
+        debug_assert_eq!(right_at[v * delta + a], u32::MAX);
+        colors[idx] = a;
+        left_at[u * delta + a] = idx as u32;
+        right_at[v * delta + a] = idx as u32;
+        set_bit(left_mask, words, u, a);
+        set_bit(right_mask, words, v, a);
     }
 
     delta
 }
 
-fn free_color(slots: &[usize]) -> usize {
-    slots
-        .iter()
-        .position(|&e| e == usize::MAX)
-        .expect("a free color always exists below the maximum degree")
+/// First free color at `node`: the lowest zero bit in its occupancy mask.
+/// `hint[node]` is a lazy lower bound — every word strictly below it is
+/// full — so the scan starts there instead of at word 0, and the found
+/// word becomes the new hint. The result is identical to a linear scan of
+/// the slot table for the first `usize::MAX` entry.
+fn free_color(mask: &[u64], hint: &mut [usize], words: usize, node: usize) -> usize {
+    let row = &mask[node * words..(node + 1) * words];
+    debug_assert!(row[..hint[node]].iter().all(|&w| w == !0));
+    for (w, &bits) in row.iter().enumerate().skip(hint[node]) {
+        if bits != !0 {
+            hint[node] = w;
+            return w * 64 + bits.trailing_ones() as usize;
+        }
+    }
+    panic!("a free color always exists below the maximum degree");
 }
 
-#[allow(clippy::too_many_arguments)]
-fn assign(
-    left_at: &mut [usize],
-    right_at: &mut [usize],
-    colors: &mut [usize],
-    edges: &[DemandEdge],
-    delta: usize,
-    idx: usize,
-    color: usize,
-) {
-    let (u, v) = edges[idx];
-    colors[idx] = color;
-    left_at[u * delta + color] = idx;
-    right_at[v * delta + color] = idx;
+/// Marks color `c` occupied at `node`. The hint stays a valid lower bound:
+/// filling a word only moves the true first-free word up, never down.
+fn set_bit(mask: &mut [u64], words: usize, node: usize, c: usize) {
+    mask[node * words + c / 64] |= 1 << (c % 64);
+}
+
+/// Marks color `c` free at `node`, pulling the hint back if the freed word
+/// is below it.
+fn clear_bit(mask: &mut [u64], hint: &mut [usize], words: usize, node: usize, c: usize) {
+    let w = c / 64;
+    mask[node * words + w] &= !(1 << (c % 64));
+    if w < hint[node] {
+        hint[node] = w;
+    }
 }
 
 /// Verifies that a coloring is proper: no two edges sharing a left or right

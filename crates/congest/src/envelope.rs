@@ -37,72 +37,94 @@ impl<T> Envelope<T> {
 /// Inbox `i` holds `(sender, payload)` pairs for node `i`. Delivery order
 /// within an inbox is deterministic (sorted by sender, then by submission
 /// order) so that simulations are reproducible.
+///
+/// Storage is a single flat arena: all messages of a phase live in one
+/// contiguous buffer grouped by destination, with a per-destination offset
+/// table. A phase delivering `m` messages costs two allocations total
+/// instead of one vector per node, and the hot construction path places
+/// records by counting instead of sorting (see `Clique::deliver`).
 #[derive(Clone, Debug)]
 pub struct Inboxes<T> {
-    boxes: Vec<Vec<(NodeId, T)>>,
+    /// All delivered `(sender, payload)` records, grouped by destination;
+    /// within a destination, sorted by sender then submission order.
+    data: Vec<(NodeId, T)>,
+    /// Inbox `d` is `data[starts[d] .. starts[d + 1]]` (length `n + 1`).
+    starts: Vec<usize>,
 }
 
 impl<T> Inboxes<T> {
     /// Creates empty inboxes for an `n`-node network.
     pub fn empty(n: usize) -> Self {
         Inboxes {
-            boxes: (0..n).map(|_| Vec::new()).collect(),
+            data: Vec::new(),
+            starts: vec![0; n + 1],
         }
     }
 
-    /// Creates empty inboxes pre-sized to the known per-node message
-    /// counts, so that delivery never reallocates.
-    pub(crate) fn with_capacities(counts: &[usize]) -> Self {
+    /// Builds inboxes from `(dst, src, payload)` records in submission
+    /// order: the stable sort groups by destination and orders each inbox
+    /// by sender then submission — the model's delivery order.
+    pub(crate) fn from_staged(n: usize, mut staged: Vec<(NodeId, NodeId, T)>) -> Self {
+        staged.sort_by_key(|&(dst, src, _)| (dst, src));
+        let mut starts = vec![0usize; n + 1];
+        for &(dst, _, _) in &staged {
+            starts[dst.index() + 1] += 1;
+        }
+        for d in 0..n {
+            starts[d + 1] += starts[d];
+        }
         Inboxes {
-            boxes: counts.iter().map(|&c| Vec::with_capacity(c)).collect(),
+            data: staged.into_iter().map(|(_, src, p)| (src, p)).collect(),
+            starts,
         }
     }
 
-    pub(crate) fn push(&mut self, dst: NodeId, src: NodeId, payload: T) {
-        self.boxes[dst.index()].push((src, payload));
-    }
-
-    pub(crate) fn sort(&mut self) {
-        for inbox in &mut self.boxes {
-            inbox.sort_by_key(|(src, _)| *src);
-        }
+    /// Builds inboxes from pre-placed parts: `data` already grouped by
+    /// destination per `starts`, each group sender-then-submission ordered.
+    pub(crate) fn from_parts(data: Vec<(NodeId, T)>, starts: Vec<usize>) -> Self {
+        debug_assert_eq!(*starts.last().expect("offsets non-empty"), data.len());
+        Inboxes { data, starts }
     }
 
     /// Messages received by `node`, as `(sender, payload)` pairs.
     #[must_use]
     pub fn of(&self, node: NodeId) -> &[(NodeId, T)] {
-        &self.boxes[node.index()]
+        &self.data[self.starts[node.index()]..self.starts[node.index() + 1]]
     }
 
     /// Number of nodes in the network these inboxes belong to.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.boxes.len()
+        self.starts.len() - 1
     }
 
     /// Whether there are no nodes (degenerate network).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.boxes.is_empty()
+        self.len() == 0
     }
 
     /// Total number of messages across all inboxes.
     #[must_use]
     pub fn message_count(&self) -> usize {
-        self.boxes.iter().map(Vec::len).sum()
+        self.data.len()
     }
 
     /// Consumes the inboxes, yielding one `Vec<(sender, payload)>` per node.
     pub fn into_vec(self) -> Vec<Vec<(NodeId, T)>> {
-        self.boxes
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        let mut items = self.data.into_iter();
+        for d in 0..n {
+            let count = self.starts[d + 1] - self.starts[d];
+            out.push(items.by_ref().take(count).collect());
+        }
+        out
     }
 
     /// Iterates over `(node, inbox)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[(NodeId, T)])> {
-        self.boxes
-            .iter()
-            .enumerate()
-            .map(|(i, inbox)| (NodeId::new(i), inbox.as_slice()))
+        (0..self.len()).map(|i| (NodeId::new(i), self.of(NodeId::new(i))))
     }
 }
 
@@ -158,14 +180,22 @@ mod tests {
     }
 
     #[test]
-    fn push_and_sort_orders_by_sender() {
-        let mut boxes = Inboxes::empty(2);
-        boxes.push(NodeId::new(0), NodeId::new(1), 10u64);
-        boxes.push(NodeId::new(0), NodeId::new(0), 20u64);
-        boxes.sort();
+    fn staged_records_order_by_destination_then_sender() {
+        let boxes = Inboxes::from_staged(
+            2,
+            vec![
+                (NodeId::new(0), NodeId::new(1), 10u64),
+                (NodeId::new(1), NodeId::new(0), 30u64),
+                (NodeId::new(0), NodeId::new(0), 20u64),
+                (NodeId::new(0), NodeId::new(1), 11u64),
+            ],
+        );
         let inbox = boxes.of(NodeId::new(0));
         assert_eq!(inbox[0], (NodeId::new(0), 20));
         assert_eq!(inbox[1], (NodeId::new(1), 10));
+        assert_eq!(inbox[2], (NodeId::new(1), 11), "submission order kept");
+        assert_eq!(boxes.of(NodeId::new(1)), &[(NodeId::new(0), 30)]);
+        assert_eq!(boxes.message_count(), 4);
     }
 
     #[test]

@@ -78,8 +78,12 @@ struct Scratch {
     out_load: Vec<u64>,
     /// Per-node incoming bits (or units, in `route`).
     in_load: Vec<u64>,
-    /// Per-node message count for inbox pre-sizing.
-    inbox_counts: Vec<usize>,
+    /// Dense `n²` per-`(dst, src)` message tally for arena placement,
+    /// indexed `dst · n + src`; doubles as the write-cursor table during
+    /// the placement pass.
+    pair_counts: Vec<u32>,
+    /// Copies of each send that arrive under the armed fault plan (0–2).
+    fate_copies: Vec<u8>,
     /// Bit size of each envelope, computed once per call.
     bit_sizes: Vec<u64>,
     /// `route`'s demand multigraph, one entry per fragment unit.
@@ -97,7 +101,7 @@ impl Scratch {
             relay_units: vec![0; n * n],
             out_load: vec![0; n],
             in_load: vec![0; n],
-            inbox_counts: vec![0; n],
+            pair_counts: vec![0; n * n],
             ..Scratch::default()
         }
     }
@@ -130,6 +134,10 @@ pub struct Clique {
     /// Ack/retransmit envelope configuration; engages only together with
     /// `faults` (see [`Clique::envelope_active`]).
     pub(crate) reliable: Option<ReliableConfig>,
+    /// When true, delivery stages `(dst, src, payload)` records and stable
+    /// sorts them — the straightforward reference path. The default arena
+    /// path places records by counting; `tests/` pin the two byte-identical.
+    legacy_delivery: bool,
 }
 
 impl Clique {
@@ -164,6 +172,7 @@ impl Clique {
             scratch: Scratch::new(n),
             faults: None,
             reliable: None,
+            legacy_delivery: false,
         })
     }
 
@@ -277,6 +286,16 @@ impl Clique {
         self.faults.is_some() && self.reliable.is_some()
     }
 
+    /// True when the network delivers exactly what is sent: no fault plan
+    /// armed and no reliable-delivery envelope. Bulk evaluators use this to
+    /// decide whether a phase may be charged analytically via
+    /// [`Clique::charge_exchange_tally`] with answers computed locally;
+    /// lossy or enveloped networks need real payloads on the wire.
+    #[must_use]
+    pub fn is_transparent(&self) -> bool {
+        self.faults.is_none() && self.reliable.is_none()
+    }
+
     /// Label of the innermost open accounting phase, for fault diagnostics.
     pub(crate) fn phase_label(&self) -> String {
         self.metrics
@@ -298,33 +317,145 @@ impl Clique {
         }
     }
 
-    /// Applies per-message fates to `sends`, delivering survivors into
-    /// `inboxes`. Local messages never fault; messages touching a crashed
-    /// endpoint vanish silently (the crash itself was recorded once by
-    /// [`Clique::fault_call_begin`]).
-    fn deliver_faulty<T: Payload>(&mut self, sends: Vec<Envelope<T>>, inboxes: &mut Inboxes<T>) {
-        for (idx, e) in sends.into_iter().enumerate() {
-            if e.src == e.dst {
-                inboxes.push(e.dst, e.src, e.payload);
-                continue;
+    /// Enables (or disables) the staged-and-sorted reference delivery path.
+    ///
+    /// Both paths produce byte-identical inboxes, rounds, and metrics; the
+    /// arena path is the fast default. The switch exists so equivalence
+    /// tests can run the same schedule through both engines.
+    pub fn set_legacy_delivery(&mut self, on: bool) {
+        self.legacy_delivery = on;
+    }
+
+    /// Copies of message `idx` on `src → dst` that arrive under the armed
+    /// fault plan, recording per-message fault events exactly as legacy
+    /// per-message delivery did. Local messages never fault; messages
+    /// touching a crashed endpoint vanish silently (the crash itself was
+    /// recorded once by [`Clique::fault_call_begin`]).
+    fn message_fate(&mut self, idx: usize, src: NodeId, dst: NodeId) -> u8 {
+        if src == dst {
+            return 1;
+        }
+        let fate = {
+            let faults = self.faults.as_ref().expect("message_fate needs faults");
+            if faults.is_crashed(src) || faults.is_crashed(dst) {
+                return 0;
             }
-            let faults = self.faults.as_ref().expect("deliver_faulty needs faults");
-            if faults.is_crashed(e.src) || faults.is_crashed(e.dst) {
-                continue;
+            faults.fate(idx as u64, src, dst)
+        };
+        match fate {
+            MsgFate::Deliver => 1,
+            MsgFate::Drop => {
+                self.metrics.record_fault(FaultKind::Drop);
+                0
             }
-            match faults.fate(idx as u64, e.src, e.dst) {
-                MsgFate::Deliver => inboxes.push(e.dst, e.src, e.payload),
-                MsgFate::Drop => self.metrics.record_fault(FaultKind::Drop),
-                // Links are checksummed: a corrupted message is detected
-                // and discarded by the receiver, not delivered mangled.
-                MsgFate::Corrupt => self.metrics.record_fault(FaultKind::Corrupt),
-                MsgFate::Duplicate => {
-                    self.metrics.record_fault(FaultKind::Duplicate);
-                    inboxes.push(e.dst, e.src, e.payload.clone());
-                    inboxes.push(e.dst, e.src, e.payload);
-                }
+            // Links are checksummed: a corrupted message is detected and
+            // discarded by the receiver, not delivered mangled.
+            MsgFate::Corrupt => {
+                self.metrics.record_fault(FaultKind::Corrupt);
+                0
+            }
+            MsgFate::Duplicate => {
+                self.metrics.record_fault(FaultKind::Duplicate);
+                2
             }
         }
+    }
+
+    /// Delivers `sends` into per-node inboxes, preserving the model's
+    /// delivery order (destination; sender; submission order).
+    ///
+    /// The default engine places each record directly at its final arena
+    /// offset via a `(dst, src)` counting pass — no per-node vectors and no
+    /// sort. The legacy engine stages records and stable-sorts them; both
+    /// are byte-identical (pinned by the inbox-equivalence tests).
+    fn deliver<T: Payload>(&mut self, sends: Vec<Envelope<T>>) -> Inboxes<T> {
+        let n = self.n;
+        let faulty = self.faults.is_some();
+        // Resolve fates first (recording fault events in submission order,
+        // right after the comm event, as the trace format expects).
+        self.scratch.fate_copies.clear();
+        if faulty {
+            for (idx, e) in sends.iter().enumerate() {
+                let copies = self.message_fate(idx, e.src, e.dst);
+                self.scratch.fate_copies.push(copies);
+            }
+        }
+
+        if self.legacy_delivery {
+            let mut staged: Vec<(NodeId, NodeId, T)> = Vec::with_capacity(sends.len());
+            for (idx, e) in sends.into_iter().enumerate() {
+                let copies = if faulty {
+                    self.scratch.fate_copies[idx]
+                } else {
+                    1
+                };
+                if copies == 2 {
+                    staged.push((e.dst, e.src, e.payload.clone()));
+                }
+                if copies >= 1 {
+                    staged.push((e.dst, e.src, e.payload));
+                }
+            }
+            return Inboxes::from_staged(n, staged);
+        }
+
+        let s = &mut self.scratch;
+        // Pass 1: per-(dst, src) tallies of arriving copies.
+        s.pair_counts.fill(0);
+        let mut total = 0usize;
+        for (idx, e) in sends.iter().enumerate() {
+            let copies = if faulty {
+                usize::from(s.fate_copies[idx])
+            } else {
+                1
+            };
+            s.pair_counts[e.dst.index() * n + e.src.index()] += copies as u32;
+            total += copies;
+        }
+        // Pass 2: exclusive prefix sum in (dst, src) order turns the tally
+        // into write cursors and yields the per-destination offsets.
+        let mut starts = Vec::with_capacity(n + 1);
+        starts.push(0usize);
+        let mut run = 0usize;
+        for d in 0..n {
+            for src in 0..n {
+                let cell = &mut s.pair_counts[d * n + src];
+                let count = *cell as usize;
+                *cell = run as u32;
+                run += count;
+            }
+            starts.push(run);
+        }
+        debug_assert_eq!(run, total);
+        // Pass 3: place each send (in submission order) at its cursor.
+        // Within a (dst, src) pair cursors advance with submission order,
+        // so the placement reproduces the stable sort without sorting.
+        let mut slots: Vec<Option<(NodeId, T)>> = Vec::new();
+        slots.resize_with(total, || None);
+        for (idx, e) in sends.into_iter().enumerate() {
+            let copies = if faulty {
+                usize::from(s.fate_copies[idx])
+            } else {
+                1
+            };
+            if copies == 0 {
+                continue;
+            }
+            let cell = e.dst.index() * n + e.src.index();
+            for _ in 1..copies {
+                let pos = s.pair_counts[cell] as usize;
+                s.pair_counts[cell] += 1;
+                slots[pos] = Some((e.src, e.payload.clone()));
+            }
+            let pos = s.pair_counts[cell] as usize;
+            s.pair_counts[cell] += 1;
+            slots[pos] = Some((e.src, e.payload));
+        }
+        let data: Vec<(NodeId, T)> = slots
+            .into_iter()
+            .map(|slot| slot.expect("tally placed every arriving copy"))
+            .collect();
+        Inboxes::from_parts(data, starts)
     }
 
     fn validate<T>(&self, sends: &[Envelope<T>]) -> Result<(), CongestError> {
@@ -383,7 +514,6 @@ impl Clique {
         debug_assert_eq!(s.bit_sizes.len(), sends.len());
         s.out_load.fill(0);
         s.in_load.fill(0);
-        s.inbox_counts.fill(0);
         let mut total_bits = 0u64;
         let mut message_count = 0u64;
         for (e, &bits) in sends.iter().zip(&s.bit_sizes) {
@@ -402,7 +532,6 @@ impl Clique {
                 total_bits += bits;
                 message_count += 1;
             }
-            s.inbox_counts[e.dst.index()] += 1;
         }
         let max_link = s
             .touched_links
@@ -415,7 +544,6 @@ impl Clique {
         }
         s.touched_links.clear();
         let rounds = max_link.div_ceil(self.bandwidth_bits);
-        let mut inboxes = Inboxes::with_capacities(&s.inbox_counts);
         let max_out = s.out_load.iter().copied().max().unwrap_or(0);
         let max_in = s.in_load.iter().copied().max().unwrap_or(0);
         // Record the comm event before delivery so per-message fault events
@@ -429,15 +557,134 @@ impl Clique {
             max_out,
             max_in,
         );
-        if self.faults.is_some() {
-            self.deliver_faulty(sends, &mut inboxes);
-        } else {
-            for e in sends {
-                inboxes.push(e.dst, e.src, e.payload);
+        self.deliver(sends)
+    }
+
+    /// Charges one `exchange` phase from a pre-tallied link table instead of
+    /// materialized envelopes: `link_msgs[src·n + dst]` is the number of
+    /// messages queued on each ordered link, every message exactly
+    /// `bits_per_msg` bits wide. Rounds, message and bit totals, per-link and
+    /// per-node maxima, and the emitted trace event are byte-identical to
+    /// [`Clique::exchange`] over the same traffic; diagonal cells are local
+    /// messages and free, as in the materialized path. Returns the rounds
+    /// charged.
+    ///
+    /// Only available on a transparent network ([`Clique::is_transparent`]):
+    /// faulty or enveloped networks need real payloads on the wire to drop,
+    /// duplicate, or acknowledge, so callers must fall back to
+    /// [`Clique::exchange`] there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not transparent or `link_msgs.len() ≠ n²`.
+    pub fn charge_exchange_tally(
+        &mut self,
+        link_msgs: &[u32],
+        bits_per_msg: u64,
+        kind: &'static str,
+    ) -> u64 {
+        assert!(
+            self.is_transparent(),
+            "charge-only exchange requires a transparent network"
+        );
+        let n = self.n;
+        assert_eq!(link_msgs.len(), n * n, "link table must be n × n");
+        let s = &mut self.scratch;
+        s.out_load.fill(0);
+        s.in_load.fill(0);
+        let mut total_bits = 0u64;
+        let mut message_count = 0u64;
+        let mut max_link = 0u64;
+        for src in 0..n {
+            let row = &link_msgs[src * n..(src + 1) * n];
+            for (dst, &count) in row.iter().enumerate() {
+                if count == 0 || src == dst {
+                    continue;
+                }
+                let bits = u64::from(count) * bits_per_msg;
+                message_count += u64::from(count);
+                total_bits += bits;
+                max_link = max_link.max(bits);
+                s.out_load[src] += bits;
+                s.in_load[dst] += bits;
             }
         }
-        inboxes.sort();
-        inboxes
+        let rounds = max_link.div_ceil(self.bandwidth_bits);
+        let max_out = s.out_load.iter().copied().max().unwrap_or(0);
+        let max_in = s.in_load.iter().copied().max().unwrap_or(0);
+        self.metrics.record_comm(
+            kind,
+            rounds,
+            message_count,
+            total_bits,
+            max_link,
+            max_out,
+            max_in,
+        );
+        rounds
+    }
+
+    /// Charges one `route` phase from a pre-tallied link table instead of
+    /// materialized envelopes, every message exactly `bits_per_msg` bits
+    /// wide — but only when the fragment-unit multiset is past
+    /// [`EXPLICIT_SCHEDULE_LIMIT`], where the materialized path also skips
+    /// the explicit König schedule and records the degree bound `⌈Δ/n⌉` as
+    /// the relay-link maximum. Below the limit the relay maximum comes from
+    /// the actual coloring of the submission-ordered unit list, which a
+    /// tally cannot reproduce: the call records **nothing** and returns
+    /// `None`, and the caller must fall back to [`Clique::route`].
+    ///
+    /// On `Some(rounds)`, the recorded rounds, totals, maxima, and trace
+    /// event are byte-identical to [`Clique::route`] over the same traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not transparent or `link_msgs.len() ≠ n²`.
+    pub fn charge_route_tally(&mut self, link_msgs: &[u32], bits_per_msg: u64) -> Option<u64> {
+        assert!(
+            self.is_transparent(),
+            "charge-only route requires a transparent network"
+        );
+        let n = self.n;
+        assert_eq!(link_msgs.len(), n * n, "link table must be n × n");
+        let units_per_msg = bits_per_msg.div_ceil(self.bandwidth_bits).max(1);
+        let s = &mut self.scratch;
+        s.out_load.fill(0);
+        s.in_load.fill(0);
+        let mut unit_count = 0u64;
+        let mut message_count = 0u64;
+        for src in 0..n {
+            let row = &link_msgs[src * n..(src + 1) * n];
+            for (dst, &count) in row.iter().enumerate() {
+                if count == 0 || src == dst {
+                    continue;
+                }
+                let units = u64::from(count) * units_per_msg;
+                message_count += u64::from(count);
+                unit_count += units;
+                s.out_load[src] += units;
+                s.in_load[dst] += units;
+            }
+        }
+        if unit_count as usize <= EXPLICIT_SCHEDULE_LIMIT {
+            return None;
+        }
+        let total_bits = message_count * bits_per_msg;
+        let max_out = s.out_load.iter().copied().max().unwrap_or(0);
+        let max_in = s.in_load.iter().copied().max().unwrap_or(0);
+        let delta = max_out.max(max_in);
+        let batches = delta.div_ceil(n as u64);
+        let rounds = 2 * batches;
+        self.metrics.record_comm(
+            "route",
+            rounds,
+            2 * unit_count,
+            2 * total_bits,
+            batches * self.bandwidth_bits,
+            max_out * self.bandwidth_bits,
+            max_in * self.bandwidth_bits,
+        );
+        Some(rounds)
     }
 
     /// Delivers messages through intermediate relays (Lemma 1 of the paper).
@@ -477,21 +724,17 @@ impl Clique {
         s.units.clear();
         s.out_load.fill(0);
         s.in_load.fill(0);
-        s.inbox_counts.fill(0);
         let mut total_bits = 0u64;
+        let mut unit_count = 0u64;
         for (e, &bits) in sends.iter().zip(&s.bit_sizes) {
-            s.inbox_counts[e.dst.index()] += 1;
             if e.src == e.dst || faults.is_some_and(|f| f.is_crashed(e.src)) {
                 continue;
             }
             total_bits += bits;
             let k = bits.div_ceil(self.bandwidth_bits).max(1);
-            let (src, dst) = (e.src.index(), e.dst.index());
-            for _ in 0..k {
-                s.units.push((src, dst));
-            }
-            s.out_load[src] += k;
-            s.in_load[dst] += k;
+            unit_count += k;
+            s.out_load[e.src.index()] += k;
+            s.in_load[e.dst.index()] += k;
         }
         // The per-node unit loads are exactly the left/right degrees of the
         // demand multigraph, so Δ is their maximum.
@@ -506,8 +749,20 @@ impl Clique {
         // König schedule is constructed (and checked) up to a size limit;
         // beyond it only the degree bound is computed — the coloring's
         // existence is König's theorem, and its cost (`O(m·Δ)`) is a
-        // simulator-host concern, not a model concern.
-        let max_link_units = if s.units.len() <= EXPLICIT_SCHEDULE_LIMIT {
+        // simulator-host concern, not a model concern. The unit multiset is
+        // only materialized when the schedule actually gets built.
+        let max_link_units = if unit_count as usize <= EXPLICIT_SCHEDULE_LIMIT {
+            s.units.reserve(unit_count as usize);
+            for (e, &bits) in sends.iter().zip(&s.bit_sizes) {
+                if e.src == e.dst || faults.is_some_and(|f| f.is_crashed(e.src)) {
+                    continue;
+                }
+                let k = bits.div_ceil(self.bandwidth_bits).max(1);
+                let (src, dst) = (e.src.index(), e.dst.index());
+                for _ in 0..k {
+                    s.units.push((src, dst));
+                }
+            }
             let num_colors = color_bipartite_into(&s.units, n, n, &mut s.coloring, &mut s.colors);
             debug_assert!(is_proper_colors(&s.units, &s.colors, num_colors, n, n));
             for (i, &(src, dst)) in s.units.iter().enumerate() {
@@ -533,8 +788,6 @@ impl Clique {
         } else {
             batches
         };
-        let unit_count = s.units.len() as u64;
-        let mut inboxes = Inboxes::with_capacities(&s.inbox_counts);
         self.metrics.record_comm(
             "route",
             rounds,
@@ -544,15 +797,7 @@ impl Clique {
             max_out * self.bandwidth_bits,
             max_in * self.bandwidth_bits,
         );
-        if self.faults.is_some() {
-            self.deliver_faulty(sends, &mut inboxes);
-        } else {
-            for e in sends {
-                inboxes.push(e.dst, e.src, e.payload);
-            }
-        }
-        inboxes.sort();
-        inboxes
+        self.deliver(sends)
     }
 
     /// One node sends the same payload to every other node.

@@ -174,19 +174,16 @@ impl Clique {
                 attempts: waves,
             });
         }
-        // Rebuild the raw primitive's inbox layout: per destination, in
-        // send (sequence) order, then the usual stable sort by sender.
+        // Rebuild the raw primitive's inbox layout: ordering by sequence
+        // number restores send order, and the staged build's stable sort
+        // then yields the usual destination/sender/submission order.
         accepted.sort_by_key(|&(seq, _, _, _)| seq);
-        let mut counts = vec![0usize; self.n()];
-        for &(_, _, dst, _) in &accepted {
-            counts[dst.index()] += 1;
-        }
-        let mut inboxes = Inboxes::with_capacities(&counts);
-        for (_, src, dst, payload) in accepted {
-            inboxes.push(dst, src, payload);
-        }
-        inboxes.sort();
-        Ok(inboxes)
+        let n = self.n();
+        let staged = accepted
+            .into_iter()
+            .map(|(_, src, dst, payload)| (dst, src, payload))
+            .collect();
+        Ok(Inboxes::from_staged(n, staged))
     }
 }
 

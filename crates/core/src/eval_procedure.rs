@@ -26,7 +26,6 @@ use crate::lambda::KeptPair;
 use crate::wire::{pair_bits, weight_bits, Wire};
 use qcc_congest::{Clique, CongestError, Envelope, NodeId};
 use qcc_quantum::AtypicalInputError;
-use std::collections::HashMap;
 
 /// One query of a joint evaluation: "does pair `{u, v}` form a negative
 /// triangle with an apex in fine block `target`?", asked by `search_label`.
@@ -50,8 +49,24 @@ pub struct AlphaContext {
     pub alpha: u32,
     /// Copies per triple (`max(1, ⌊2^α/(720 log n)⌋)`).
     pub dup: usize,
-    /// Host of copy `y` of each class-α triple label.
-    copy_node: HashMap<(usize, usize), NodeId>,
+    /// Host of copy `y` of triple `label`, dense at `label * dup + y`;
+    /// `u32::MAX` marks triples outside this context's class. The eval
+    /// hot path resolves one copy per query, so this is a flat table
+    /// rather than a map.
+    copy_node: Vec<u32>,
+    /// Per search label: `(hosting node, coarse block u, coarse block v)`,
+    /// precomputed once so the eval hot loop is pure table lookups.
+    search_route: Vec<(u32, u32, u32)>,
+    /// Reusable link-tally buffers of the bulk eval path, so the hot loop
+    /// does not re-allocate scratch on each of the millions of calls.
+    scratch: std::cell::RefCell<EvalScratch>,
+}
+
+/// Scratch buffers reused across [`evaluate_joint`] calls of one context.
+#[derive(Clone, Debug, Default)]
+struct EvalScratch {
+    query_links: Vec<u32>,
+    reply_links: Vec<u32>,
 }
 
 impl AlphaContext {
@@ -61,16 +76,20 @@ impl AlphaContext {
     ///
     /// Panics if the triple is not of this context's class or `y ≥ dup`.
     pub fn copy_node(&self, label: usize, y: usize) -> NodeId {
-        *self
-            .copy_node
-            .get(&(label, y))
+        self.try_copy_node(label, y)
             .unwrap_or_else(|| panic!("triple {label} copy {y} not in this α-context"))
     }
 
     /// Non-panicking [`AlphaContext::copy_node`]: `None` if the triple is
     /// not of this context's class or `y ≥ dup`.
     pub fn try_copy_node(&self, label: usize, y: usize) -> Option<NodeId> {
-        self.copy_node.get(&(label, y)).copied()
+        if y >= self.dup {
+            return None;
+        }
+        match self.copy_node.get(label * self.dup + y) {
+            Some(&node) if node != u32::MAX => Some(NodeId::new(node as usize)),
+            _ => None,
+        }
     }
 
     /// Builds the context for class `alpha` and, when `dup > 1`, performs
@@ -90,7 +109,8 @@ impl AlphaContext {
     ) -> Result<Self, CongestError> {
         let n = inst.n();
         let dup = inst.params.dup_count(n, alpha);
-        let mut copy_node = HashMap::new();
+        let label_count = inst.triples.labeling().label_count();
+        let mut copy_node = vec![u32::MAX; label_count * dup];
         // Deterministic relabeling: copies are spread round-robin over all
         // nodes (the paper assigns the fresh labels (u, v, w, y) to the n
         // network nodes; Lemma 4 guarantees they fit up to constants).
@@ -99,19 +119,29 @@ impl AlphaContext {
             for y in 0..dup {
                 let node = if dup == 1 {
                     // Figure 4: queries go to the original triple node.
-                    NodeId::new(inst.triples.labeling().node_of(label))
+                    inst.triples.labeling().node_of(label)
                 } else {
-                    let node = NodeId::new(next % n);
+                    let node = next % n;
                     next += 1;
                     node
                 };
-                copy_node.insert((label, y), node);
+                copy_node[label * dup + y] = node as u32;
             }
+        }
+        let mut search_route = vec![(0u32, 0u32, 0u32); inst.searches.labeling().label_count()];
+        for (label, (bu, bv, _x)) in inst.searches.triples() {
+            search_route[label] = (
+                inst.searches.labeling().node_of(label) as u32,
+                bu as u32,
+                bv as u32,
+            );
         }
         let ctx = AlphaContext {
             alpha,
             dup,
             copy_node,
+            search_route,
+            scratch: std::cell::RefCell::new(EvalScratch::default()),
         };
 
         if dup > 1 {
@@ -187,14 +217,18 @@ fn evaluate_with_cap(
 ) -> Result<Vec<bool>, EvalJointError> {
     let n = inst.n();
 
-    // Build the lists L^k_w and enforce the promise (the Υ_β gate).
-    let mut lists: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
-    for (idx, q) in queries.iter().enumerate() {
-        let list = lists.entry((q.search_label, q.target)).or_default();
-        list.push(idx);
-        if list.len() as f64 > cap {
+    // Tally the lists L^k_w and enforce the promise (the Υ_β gate): a flat
+    // (search node, target)-indexed counter array replaces materialized
+    // per-list index vectors. The gate still fires at the *first* query
+    // whose list crosses the cap, with the same incremental count.
+    let fine = inst.parts.fine.num_blocks();
+    let mut counts = vec![0u32; inst.searches.labeling().label_count() * fine];
+    for q in queries {
+        let key = q.search_label * fine + q.target;
+        counts[key] += 1;
+        if counts[key] as f64 > cap {
             return Err(EvalJointError::Atypical(AtypicalInputError {
-                max_frequency: list.len() as u64,
+                max_frequency: counts[key] as u64,
                 beta: cap,
             }));
         }
@@ -202,45 +236,71 @@ fn evaluate_with_cap(
 
     let pb = pair_bits(n);
     let wb = weight_bits(inst.weight_magnitude());
+    if net.is_transparent() {
+        // Fault-free, un-enveloped network: every wire is fixed-width, so
+        // the two exchange legs can be charged analytically from per-link
+        // message tallies and answered locally — byte-identical rounds,
+        // metrics, and trace events, with no envelopes materialized.
+        return evaluate_bulk(
+            inst,
+            net,
+            gathered,
+            actx,
+            queries,
+            &mut counts,
+            fine,
+            pb,
+            wb,
+        );
+    }
     net.begin_phase(&format!("step3/alpha{}/eval-queries", actx.alpha));
     // Wire content: (query id, triple label, pair endpoints, f(u, v)).
     // The pair + weight are the `pb + wb` information bits; the ids mirror
-    // addressing information already implied by the link.
-    let mut sends: Vec<Envelope<Wire<(usize, usize, usize, usize, i64)>>> = Vec::new();
-    for ((search_label, target), list) in &lists {
-        let src = NodeId::new(inst.searches.labeling().node_of(*search_label));
-        let (bu, bv, _x) = inst.searches.decode(*search_label);
-        let triple_label = inst.triples.encode(bu, bv, *target);
-        // Figure 5: split the list round-robin across the dup copies.
-        for (pos, &idx) in list.iter().enumerate() {
-            let y = pos % actx.dup;
-            let dst = actx.try_copy_node(triple_label, y).ok_or_else(|| {
-                EvalJointError::Internal(format!(
-                    "triple {triple_label} copy {y} not in the α = {} context",
-                    actx.alpha
-                ))
-            })?;
-            let q = &queries[idx];
-            sends.push(Envelope::new(
-                src,
-                dst,
-                Wire::new(
-                    (idx, triple_label, q.pair.u, q.pair.v, q.pair.weight),
-                    pb + wb,
-                ),
-            ));
-        }
+    // addressing information already implied by the link. Sends are
+    // emitted in query order — a permutation of list order, which charges
+    // identical rounds (per-link loads are order-free) and resolves to the
+    // same copy per query (`pos` is the query's rank within its list).
+    counts.iter_mut().for_each(|c| *c = 0);
+    // Per-search-label routing info (host node and block pair), precomputed
+    // once per α-context.
+    let route_of = &actx.search_route;
+    let mut sends: Vec<Envelope<Wire<(usize, usize, usize, usize, i64)>>> =
+        Vec::with_capacity(queries.len());
+    for (idx, q) in queries.iter().enumerate() {
+        let key = q.search_label * fine + q.target;
+        let pos = counts[key] as usize;
+        counts[key] += 1;
+        let (src_node, bu, bv) = route_of[q.search_label];
+        let src = NodeId::new(src_node as usize);
+        let triple_label = inst.triples.encode(bu as usize, bv as usize, q.target);
+        // Figure 5: split each list round-robin across the dup copies.
+        let y = pos % actx.dup;
+        let dst = actx.try_copy_node(triple_label, y).ok_or_else(|| {
+            EvalJointError::Internal(format!(
+                "triple {triple_label} copy {y} not in the α = {} context",
+                actx.alpha
+            ))
+        })?;
+        sends.push(Envelope::new(
+            src,
+            dst,
+            Wire::new(
+                (idx, triple_label, q.pair.u, q.pair.v, q.pair.weight),
+                pb + wb,
+            ),
+        ));
     }
     let boxes = net.exchange(sends)?;
 
-    // Copy nodes answer from their gathered tables.
+    // Copy nodes answer from their gathered tables, through the oracle
+    // census cache: repeats of a (triple, pair) probe are O(1).
     net.begin_phase(&format!("step3/alpha{}/eval-answers", actx.alpha));
-    let mut replies: Vec<Envelope<Wire<(usize, bool)>>> = Vec::new();
+    let mut replies: Vec<Envelope<Wire<(usize, bool)>>> = Vec::with_capacity(queries.len());
     for host in NodeId::all(n) {
         for (asker, msg) in boxes.of(host) {
             let (idx, triple_label, u, v, f_uv) = msg.value;
             let answer = gathered
-                .check_negative(inst, triple_label, u, v, f_uv)
+                .check_negative_cached(inst, triple_label, u, v, f_uv)
                 .map_err(|e| EvalJointError::Internal(e.to_string()))?;
             replies.push(Envelope::new(
                 host,
@@ -269,6 +329,280 @@ fn evaluate_with_cap(
         )));
     }
     Ok(answers)
+}
+
+/// The batched fast path of [`evaluate_with_cap`], taken on transparent
+/// networks ([`Clique::is_transparent`]).
+///
+/// One pass over the (cap-checked) queries resolves each to its copy node,
+/// tallies both exchange legs per ordered link — every query wire is
+/// `pb + wb` bits, every reply `pb + 1` — and answers it locally through a
+/// streaming census probe; the legs are then charged via
+/// [`Clique::charge_exchange_tally`], which records rounds, totals, maxima,
+/// and trace events byte-identical to the materialized exchanges over the
+/// same traffic. Since the materialized path scatters replies back by query
+/// id anyway, the per-query results are identical. The cap tallies in
+/// `counts` are rewound first, so `pos` is the query's rank within its
+/// (search, target) list — the same round-robin copy split as the
+/// materialized path.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_bulk(
+    inst: &Instance<'_>,
+    net: &mut Clique,
+    gathered: &GatheredWeights,
+    actx: &AlphaContext,
+    queries: &[EvalQuery],
+    counts: &mut [u32],
+    fine: usize,
+    pb: u64,
+    wb: u64,
+) -> Result<Vec<bool>, EvalJointError> {
+    let n = inst.n();
+    net.begin_phase(&format!("step3/alpha{}/eval-queries", actx.alpha));
+    counts.iter_mut().for_each(|c| *c = 0);
+    let route_of = &actx.search_route;
+    let mut scratch = actx.scratch.borrow_mut();
+    let EvalScratch {
+        query_links,
+        reply_links,
+    } = &mut *scratch;
+    query_links.clear();
+    query_links.resize(n * n, 0);
+    reply_links.clear();
+    reply_links.resize(n * n, 0);
+    let mut answers = Vec::with_capacity(queries.len());
+    let mut probe = gathered.census_probe(inst);
+    for q in queries {
+        let key = q.search_label * fine + q.target;
+        let pos = counts[key] as usize;
+        counts[key] += 1;
+        let (src_node, bu, bv) = route_of[q.search_label];
+        let triple_label = inst.triples.encode(bu as usize, bv as usize, q.target);
+        let y = pos % actx.dup;
+        let dst = actx.try_copy_node(triple_label, y).ok_or_else(|| {
+            EvalJointError::Internal(format!(
+                "triple {triple_label} copy {y} not in the α = {} context",
+                actx.alpha
+            ))
+        })?;
+        let (src, dst) = (src_node as usize, dst.index());
+        query_links[src * n + dst] += 1;
+        reply_links[dst * n + src] += 1;
+        answers.push(
+            probe
+                .check(triple_label, q.pair.u, q.pair.v, q.pair.weight)
+                .map_err(|e| EvalJointError::Internal(e.to_string()))?,
+        );
+    }
+    drop(probe);
+    net.charge_exchange_tally(query_links, pb + wb, "exchange");
+    net.begin_phase(&format!("step3/alpha{}/eval-answers", actx.alpha));
+    net.charge_exchange_tally(reply_links, pb + 1, "exchange");
+    Ok(answers)
+}
+
+/// A charge-only joint-evaluation session for the lockstep Grover loop.
+///
+/// In the quantum Step 3 the per-iteration evaluations exist to drive the
+/// simulated oracle *cost*: their boolean answers equal, by construction of
+/// the searches' solution censuses, `Instance::has_apex_in_block` on the
+/// sampled target (the materialized path debug-asserts exactly this), and
+/// the Grover evolution between iterations consumes only the charges. This
+/// session therefore skips answer materialization entirely and reduces each
+/// query to two link-tally increments through a per-`(search, target)`
+/// destination memo, then charges both exchange legs analytically — rounds,
+/// metrics, and trace events byte-identical to [`evaluate_joint`] over the
+/// same query multiset.
+///
+/// [`ChargeOnlyEval::try_new`] requires a transparent network
+/// ([`Clique::is_transparent`]), where analytic exchange charging is exact;
+/// otherwise callers fall back to [`evaluate_joint`]. Within a session two
+/// regimes exist:
+///
+/// * **counter-free** — when `dup == 1` (every query of a triple resolves
+///   to copy 0 regardless of its rank within its list) *and*
+///   `max_queries_per_label ≤ cap` (a `(search, target)` list can be at
+///   most as long as the search label's whole query load, so the Υ_β
+///   typicality gate of [`evaluate_joint`] can never fire), each push is
+///   two tally increments through a per-`(search, target)` destination
+///   memo;
+/// * **counted** — otherwise the session tracks per-`(search, target)`
+///   list ranks like the materialized path: the same first-crossing Υ_β
+///   refusal and the same round-robin copy split.
+pub struct ChargeOnlyEval<'a, 'd> {
+    inst: &'a Instance<'d>,
+    actx: &'a AlphaContext,
+    n: usize,
+    fine: usize,
+    cap: f64,
+    /// The counter-free regime (see the type docs).
+    skip_counts: bool,
+    query_bits: u64,
+    reply_bits: u64,
+    /// `dst_of[label * fine + target]` = copy-0 host of triple
+    /// `(bu(label), bv(label), target)`; `u32::MAX` marks triples outside
+    /// the α-context (never sampled by a well-formed search domain).
+    dst_of: Vec<u32>,
+    /// Host node of each search label (`search_route` without the blocks).
+    src_of: Vec<u32>,
+    /// Counted regime only: per-`(search, target)` list ranks, reset via
+    /// `touched` between evaluations.
+    counts: Vec<u32>,
+    touched: Vec<u32>,
+    query_links: Vec<u32>,
+    reply_links: Vec<u32>,
+    phase_queries: String,
+    phase_answers: String,
+    atypical: Option<AtypicalInputError>,
+    internal: Option<String>,
+}
+
+impl<'a, 'd> ChargeOnlyEval<'a, 'd> {
+    /// Builds the session, or `None` off the transparent regime where the
+    /// charge-only reduction is not provably identical to
+    /// [`evaluate_joint`] (see the type docs).
+    ///
+    /// `cap` must be the same `list_cap` bound [`evaluate_joint`] applies;
+    /// `max_queries_per_label` bounds the number of queries any single
+    /// search label contributes to one evaluation.
+    pub fn try_new(
+        inst: &'a Instance<'d>,
+        net: &Clique,
+        actx: &'a AlphaContext,
+        cap: f64,
+        max_queries_per_label: u32,
+    ) -> Option<Self> {
+        if !net.is_transparent() {
+            return None;
+        }
+        let skip_counts = actx.dup == 1 && f64::from(max_queries_per_label) <= cap;
+        let n = inst.n();
+        let fine = inst.parts.fine.num_blocks();
+        let labels = inst.searches.labeling().label_count();
+        let mut dst_of = vec![u32::MAX; labels * fine];
+        let mut src_of = vec![0u32; labels];
+        for (label, &(src, bu, bv)) in actx.search_route.iter().enumerate() {
+            src_of[label] = src;
+            for target in 0..fine {
+                let triple = inst.triples.encode(bu as usize, bv as usize, target);
+                if let Some(dst) = actx.try_copy_node(triple, 0) {
+                    dst_of[label * fine + target] = dst.index() as u32;
+                }
+            }
+        }
+        Some(ChargeOnlyEval {
+            inst,
+            actx,
+            n,
+            fine,
+            cap,
+            skip_counts,
+            query_bits: pair_bits(n) + weight_bits(inst.weight_magnitude()),
+            reply_bits: pair_bits(n) + 1,
+            dst_of,
+            src_of,
+            counts: if skip_counts {
+                Vec::new()
+            } else {
+                vec![0u32; labels * fine]
+            },
+            touched: Vec::new(),
+            query_links: vec![0u32; n * n],
+            reply_links: vec![0u32; n * n],
+            phase_queries: format!("step3/alpha{}/eval-queries", actx.alpha),
+            phase_answers: format!("step3/alpha{}/eval-answers", actx.alpha),
+            atypical: None,
+            internal: None,
+        })
+    }
+
+    /// Clears the link tallies and list ranks for the next evaluation.
+    pub fn reset(&mut self) {
+        self.query_links.fill(0);
+        self.reply_links.fill(0);
+        for &key in &self.touched {
+            self.counts[key as usize] = 0;
+        }
+        self.touched.clear();
+        self.atypical = None;
+        self.internal = None;
+    }
+
+    /// Records one query of `search_label` probing fine block `target`.
+    #[inline]
+    pub fn push(&mut self, search_label: usize, target: usize) {
+        let key = search_label * self.fine + target;
+        let dst = if self.skip_counts {
+            self.dst_of[key]
+        } else {
+            let pos = self.counts[key];
+            if pos == 0 {
+                self.touched.push(key as u32);
+            }
+            self.counts[key] = pos + 1;
+            if f64::from(pos + 1) > self.cap && self.atypical.is_none() {
+                self.atypical = Some(AtypicalInputError {
+                    max_frequency: u64::from(pos) + 1,
+                    beta: self.cap,
+                });
+            }
+            let y = pos as usize % self.actx.dup;
+            if y == 0 {
+                self.dst_of[key]
+            } else {
+                let (_, bu, bv) = self.actx.search_route[search_label];
+                let triple = self.inst.triples.encode(bu as usize, bv as usize, target);
+                match self.actx.try_copy_node(triple, y) {
+                    Some(node) => node.index() as u32,
+                    None => u32::MAX,
+                }
+            }
+        };
+        if dst == u32::MAX {
+            // Same broken-invariant surface as the materialized path, kept
+            // out of line: report at finish(), before anything is charged.
+            if self.internal.is_none() {
+                let (_, bu, bv) = self.actx.search_route[search_label];
+                let triple = self.inst.triples.encode(bu as usize, bv as usize, target);
+                let y = if self.skip_counts {
+                    0
+                } else {
+                    (self.counts[key] as usize - 1) % self.actx.dup
+                };
+                self.internal = Some(format!(
+                    "triple {triple} copy {y} not in the α = {} context",
+                    self.actx.alpha
+                ));
+            }
+            return;
+        }
+        let (src, dst) = (self.src_of[search_label] as usize, dst as usize);
+        self.query_links[src * self.n + dst] += 1;
+        self.reply_links[dst * self.n + src] += 1;
+    }
+
+    /// Charges the two exchange legs of the recorded queries.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalJointError::Atypical`] on a Υ_β list-cap violation and
+    /// [`EvalJointError::Internal`] if some query addressed a triple
+    /// outside the α-context — in both cases nothing is charged, matching
+    /// [`evaluate_joint`]'s abort-before-exchange (and its precedence:
+    /// the cap pass runs before query resolution).
+    pub fn finish(&mut self, net: &mut Clique) -> Result<(), EvalJointError> {
+        if let Some(e) = self.atypical.take() {
+            return Err(EvalJointError::Atypical(e));
+        }
+        net.begin_phase(&self.phase_queries);
+        if let Some(context) = self.internal.take() {
+            return Err(EvalJointError::Internal(context));
+        }
+        net.charge_exchange_tally(&self.query_links, self.query_bits, "exchange");
+        net.begin_phase(&self.phase_answers);
+        net.charge_exchange_tally(&self.reply_links, self.reply_bits, "exchange");
+        Ok(())
+    }
 }
 
 /// Errors of a joint evaluation.

@@ -14,6 +14,43 @@ use crate::instance::Instance;
 use crate::wire::{weight_bits, Wire};
 use crate::ApspError;
 use qcc_congest::{Clique, CongestError, Envelope, NodeId};
+use std::cell::RefCell;
+
+/// Sentinel: the cell was computed and no apex edge pair exists.
+const NO_APEX: i64 = i64::MAX - 1;
+
+/// Memo table for the oracle census: per triple label, the min-plus value
+/// of every pair in its block pair, computed on first query and reused
+/// until the gathered tables change.
+///
+/// Step 3 asks the same `(label, u, v)` question once per Grover iteration
+/// per repetition — millions of times on the E1 workload — while the answer
+/// only depends on the Step-1 tables. The cache turns the `O(|w|)` apex
+/// scan into an `O(1)` lookup for every repeat, and the `version` stamp
+/// invalidates it wholesale whenever a table entry is updated.
+#[derive(Clone, Debug, Default)]
+struct CensusCache {
+    /// The [`GatheredWeights::version`] the tables were computed against.
+    version: u64,
+    /// `tables[label][i * |v| + l]`: min-plus of the oriented pair
+    /// `(u_i, v_l)`, sentinel-coded; each label's table is built whole, by
+    /// one batched flat min-plus product, on its first query.
+    tables: Vec<Vec<i64>>,
+    /// Per-label block-pair bounds, so the hot lookup orients a pair with
+    /// four compares instead of re-deriving the blocks from the label.
+    geom: Vec<LabelGeom>,
+    hits: u64,
+    misses: u64,
+}
+
+/// The coarse block-pair bounds of one triple label.
+#[derive(Clone, Copy, Debug, Default)]
+struct LabelGeom {
+    u_start: u32,
+    u_end: u32,
+    v_start: u32,
+    v_end: u32,
+}
 
 /// The per-triple weight tables loaded in Step 1.
 #[derive(Clone, Debug)]
@@ -22,6 +59,11 @@ pub struct GatheredWeights {
     uw: Vec<Vec<Option<i64>>>,
     /// `wv[label][j * |v| + l] = f(w_j, v_l)` for `w_j ∈ w`, `v_l ∈ v`.
     wv: Vec<Vec<Option<i64>>>,
+    /// Bumped on every table mutation; the census cache checks it.
+    version: u64,
+    /// Lazily filled oracle-census memo (interior mutability so lookups
+    /// stay `&self`, like the uncached ones).
+    cache: RefCell<CensusCache>,
 }
 
 impl GatheredWeights {
@@ -134,6 +176,395 @@ impl GatheredWeights {
             None => false,
         })
     }
+
+    /// [`GatheredWeights::min_plus`] through the oracle-census cache: the
+    /// first query of a pair pays the apex scan, repeats are `O(1)`.
+    /// The cache self-invalidates when [`GatheredWeights::version`] moved.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GatheredWeights::min_plus`].
+    pub fn min_plus_cached(
+        &self,
+        inst: &Instance<'_>,
+        label: usize,
+        u: usize,
+        v: usize,
+    ) -> Result<Option<i64>, ApspError> {
+        let mut cache = self.cache.borrow_mut();
+        self.cache_prologue(inst, &mut cache);
+        let g = cache.geom[label];
+        let (u32_, v32_) = (u as u32, v as u32);
+        let (su, sv) =
+            if (g.u_start..g.u_end).contains(&u32_) && (g.v_start..g.v_end).contains(&v32_) {
+                (u32_, v32_)
+            } else if (g.u_start..g.u_end).contains(&v32_) && (g.v_start..g.v_end).contains(&u32_) {
+                (v32_, u32_)
+            } else {
+                // Foreign pair: defer to the uncached path for its error.
+                drop(cache);
+                return self.min_plus(inst, label, u, v);
+            };
+        let vlen = (g.v_end - g.v_start) as usize;
+        let cell = (su - g.u_start) as usize * vlen + (sv - g.v_start) as usize;
+        if cache.tables[label].is_empty() {
+            // First query of this label since the last invalidation: answer
+            // the whole block pair at once with the batched flat kernel.
+            cache.misses += 1;
+            cache.tables[label] = self.build_census_table(inst, label, g)?;
+        } else {
+            cache.hits += 1;
+        }
+        let entry = cache.tables[label][cell];
+        Ok(if entry == NO_APEX { None } else { Some(entry) })
+    }
+
+    /// Brings the census cache in sync with the current table version:
+    /// drops stale tables, sizes the per-label slots, and builds the label
+    /// geometry index on first use.
+    fn cache_prologue(&self, inst: &Instance<'_>, cache: &mut CensusCache) {
+        if cache.version != self.version {
+            cache.tables.clear();
+            cache.version = self.version;
+        }
+        if cache.tables.is_empty() {
+            cache.tables.resize(self.uw.len(), Vec::new());
+        }
+        if cache.geom.len() != self.uw.len() {
+            cache.geom = (0..self.uw.len())
+                .map(|l| {
+                    let (bu, bv, _bw) = inst.triples.decode(l);
+                    let ublock = inst.parts.coarse.block(bu);
+                    let vblock = inst.parts.coarse.block(bv);
+                    LabelGeom {
+                        u_start: ublock.start as u32,
+                        u_end: ublock.end as u32,
+                        v_start: vblock.start as u32,
+                        v_end: vblock.end as u32,
+                    }
+                })
+                .collect();
+        }
+    }
+
+    /// Batched [`GatheredWeights::check_negative_cached`]: answers every
+    /// `(label, u, v, f_uv)` item into `out`, borrowing the census cache
+    /// once for the whole batch instead of once per query. Cache hit/miss
+    /// accounting is per item, identical to the scalar path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GatheredWeights::check_negative`] — the first failing item
+    /// aborts the batch.
+    pub fn check_negative_cached_batch(
+        &self,
+        inst: &Instance<'_>,
+        items: impl Iterator<Item = (usize, usize, usize, i64)>,
+        out: &mut Vec<bool>,
+    ) -> Result<(), ApspError> {
+        let mut cache = self.cache.borrow_mut();
+        self.cache_prologue(inst, &mut cache);
+        // Hits are tallied locally and flushed at every exit: the common
+        // path then avoids a read-modify-write per item.
+        let mut pending_hits: u64 = 0;
+        for (label, u, v, f_uv) in items {
+            let g = cache.geom[label];
+            let (u32_, v32_) = (u as u32, v as u32);
+            let (su, sv) = if (g.u_start..g.u_end).contains(&u32_)
+                && (g.v_start..g.v_end).contains(&v32_)
+            {
+                (u32_, v32_)
+            } else if (g.u_start..g.u_end).contains(&v32_) && (g.v_start..g.v_end).contains(&u32_) {
+                (v32_, u32_)
+            } else {
+                // Foreign pair: defer to the uncached path for its error,
+                // releasing the cache borrow around the call.
+                cache.hits += pending_hits;
+                pending_hits = 0;
+                drop(cache);
+                out.push(self.check_negative(inst, label, u, v, f_uv)?);
+                cache = self.cache.borrow_mut();
+                continue;
+            };
+            let vlen = (g.v_end - g.v_start) as usize;
+            let cell = (su - g.u_start) as usize * vlen + (sv - g.v_start) as usize;
+            let cached = {
+                let table = &cache.tables[label];
+                if table.is_empty() {
+                    None
+                } else {
+                    pending_hits += 1;
+                    Some(table[cell])
+                }
+            };
+            let entry = match cached {
+                Some(entry) => entry,
+                None => {
+                    cache.misses += 1;
+                    let table = match self.build_census_table(inst, label, g) {
+                        Ok(table) => table,
+                        Err(e) => {
+                            cache.hits += pending_hits;
+                            return Err(e);
+                        }
+                    };
+                    cache.tables[label] = table;
+                    cache.tables[label][cell]
+                }
+            };
+            out.push(entry != NO_APEX && entry < -f_uv);
+        }
+        cache.hits += pending_hits;
+        Ok(())
+    }
+
+    /// Opens an incremental census probe: the cache is borrowed and synced
+    /// once, and every [`CensusProbe::check`] is then a plain table lookup.
+    /// The streaming form of [`GatheredWeights::check_negative_cached_batch`]
+    /// for callers that interleave lookups with other per-query work.
+    pub(crate) fn census_probe<'g, 'i, 'd>(
+        &'g self,
+        inst: &'i Instance<'d>,
+    ) -> CensusProbe<'g, 'i, 'd> {
+        let mut cache = self.cache.borrow_mut();
+        self.cache_prologue(inst, &mut cache);
+        CensusProbe {
+            owner: self,
+            inst,
+            cache: Some(cache),
+            pending_hits: 0,
+        }
+    }
+
+    /// Computes the full min-plus census table of `label` — every oriented
+    /// pair of its block pair — as one rectangular flat min-plus product
+    /// ([`qcc_graph::min_plus_flat_into`]) over the sentinel-coded `uw` and
+    /// `wv` tables, then patches the few cells whose endpoints sit inside
+    /// the fine block (the kernel knows no "skip the endpoint apexes" rule)
+    /// with the scalar path. Entries outside the kernel's exact magnitude
+    /// domain force a whole-table scalar fallback, so the table always
+    /// matches [`GatheredWeights::min_plus`] cell for cell.
+    fn build_census_table(
+        &self,
+        inst: &Instance<'_>,
+        label: usize,
+        g: LabelGeom,
+    ) -> Result<Vec<i64>, ApspError> {
+        let (_bu, _bv, bw) = inst.triples.decode(label);
+        let wblock = inst.parts.fine.block(bw);
+        let ulen = (g.u_end - g.u_start) as usize;
+        let vlen = (g.v_end - g.v_start) as usize;
+        let wlen = wblock.len();
+        let encode = |t: &[Option<i64>]| -> Option<Vec<i64>> {
+            t.iter()
+                .map(|w| match *w {
+                    None => Some(qcc_graph::TROPICAL_NONE),
+                    Some(x) if x.unsigned_abs() <= qcc_graph::TROPICAL_FINITE_MAX as u64 => Some(x),
+                    Some(_) => None,
+                })
+                .collect()
+        };
+        let scalar = |i: usize, l: usize| -> Result<i64, ApspError> {
+            let su = g.u_start as usize + i;
+            let sv = g.v_start as usize + l;
+            Ok(match self.min_plus(inst, label, su, sv)? {
+                None => NO_APEX,
+                Some(x) => {
+                    debug_assert!(x < NO_APEX, "min-plus value collides with a cache sentinel");
+                    x
+                }
+            })
+        };
+        let (Some(a), Some(b)) = (encode(&self.uw[label]), encode(&self.wv[label])) else {
+            let mut table = vec![NO_APEX; ulen * vlen];
+            for i in 0..ulen {
+                for l in 0..vlen {
+                    table[i * vlen + l] = scalar(i, l)?;
+                }
+            }
+            return Ok(table);
+        };
+        let mut coded = vec![qcc_graph::TROPICAL_NONE; ulen * vlen];
+        qcc_graph::min_plus_flat_into(&a, &b, ulen, wlen, vlen, &mut coded);
+        let mut table: Vec<i64> = coded
+            .into_iter()
+            .map(|v| match qcc_graph::tropical_decode(v) {
+                None => NO_APEX,
+                Some(x) => x,
+            })
+            .collect();
+        // The kernel counted every apex; cells whose own endpoints lie in
+        // the fine block must exclude them (a vertex is not its own apex).
+        for i in 0..ulen {
+            if wblock.contains(&(g.u_start as usize + i)) {
+                for l in 0..vlen {
+                    table[i * vlen + l] = scalar(i, l)?;
+                }
+            }
+        }
+        for l in 0..vlen {
+            if wblock.contains(&(g.v_start as usize + l)) {
+                for i in 0..ulen {
+                    table[i * vlen + l] = scalar(i, l)?;
+                }
+            }
+        }
+        Ok(table)
+    }
+
+    /// [`GatheredWeights::check_negative`] through the oracle-census cache.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GatheredWeights::check_negative`].
+    pub fn check_negative_cached(
+        &self,
+        inst: &Instance<'_>,
+        label: usize,
+        u: usize,
+        v: usize,
+        f_uv: i64,
+    ) -> Result<bool, ApspError> {
+        Ok(match self.min_plus_cached(inst, label, u, v)? {
+            Some(min_sum) => min_sum < -f_uv,
+            None => false,
+        })
+    }
+
+    /// Overwrites `f(u, w)` in the tables of `label`, invalidating the
+    /// oracle-census cache (the solution sets may have changed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not in the triple's `u`-block or `w` not in its
+    /// fine block.
+    pub fn set_uw_entry(
+        &mut self,
+        inst: &Instance<'_>,
+        label: usize,
+        u: usize,
+        w: usize,
+        weight: Option<i64>,
+    ) {
+        let (bu, _bv, bw) = inst.triples.decode(label);
+        let ublock = inst.parts.coarse.block(bu);
+        let wblock = inst.parts.fine.block(bw);
+        assert!(ublock.contains(&u) && wblock.contains(&w));
+        let i = u - ublock.start;
+        let j = w - wblock.start;
+        self.uw[label][i * wblock.len() + j] = weight;
+        self.version += 1;
+    }
+
+    /// Overwrites `f(w, v)` in the tables of `label`, invalidating the
+    /// oracle-census cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not in the triple's `v`-block or `w` not in its
+    /// fine block.
+    pub fn set_wv_entry(
+        &mut self,
+        inst: &Instance<'_>,
+        label: usize,
+        w: usize,
+        v: usize,
+        weight: Option<i64>,
+    ) {
+        let (_bu, bv, bw) = inst.triples.decode(label);
+        let vblock = inst.parts.coarse.block(bv);
+        let wblock = inst.parts.fine.block(bw);
+        assert!(vblock.contains(&v) && wblock.contains(&w));
+        let j = w - wblock.start;
+        let l = v - vblock.start;
+        self.wv[label][j * vblock.len() + l] = weight;
+        self.version += 1;
+    }
+
+    /// The mutation counter the census cache is keyed on.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// `(hits, misses)` of the oracle-census cache so far.
+    pub fn census_cache_stats(&self) -> (u64, u64) {
+        let cache = self.cache.borrow();
+        (cache.hits, cache.misses)
+    }
+}
+
+/// A streaming census cursor over a borrowed, pre-synced cache — see
+/// [`GatheredWeights::census_probe`]. Hit accounting is batched locally and
+/// flushed on drop (and at every internal borrow release), so the hot path
+/// avoids a read-modify-write per lookup.
+pub(crate) struct CensusProbe<'g, 'i, 'd> {
+    owner: &'g GatheredWeights,
+    inst: &'i Instance<'d>,
+    cache: Option<std::cell::RefMut<'g, CensusCache>>,
+    pending_hits: u64,
+}
+
+impl CensusProbe<'_, '_, '_> {
+    /// [`GatheredWeights::check_negative_cached`] against the held cache.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GatheredWeights::check_negative`].
+    pub(crate) fn check(
+        &mut self,
+        label: usize,
+        u: usize,
+        v: usize,
+        f_uv: i64,
+    ) -> Result<bool, ApspError> {
+        let cache = self.cache.as_mut().expect("probe cache is always held");
+        let g = cache.geom[label];
+        let (u32_, v32_) = (u as u32, v as u32);
+        let (su, sv) =
+            if (g.u_start..g.u_end).contains(&u32_) && (g.v_start..g.v_end).contains(&v32_) {
+                (u32_, v32_)
+            } else if (g.u_start..g.u_end).contains(&v32_) && (g.v_start..g.v_end).contains(&u32_) {
+                (v32_, u32_)
+            } else {
+                // Foreign pair: defer to the uncached path for its error,
+                // releasing the cache borrow around the call.
+                cache.hits += self.pending_hits;
+                self.pending_hits = 0;
+                self.cache = None;
+                let result = self.owner.check_negative(self.inst, label, u, v, f_uv);
+                self.cache = Some(self.owner.cache.borrow_mut());
+                return result;
+            };
+        let vlen = (g.v_end - g.v_start) as usize;
+        let cell = (su - g.u_start) as usize * vlen + (sv - g.v_start) as usize;
+        let cached = {
+            let table = &cache.tables[label];
+            if table.is_empty() {
+                None
+            } else {
+                self.pending_hits += 1;
+                Some(table[cell])
+            }
+        };
+        let entry = match cached {
+            Some(entry) => entry,
+            None => {
+                cache.misses += 1;
+                let table = self.owner.build_census_table(self.inst, label, g)?;
+                cache.tables[label] = table;
+                cache.tables[label][cell]
+            }
+        };
+        Ok(entry != NO_APEX && entry < -f_uv)
+    }
+}
+
+impl Drop for CensusProbe<'_, '_, '_> {
+    fn drop(&mut self) {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.hits += self.pending_hits;
+        }
+    }
 }
 
 /// Executes Step 1: every vertex owner streams its relevant weight rows to
@@ -171,6 +602,54 @@ pub fn gather_weights(
     let n = inst.n();
     let wb = weight_bits(inst.weight_magnitude());
     net.begin_phase("compute-pairs/step1-gather");
+
+    if net.is_transparent() {
+        // Charge-only gather: the route's cost (including the explicit
+        // unit coloring below the scheduling limit) depends only on each
+        // message's (src, dst, bits) in submission order, so ship empty
+        // payloads in the exact same order and fill the tables straight
+        // from the graph — the same rows the messages would carry.
+        let mut sends: Vec<Envelope<Wire<()>>> = Vec::new();
+        for (label, (bu, bv, bw)) in inst.triples.triples() {
+            let dst = NodeId::new(inst.triples.labeling().node_of(label));
+            let row_bits = wb * inst.parts.fine.block(bw).len() as u64;
+            for a in inst.parts.coarse.block(bu) {
+                sends.push(Envelope::new(NodeId::new(a), dst, Wire::new((), row_bits)));
+            }
+            for b in inst.parts.coarse.block(bv) {
+                sends.push(Envelope::new(NodeId::new(b), dst, Wire::new((), row_bits)));
+            }
+        }
+        net.route(sends)?;
+
+        let label_count = inst.triples.labeling().label_count();
+        let mut uw: Vec<Vec<Option<i64>>> = Vec::with_capacity(label_count);
+        let mut wv: Vec<Vec<Option<i64>>> = Vec::with_capacity(label_count);
+        for (_label, (bu, bv, bw)) in inst.triples.triples() {
+            let wblock = inst.parts.fine.block(bw);
+            let wlen = wblock.len();
+            let mut uw_t = Vec::with_capacity(inst.parts.coarse.block(bu).len() * wlen);
+            for a in inst.parts.coarse.block(bu) {
+                uw_t.extend(wblock.clone().map(|w| inst.graph.weight(a, w).finite()));
+            }
+            let vblock = inst.parts.coarse.block(bv);
+            let vlen = vblock.len();
+            let mut wv_t = vec![None; wlen * vlen];
+            for (l, b) in vblock.clone().enumerate() {
+                for (j, w) in wblock.clone().enumerate() {
+                    wv_t[j * vlen + l] = inst.graph.weight(w, b).finite();
+                }
+            }
+            uw.push(uw_t);
+            wv.push(wv_t);
+        }
+        return Ok(GatheredWeights {
+            uw,
+            wv,
+            version: 0,
+            cache: RefCell::new(CensusCache::default()),
+        });
+    }
 
     // Owner `a` sends, for each triple whose u-side (resp. v-side) block
     // contains `a`, the weights {f(a, w) : w ∈ w} as one message.
@@ -235,7 +714,12 @@ pub fn gather_weights(
         }
     }
 
-    Ok(GatheredWeights { uw, wv })
+    Ok(GatheredWeights {
+        uw,
+        wv,
+        version: 0,
+        cache: RefCell::new(CensusCache::default()),
+    })
 }
 
 #[cfg(test)]

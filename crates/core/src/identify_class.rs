@@ -143,20 +143,26 @@ pub fn identify_class<R: Rng>(
     r.sort_unstable();
     r.dedup();
 
-    // Step 2: local class computation at each triple node.
+    // Step 2: local class computation at each triple node. A pair of R
+    // only contributes to the two labels carrying its coarse block pair,
+    // so tally R-side — one apex scan per (pair, fine block) — instead of
+    // rescanning all of R at each of the q²·s triple labels.
     let label_count = inst.triples.labeling().label_count();
     let mut class_of = vec![0u32; label_count];
     let mut d = vec![0usize; label_count];
-    for (label, (bu, bv, bw)) in inst.triples.triples() {
-        let count = r
-            .iter()
-            .filter(|&&(u, v, _w)| {
-                let (cu, cv) = (inst.parts.coarse.block_of(u), inst.parts.coarse.block_of(v));
-                let block_match = (cu == bu && cv == bv) || (cu == bv && cv == bu);
-                block_match && inst.has_apex_in_block(u, v, bw)
-            })
-            .count();
-        d[label] = count;
+    let fine = inst.parts.fine.num_blocks();
+    for &(u, v, _w) in &r {
+        let (cu, cv) = (inst.parts.coarse.block_of(u), inst.parts.coarse.block_of(v));
+        for bw in 0..fine {
+            if inst.has_apex_in_block(u, v, bw) {
+                d[inst.triples.encode(cu, cv, bw)] += 1;
+                if cu != cv {
+                    d[inst.triples.encode(cv, cu, bw)] += 1;
+                }
+            }
+        }
+    }
+    for (label, &count) in d.iter().enumerate() {
         let mut c = 0u32;
         while count as f64 >= inst.params.class_boundary(n, c) {
             c += 1;

@@ -116,6 +116,10 @@ pub fn build_lambda_cover<R: Rng>(
     let mut sampled: Vec<Vec<(usize, usize)>> = Vec::with_capacity(label_count);
     let mut violation: Option<(usize, usize)> = None; // (label, observed)
     let mut flags = vec![false; n];
+    // Well-balancedness counters, reused across labels (only the touched
+    // entries are reset between labels).
+    let mut per_vertex = vec![0usize; n];
+    let mut touched: Vec<usize> = Vec::new();
     for (label, (bu, bv, _x)) in inst.searches.triples() {
         let universe = universe_of(bu, bv);
         let picked: Vec<(usize, usize)> = sample_indices(universe.len(), p, rng)
@@ -124,16 +128,22 @@ pub fn build_lambda_cover<R: Rng>(
             .collect();
         // Well-balancedness: every vertex of the coarse blocks appears with
         // at most `cap` partners inside this Λ_x(u, v).
-        let mut per_vertex: HashMap<usize, usize> = HashMap::new();
         for &(a, b) in &picked {
             for endpoint in [a, b] {
-                let count = per_vertex.entry(endpoint).or_insert(0);
+                let count = &mut per_vertex[endpoint];
+                if *count == 0 {
+                    touched.push(endpoint);
+                }
                 *count += 1;
                 if (*count as f64) > cap && violation.is_none() {
                     violation = Some((label, *count));
                 }
             }
         }
+        for &endpoint in &touched {
+            per_vertex[endpoint] = 0;
+        }
+        touched.clear();
         if violation.map(|(l, _)| l) == Some(label) {
             flags[inst.searches.labeling().node_of(label)] = true;
         }
@@ -157,46 +167,100 @@ pub fn build_lambda_cover<R: Rng>(
     let pb = pair_bits(n);
     let wb = weight_bits(inst.weight_magnitude());
     net.begin_phase("compute-pairs/step2-requests");
-    let mut requests: Vec<Envelope<Wire<(usize, usize, usize)>>> = Vec::new();
-    for (label, picked) in sampled.iter().enumerate() {
-        let src = NodeId::new(inst.searches.labeling().node_of(label));
-        for &(u, v) in picked {
-            requests.push(Envelope::new(
-                src,
-                NodeId::new(u),
-                Wire::new((label, u, v), pb),
-            ));
-        }
-    }
-    let request_boxes = net.route(requests)?;
 
-    net.begin_phase("compute-pairs/step2-responses");
-    let mut responses: Vec<Envelope<Wire<(usize, usize, usize, Option<i64>, bool)>>> = Vec::new();
-    for owner in NodeId::all(n) {
-        for (asker, msg) in request_boxes.of(owner) {
-            let (label, u, v) = msg.value;
-            debug_assert_eq!(u, owner.index(), "pair owner mismatch");
-            let weight = inst.graph.weight(u, v).finite();
-            let in_s = inst.s.contains(u, v);
-            responses.push(Envelope::new(
-                owner,
-                *asker,
-                Wire::new((label, u, v, weight, in_s), pb + wb + 2),
-            ));
+    // Transparent networks with large routes: both legs carry fixed-width
+    // wires whose contents are pure functions of the instance, so the
+    // routes can be charged from per-link tallies and the kept lists
+    // assembled locally — byte-identical rounds, metrics, and traces.
+    let mut charged = false;
+    if net.is_transparent() {
+        let mut query_links = vec![0u32; n * n];
+        for (label, picked) in sampled.iter().enumerate() {
+            let src = inst.searches.labeling().node_of(label);
+            for &(u, _v) in picked {
+                query_links[src * n + u] += 1;
+            }
+        }
+        if net.charge_route_tally(&query_links, pb).is_some() {
+            net.begin_phase("compute-pairs/step2-responses");
+            let mut reply_links = vec![0u32; n * n];
+            for (label, picked) in sampled.iter().enumerate() {
+                let src = inst.searches.labeling().node_of(label);
+                for &(u, _v) in picked {
+                    reply_links[u * n + src] += 1;
+                }
+            }
+            // Replies are wider than queries over the same links, so they
+            // carry at least as many units and stay past the schedule limit.
+            net.charge_route_tally(&reply_links, pb + wb + 2)
+                .expect("reply leg has at least as many units as the charged query leg");
+            charged = true;
         }
     }
-    let response_boxes = net.route(responses)?;
 
     let mut kept: Vec<Vec<KeptPair>> = vec![Vec::new(); label_count];
-    for node in NodeId::all(n) {
-        for (_owner, msg) in response_boxes.of(node) {
-            let (label, u, v, weight, in_s) = msg.value;
-            debug_assert_eq!(inst.searches.labeling().node_of(label), node.index());
-            if let (Some(w), true) = (weight, in_s) {
-                kept[label].push(KeptPair { u, v, weight: w });
+    if charged {
+        // Owner answers computed in place of the routed replies. A dense
+        // S-membership mask replaces the per-pair ordered-set lookup.
+        let mut in_s = vec![false; n * n];
+        for (u, v) in inst.s.iter() {
+            in_s[u * n + v] = true;
+            in_s[v * n + u] = true;
+        }
+        for (label, picked) in sampled.iter().enumerate() {
+            for &(u, v) in picked {
+                if !in_s[u * n + v] {
+                    continue;
+                }
+                if let Some(w) = inst.graph.weight(u, v).finite() {
+                    kept[label].push(KeptPair { u, v, weight: w });
+                }
+            }
+        }
+    } else {
+        let mut requests: Vec<Envelope<Wire<(usize, usize, usize)>>> = Vec::new();
+        for (label, picked) in sampled.iter().enumerate() {
+            let src = NodeId::new(inst.searches.labeling().node_of(label));
+            for &(u, v) in picked {
+                requests.push(Envelope::new(
+                    src,
+                    NodeId::new(u),
+                    Wire::new((label, u, v), pb),
+                ));
+            }
+        }
+        let request_boxes = net.route(requests)?;
+
+        net.begin_phase("compute-pairs/step2-responses");
+        let mut responses: Vec<Envelope<Wire<(usize, usize, usize, Option<i64>, bool)>>> =
+            Vec::new();
+        for owner in NodeId::all(n) {
+            for (asker, msg) in request_boxes.of(owner) {
+                let (label, u, v) = msg.value;
+                debug_assert_eq!(u, owner.index(), "pair owner mismatch");
+                let weight = inst.graph.weight(u, v).finite();
+                let in_s = inst.s.contains(u, v);
+                responses.push(Envelope::new(
+                    owner,
+                    *asker,
+                    Wire::new((label, u, v, weight, in_s), pb + wb + 2),
+                ));
+            }
+        }
+        let response_boxes = net.route(responses)?;
+
+        for node in NodeId::all(n) {
+            for (_owner, msg) in response_boxes.of(node) {
+                let (label, u, v, weight, in_s) = msg.value;
+                debug_assert_eq!(inst.searches.labeling().node_of(label), node.index());
+                if let (Some(w), true) = (weight, in_s) {
+                    kept[label].push(KeptPair { u, v, weight: w });
+                }
             }
         }
     }
+    // Per-label keys are distinct, so the sorted lists are identical no
+    // matter which path filled them.
     for list in &mut kept {
         list.sort_by_key(|kp| (kp.u, kp.v));
     }

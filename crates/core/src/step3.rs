@@ -9,7 +9,8 @@
 //! classical baseline simply scans every fine block (`O~(√n)` rounds).
 
 use crate::eval_procedure::{
-    evaluate_joint, evaluate_joint_unbounded, AlphaContext, EvalJointError, EvalQuery,
+    evaluate_joint, evaluate_joint_unbounded, AlphaContext, ChargeOnlyEval, EvalJointError,
+    EvalQuery,
 };
 use crate::gather::GatheredWeights;
 use crate::identify_class::ClassAssignment;
@@ -73,32 +74,54 @@ pub struct Step3Stats {
     pub repetitions: u64,
 }
 
+/// A domain's census for one pair: the split into solution / non-solution
+/// indices. Shared (`Rc`) between all parallel-search labels `x` querying
+/// the same pair over the same `(bu, bv)` domain — the split depends only
+/// on the pair and the blocks, not on `x`.
+struct SearchPartition {
+    solutions: Vec<usize>,
+    non_solutions: Vec<usize>,
+}
+
 struct Search {
     search_label: usize,
     pair: KeptPair,
     domain: Rc<Vec<usize>>,
-    solutions: Vec<usize>,
-    non_solutions: Vec<usize>,
+    part: Rc<SearchPartition>,
     amp: GroverAmplitudes,
+    /// `query_solution_probability(k)` memoized for `k ∈ 0..=k_max`, so the
+    /// per-query sampling avoids recomputing the trigonometry.
+    probs: Vec<f64>,
     found: bool,
 }
 
 impl Search {
     fn sample_target<R: Rng>(&self, k: u64, rng: &mut R) -> usize {
-        let p = self.amp.query_solution_probability(k);
-        let take_solution = if self.solutions.is_empty() {
+        self.sample_target_with_answer(k, rng).0
+    }
+
+    /// Samples a target block after `k` Grover iterations, together with
+    /// the evaluation's (predetermined) answer: a target drawn from the
+    /// solution side is exactly one with an apex in its block — the same
+    /// boolean the joint evaluation ships back.
+    fn sample_target_with_answer<R: Rng>(&self, k: u64, rng: &mut R) -> (usize, bool) {
+        let p = self.probs[k as usize];
+        let take_solution = if self.part.solutions.is_empty() {
             false
-        } else if self.non_solutions.is_empty() {
+        } else if self.part.non_solutions.is_empty() {
             true
         } else {
             rng.gen_bool(p.clamp(0.0, 1.0))
         };
         let side = if take_solution {
-            &self.solutions
+            &self.part.solutions
         } else {
-            &self.non_solutions
+            &self.part.non_solutions
         };
-        self.domain[side[rng.gen_range(0..side.len())]]
+        (
+            self.domain[side[rng.gen_range(0..side.len())]],
+            take_solution,
+        )
     }
 }
 
@@ -134,6 +157,15 @@ pub fn run_step3_quantum<R: Rng>(
         // Assemble the searches: one per (search node, kept pair) whose
         // block pair has class-α targets.
         let mut domains: HashMap<(usize, usize), Rc<Vec<usize>>> = HashMap::new();
+        // The same kept pair is censused once per parallel-search label x;
+        // the split only depends on (pair, domain), so the whole partition
+        // is shared across labels, with a flat (pair, block)-indexed memo
+        // (0 unknown / 1 no / 2 yes) deduplicating the apex scans across
+        // overlapping domains.
+        let fine = inst.parts.fine.num_blocks();
+        let mut apex_memo = vec![0u8; inst.n() * inst.n() * fine];
+        let mut partitions: HashMap<(usize, usize, usize, usize), Rc<SearchPartition>> =
+            HashMap::new();
         let mut searches: Vec<Search> = Vec::new();
         for (label, (bu, bv, _x)) in inst.searches.triples() {
             let domain = domains
@@ -144,23 +176,41 @@ pub fn run_step3_quantum<R: Rng>(
                 continue;
             }
             for pair in &cover.kept[label] {
-                let mut solutions = Vec::new();
-                let mut non_solutions = Vec::new();
-                for (i, &bw) in domain.iter().enumerate() {
-                    if inst.has_apex_in_block(pair.u, pair.v, bw) {
-                        solutions.push(i);
-                    } else {
-                        non_solutions.push(i);
-                    }
-                }
-                let amp = GroverAmplitudes::new(domain.len(), solutions.len());
+                let part = partitions
+                    .entry((pair.u, pair.v, bu, bv))
+                    .or_insert_with(|| {
+                        let mut solutions = Vec::new();
+                        let mut non_solutions = Vec::new();
+                        for (i, &bw) in domain.iter().enumerate() {
+                            let cell = (pair.u * inst.n() + pair.v) * fine + bw;
+                            let has = match apex_memo[cell] {
+                                0 => {
+                                    let h = inst.has_apex_in_block(pair.u, pair.v, bw);
+                                    apex_memo[cell] = 1 + u8::from(h);
+                                    h
+                                }
+                                known => known == 2,
+                            };
+                            if has {
+                                solutions.push(i);
+                            } else {
+                                non_solutions.push(i);
+                            }
+                        }
+                        Rc::new(SearchPartition {
+                            solutions,
+                            non_solutions,
+                        })
+                    })
+                    .clone();
+                let amp = GroverAmplitudes::new(domain.len(), part.solutions.len());
                 searches.push(Search {
                     search_label: label,
                     pair: *pair,
                     domain: domain.clone(),
-                    solutions,
-                    non_solutions,
+                    part,
                     amp,
+                    probs: Vec::new(),
                     found: false,
                 });
             }
@@ -172,31 +222,66 @@ pub fn run_step3_quantum<R: Rng>(
 
         let max_domain = searches.iter().map(|s| s.domain.len()).max().unwrap_or(1);
         let k_max = GroverAmplitudes::max_useful_iterations(max_domain);
+        for s in &mut searches {
+            s.probs = (0..=k_max)
+                .map(|k| s.amp.query_solution_probability(k))
+                .collect();
+        }
         let reps = inst
             .params
             .search_repetitions
             .unwrap_or_else(|| repetitions_for_target(searches.len()));
 
+        // The lockstep iterations consume only the evaluation *charges* (the
+        // answers are fixed by the census, as the debug_assert below
+        // documents), so on transparent networks a charge-only session
+        // replaces the full query materialization. Each search contributes
+        // one query per call, so its per-(search, target) lists are bounded
+        // by its kept-pair multiplicity — when even the largest is under the
+        // typicality cap, the session's skipped Υ_β gate is a no-op too.
+        let cap = inst.params.list_cap(inst.n(), actx.alpha);
+        let max_per_label = {
+            let mut per_label = vec![0u32; inst.searches.labeling().label_count()];
+            for s in &searches {
+                per_label[s.search_label] += 1;
+            }
+            per_label.iter().copied().max().unwrap_or(0)
+        };
+        let mut charge_sess = ChargeOnlyEval::try_new(inst, net, &actx, cap, max_per_label);
+
+        // One query buffer reused across every evaluation call: the per-call
+        // query lists are all `searches.len()` long. `measured` stages the
+        // session path's positive measurement outcomes, applied only if the
+        // evaluation is accepted (a refused tuple confirms nothing).
+        let mut queries: Vec<EvalQuery> = Vec::with_capacity(searches.len());
+        let mut measured: Vec<(usize, usize)> = Vec::new();
         for _ in 0..reps {
             stats.repetitions += 1;
             let k = rng.gen_range(0..=k_max);
             for i in 0..k {
-                let queries: Vec<EvalQuery> = searches
-                    .iter()
-                    .map(|s| EvalQuery {
+                stats.eval_calls += 1;
+                stats.iterations += 1;
+                let outcome = if let Some(sess) = charge_sess.as_mut() {
+                    sess.reset();
+                    for s in &searches {
+                        sess.push(s.search_label, s.sample_target(i, rng));
+                    }
+                    sess.finish(net)
+                } else {
+                    queries.clear();
+                    queries.extend(searches.iter().map(|s| EvalQuery {
                         search_label: s.search_label,
                         pair: s.pair,
                         target: s.sample_target(i, rng),
-                    })
-                    .collect();
-                stats.eval_calls += 1;
-                stats.iterations += 1;
-                match evaluate_joint(inst, net, gathered, &actx, &queries) {
-                    Ok(answers) => {
+                    }));
+                    evaluate_joint(inst, net, gathered, &actx, &queries).map(|answers| {
                         debug_assert!(queries.iter().zip(&answers).all(|(q, &a)| {
                             a == inst.has_apex_in_block(q.pair.u, q.pair.v, q.target)
                         }));
-                    }
+                    })
+                };
+                match outcome {
+                    Ok(()) => {}
                     Err(EvalJointError::Atypical(_)) => stats.typicality_violations += 1,
                     Err(EvalJointError::Congest(e)) => return Err(e.into()),
                     Err(EvalJointError::Internal(context)) => {
@@ -205,17 +290,42 @@ pub fn run_step3_quantum<R: Rng>(
                 }
             }
             // Measure every search and verify the measured tuple jointly.
-            let queries: Vec<EvalQuery> = searches
-                .iter()
-                .map(|s| EvalQuery {
+            // On the charge-only session the verification answers are the
+            // census booleans the sampler already knows (a session error
+            // fails the whole run, so the eager found/witness updates are
+            // never observed on the error path).
+            stats.eval_calls += 1;
+            let outcome = if let Some(sess) = charge_sess.as_mut() {
+                sess.reset();
+                measured.clear();
+                for (idx, s) in searches.iter().enumerate() {
+                    let (target, answer) = s.sample_target_with_answer(k, rng);
+                    sess.push(s.search_label, target);
+                    debug_assert!(answer == inst.has_apex_in_block(s.pair.u, s.pair.v, target));
+                    if answer {
+                        measured.push((idx, target));
+                    }
+                }
+                sess.finish(net).map(|()| {
+                    for &(idx, target) in &measured {
+                        let s = &mut searches[idx];
+                        s.found = true;
+                        found.insert(s.pair.u, s.pair.v);
+                        witnesses.push(FoundWitness {
+                            u: s.pair.u.min(s.pair.v),
+                            v: s.pair.u.max(s.pair.v),
+                            block: target,
+                        });
+                    }
+                })
+            } else {
+                queries.clear();
+                queries.extend(searches.iter().map(|s| EvalQuery {
                     search_label: s.search_label,
                     pair: s.pair,
                     target: s.sample_target(k, rng),
-                })
-                .collect();
-            stats.eval_calls += 1;
-            match evaluate_joint(inst, net, gathered, &actx, &queries) {
-                Ok(answers) => {
+                }));
+                evaluate_joint(inst, net, gathered, &actx, &queries).map(|answers| {
                     for (s, (q, &a)) in searches.iter_mut().zip(queries.iter().zip(&answers)) {
                         if a {
                             s.found = true;
@@ -227,14 +337,20 @@ pub fn run_step3_quantum<R: Rng>(
                             });
                         }
                     }
-                }
+                })
+            };
+            match outcome {
+                Ok(()) => {}
                 Err(EvalJointError::Atypical(_)) => stats.typicality_violations += 1,
                 Err(EvalJointError::Congest(e)) => return Err(e.into()),
                 Err(EvalJointError::Internal(context)) => {
                     return Err(ApspError::Internal { context })
                 }
             }
-            if searches.iter().all(|s| s.found || s.solutions.is_empty()) {
+            if searches
+                .iter()
+                .all(|s| s.found || s.part.solutions.is_empty())
+            {
                 break;
             }
         }

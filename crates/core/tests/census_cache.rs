@@ -1,0 +1,124 @@
+//! Oracle-census cache semantics: eager per-label builds, hit/miss
+//! accounting, version-stamped invalidation when the gathered tables
+//! mutate mid-search, and scalar/batch agreement.
+
+use qcc_apsp::gather::gather_weights;
+use qcc_apsp::{Instance, PairSet, Params};
+use qcc_congest::Clique;
+use qcc_graph::random_ugraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A `(label, u, v, w)` probe where the pair spans two distinct coarse
+/// blocks and the apex `w` is neither endpoint, so a planted `f(u, w) +
+/// f(w, v)` path is guaranteed to show up in the census.
+fn pick_probe(inst: &Instance<'_>) -> (usize, usize, usize, usize) {
+    for label in 0..inst.triples.labeling().label_count() {
+        let (bu, bv, bw) = inst.triples.decode(label);
+        if bu == bv {
+            continue;
+        }
+        let u = inst.parts.coarse.block(bu).start;
+        let v = inst.parts.coarse.block(bv).start;
+        if let Some(w) = inst.parts.fine.block(bw).find(|&w| w != u && w != v) {
+            return (label, u, v, w);
+        }
+    }
+    panic!("no usable probe in this instance");
+}
+
+#[test]
+fn mutating_the_solution_set_recomputes_the_census() {
+    let mut rng = StdRng::seed_from_u64(71);
+    let g = random_ugraph(16, 0.6, 5, &mut rng);
+    let s = PairSet::all_pairs(16);
+    let inst = Instance::new(&g, &s, Params::paper());
+    let mut net = Clique::new(16).unwrap();
+    let mut gathered = gather_weights(&inst, &mut net).unwrap();
+    let (label, u, v, w) = pick_probe(&inst);
+
+    // First query of the label builds its whole census table: one miss.
+    let before = gathered.min_plus_cached(&inst, label, u, v).unwrap();
+    let (hits, misses) = gathered.census_cache_stats();
+    assert_eq!((hits, misses), (0, 1));
+    // Repeats are cache hits and stable.
+    assert_eq!(
+        gathered.min_plus_cached(&inst, label, u, v).unwrap(),
+        before
+    );
+    assert_eq!(gathered.census_cache_stats(), (1, 1));
+
+    // Mid-search mutation of the solution set: plant a deeply negative
+    // apex path through w. The version stamp must move and the next query
+    // must recompute (a fresh miss), not serve the stale table.
+    let version = gathered.version();
+    gathered.set_uw_entry(&inst, label, u, w, Some(-9_999));
+    gathered.set_wv_entry(&inst, label, w, v, Some(-9_999));
+    assert!(gathered.version() > version, "mutations bump the version");
+    let after = gathered.min_plus_cached(&inst, label, u, v).unwrap();
+    let (_, misses_after) = gathered.census_cache_stats();
+    assert_eq!(misses_after, 2, "stale table was rebuilt");
+    assert_eq!(after, Some(-19_998), "planted path dominates the census");
+    assert_ne!(after, before, "cache did not serve the stale answer");
+    // The rebuilt table agrees with the uncached scan cell for cell.
+    assert_eq!(after, gathered.min_plus(&inst, label, u, v).unwrap());
+}
+
+#[test]
+fn cached_census_matches_uncached_scan_everywhere() {
+    let mut rng = StdRng::seed_from_u64(72);
+    let g = random_ugraph(16, 0.5, 6, &mut rng);
+    let s = PairSet::all_pairs(16);
+    let inst = Instance::new(&g, &s, Params::paper());
+    let mut net = Clique::new(16).unwrap();
+    let gathered = gather_weights(&inst, &mut net).unwrap();
+
+    for label in 0..inst.triples.labeling().label_count() {
+        let (bu, bv, _bw) = inst.triples.decode(label);
+        for u in inst.parts.coarse.block(bu) {
+            for v in inst.parts.coarse.block(bv) {
+                assert_eq!(
+                    gathered.min_plus_cached(&inst, label, u, v).unwrap(),
+                    gathered.min_plus(&inst, label, u, v).unwrap(),
+                    "label {label} pair ({u}, {v})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_answers_agree_with_scalar_answers() {
+    let mut rng = StdRng::seed_from_u64(73);
+    let g = random_ugraph(16, 0.5, 6, &mut rng);
+    let s = PairSet::all_pairs(16);
+    let inst = Instance::new(&g, &s, Params::paper());
+    let mut net = Clique::new(16).unwrap();
+    let gathered = gather_weights(&inst, &mut net).unwrap();
+
+    let mut items = Vec::new();
+    for label in 0..inst.triples.labeling().label_count() {
+        let (bu, bv, _bw) = inst.triples.decode(label);
+        for u in inst.parts.coarse.block(bu) {
+            for v in inst.parts.coarse.block(bv) {
+                for f_uv in [-3i64, 0, 3] {
+                    items.push((label, u, v, f_uv));
+                }
+            }
+        }
+    }
+    let mut batch = Vec::with_capacity(items.len());
+    gathered
+        .check_negative_cached_batch(&inst, items.iter().copied(), &mut batch)
+        .unwrap();
+    assert_eq!(batch.len(), items.len());
+    for (&(label, u, v, f_uv), &got) in items.iter().zip(&batch) {
+        assert_eq!(
+            got,
+            gathered
+                .check_negative_cached(&inst, label, u, v, f_uv)
+                .unwrap(),
+            "label {label} pair ({u}, {v}) f_uv {f_uv}"
+        );
+    }
+}

@@ -56,7 +56,8 @@ pub use generators::{
 };
 pub use matrix::{
     distance_power, distance_power_with_threads, distance_product, distance_product_reference,
-    distance_product_with_threads, SquareMatrix, WeightMatrix, MIN_PLUS_TILE,
+    distance_product_with_threads, min_plus_flat_into, tropical_decode, SquareMatrix, WeightMatrix,
+    MIN_PLUS_TILE, TROPICAL_FINITE_MAX, TROPICAL_NONE,
 };
 pub use partition::{
     ceil_fourth_root, ceil_sqrt, Labeling, PaperPartitions, Partition, SearchLabeling,

@@ -188,6 +188,91 @@ impl WeightMatrix {
 /// active `C` tile rows comfortably inside a typical 32 KiB L1 data cache.
 pub const MIN_PLUS_TILE: usize = 64;
 
+/// Sentinel code for "no entry / +∞" in the flat i64 min-plus kernels.
+///
+/// The flat kernels trade the three-variant [`ExtWeight`] for plain `i64`
+/// lanes the compiler can vectorize: a missing entry is coded as `1 << 62`,
+/// finite entries are themselves, and any accumulated value above
+/// [`TROPICAL_FINITE_MAX`]`· 2` decodes back to "no entry". This is exact —
+/// not approximate — as long as every finite input magnitude is at most
+/// [`TROPICAL_FINITE_MAX`]: finite sums stay `≤ 2^60` while any sum through
+/// the sentinel stays `≥ 2^62 − 2^59`, so coded infinities can never beat a
+/// real path and additions never overflow `i64`.
+pub const TROPICAL_NONE: i64 = 1 << 62;
+
+/// Largest finite input magnitude the flat i64 kernels accept exactly.
+pub const TROPICAL_FINITE_MAX: i64 = 1 << 59;
+
+/// Decodes an accumulated flat-kernel value: anything beyond the reach of
+/// pure finite sums must have passed through [`TROPICAL_NONE`].
+#[inline]
+pub fn tropical_decode(v: i64) -> Option<i64> {
+    if v > 2 * TROPICAL_FINITE_MAX {
+        None
+    } else {
+        Some(v)
+    }
+}
+
+/// Rectangular flat min-plus accumulation:
+/// `c[i·cols + l] = min(c[i·cols + l], min_j (a[i·inner + j] + b[j·cols + l]))`.
+///
+/// All slices are sentinel-coded per [`TROPICAL_NONE`]; `c` must be
+/// pre-filled (typically with `TROPICAL_NONE`). The inner loop runs over
+/// contiguous `c` and `b` rows with branch-free `min(add)` lanes — the
+/// SIMD-friendly core shared by [`distance_product`] and the batched
+/// oracle-census evaluator of the APSP crate.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `rows·inner`, `inner·cols`,
+/// and `rows·cols`.
+pub fn min_plus_flat_into(
+    a: &[i64],
+    b: &[i64],
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    c: &mut [i64],
+) {
+    assert_eq!(a.len(), rows * inner);
+    assert_eq!(b.len(), inner * cols);
+    assert_eq!(c.len(), rows * cols);
+    for i in 0..rows {
+        let arow = &a[i * inner..(i + 1) * inner];
+        let crow = &mut c[i * cols..(i + 1) * cols];
+        for (j, &aij) in arow.iter().enumerate() {
+            // A coded "no entry" can never win; skipping it keeps the
+            // inner loop's additions within the exactness bound.
+            if aij > TROPICAL_FINITE_MAX {
+                continue;
+            }
+            let brow = &b[j * cols..(j + 1) * cols];
+            for (cil, &bjl) in crow.iter_mut().zip(brow) {
+                let cand = aij + bjl;
+                if cand < *cil {
+                    *cil = cand;
+                }
+            }
+        }
+    }
+}
+
+/// Encodes a weight matrix for the flat i64 kernels, or `None` when the
+/// matrix is outside their exact domain (a `−∞` entry, or a finite entry
+/// beyond [`TROPICAL_FINITE_MAX`]).
+fn tropical_encode(m: &WeightMatrix) -> Option<Vec<i64>> {
+    let mut coded = Vec::with_capacity(m.n() * m.n());
+    for w in m.as_slice() {
+        coded.push(match *w {
+            ExtWeight::PosInf => TROPICAL_NONE,
+            ExtWeight::Finite(x) if x.unsigned_abs() <= TROPICAL_FINITE_MAX as u64 => x,
+            _ => return None,
+        });
+    }
+    Some(coded)
+}
+
 /// Reference distance product `A ⋆ B` (Definition 2):
 /// `C[i,j] = min_k (A[i,k] + B[k,j])`.
 ///
@@ -259,11 +344,56 @@ fn min_plus_rows(
     }
 }
 
+/// Computes rows `rows` of the sentinel-coded product into `c_rows`
+/// (pre-filled with [`TROPICAL_NONE`]) with `MIN_PLUS_TILE`-blocked loops.
+///
+/// Same schedule as [`min_plus_rows`], but over plain `i64` lanes: the
+/// innermost loop is a contiguous branch-free `min(c, a + b)` sweep the
+/// compiler auto-vectorizes. Exactness per [`TROPICAL_NONE`].
+fn min_plus_flat_rows(
+    a: &[i64],
+    b: &[i64],
+    n: usize,
+    rows: std::ops::Range<usize>,
+    c_rows: &mut [i64],
+) {
+    debug_assert_eq!(c_rows.len(), rows.len() * n);
+    for (bi, i) in rows.enumerate() {
+        let arow = &a[i * n..(i + 1) * n];
+        let crow = &mut c_rows[bi * n..(bi + 1) * n];
+        for kb in (0..n).step_by(MIN_PLUS_TILE) {
+            let kend = (kb + MIN_PLUS_TILE).min(n);
+            for jb in (0..n).step_by(MIN_PLUS_TILE) {
+                let jend = (jb + MIN_PLUS_TILE).min(n);
+                let ctile = &mut crow[jb..jend];
+                for (k, &aik) in arow.iter().enumerate().take(kend).skip(kb) {
+                    if aik > TROPICAL_FINITE_MAX {
+                        continue;
+                    }
+                    let btile = &b[k * n + jb..k * n + jend];
+                    for (cij, &bkj) in ctile.iter_mut().zip(btile) {
+                        let cand = aik + bkj;
+                        if cand < *cij {
+                            *cij = cand;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Distance product `A ⋆ B` with an explicit worker count.
 ///
 /// Rows of `C` are split into contiguous bands, one scoped thread per band
 /// ([`qcc_perf::for_each_row_band`]); each band runs the tiled kernel
 /// independently, so the result is bit-identical for every worker count.
+///
+/// Inputs inside the flat kernels' exact domain (no `−∞` entries, finite
+/// magnitudes `≤` [`TROPICAL_FINITE_MAX`]) take the sentinel-coded `i64`
+/// fast path; anything else falls back to the [`ExtWeight`] tiles. Both
+/// paths produce identical matrices (asserted across random ±∞ inputs by
+/// the property tests).
 ///
 /// # Panics
 ///
@@ -275,6 +405,19 @@ pub fn distance_product_with_threads(
 ) -> WeightMatrix {
     assert_eq!(a.n(), b.n(), "distance product requires equal dimensions");
     let n = a.n();
+    if let (Some(ac), Some(bc)) = (tropical_encode(a), tropical_encode(b)) {
+        let mut coded = vec![TROPICAL_NONE; n * n];
+        qcc_perf::for_each_row_band(&mut coded, n, threads, |rows, c_rows| {
+            min_plus_flat_rows(&ac, &bc, n, rows, c_rows);
+        });
+        let mut c = WeightMatrix::filled(n, ExtWeight::PosInf);
+        for (dst, &v) in c.as_mut_slice().iter_mut().zip(&coded) {
+            if let Some(x) = tropical_decode(v) {
+                *dst = ExtWeight::Finite(x);
+            }
+        }
+        return c;
+    }
     let mut c = WeightMatrix::filled(n, ExtWeight::PosInf);
     qcc_perf::for_each_row_band(c.as_mut_slice(), n, threads, |rows, c_rows| {
         min_plus_rows(a, b, rows, c_rows);

@@ -31,6 +31,17 @@ pub trait SearchOracle {
     /// Ground-truth predicate `g(x)` (local, free, side-effect free).
     fn truth(&self, item: usize) -> bool;
 
+    /// Batched ground truth over a contiguous item range, in item order.
+    ///
+    /// The census calls this once per worker band instead of once per item,
+    /// so oracles whose predicate reduces to a bulk kernel (e.g. a min-plus
+    /// sweep over a weight table) can answer the whole band in one
+    /// vectorized evaluation. The default falls back to per-item
+    /// [`SearchOracle::truth`]; overrides must return exactly the same bits.
+    fn truth_block(&self, items: std::ops::Range<usize>) -> Vec<bool> {
+        items.map(|item| self.truth(item)).collect()
+    }
+
     /// Distributed evaluation of `g(x)`; must charge its network and agree
     /// with [`SearchOracle::truth`].
     fn evaluate_distributed(&mut self, item: usize) -> bool;
@@ -78,14 +89,18 @@ pub fn grover_search_amplified<O: SearchOracle + Sync, R: Rng>(
 ) -> GroverOutcome {
     assert!(max_repetitions > 0);
     let x = oracle.domain_size();
-    // Census over the whole domain, fanned out over host worker threads
-    // (the predicate is local and free; contiguous bands keep the item
-    // order, so the census is identical for any worker count).
+    // Census over the whole domain, fanned out over host worker threads as
+    // one bulk `truth_block` evaluation per contiguous band (the predicate
+    // is local and free; bands keep the item order, so the census is
+    // identical for any worker count).
     let marks: Vec<bool> = {
         let oracle: &O = oracle;
-        qcc_perf::map_indexed(x, qcc_perf::resolve_threads(None), |item| {
-            oracle.truth(item)
+        qcc_perf::map_bands(x, qcc_perf::resolve_threads(None), |band| {
+            oracle.truth_block(band)
         })
+        .into_iter()
+        .flatten()
+        .collect()
     };
     let mut solutions = Vec::new();
     let mut non_solutions = Vec::new();

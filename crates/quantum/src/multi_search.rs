@@ -53,6 +53,18 @@ pub trait MultiOracle {
     /// amplitude census, which is fanned out over host worker threads).
     fn truth(&self, search: usize, item: usize) -> bool;
 
+    /// Batched ground truth of search `search` over a contiguous item
+    /// range, in item order.
+    ///
+    /// The census calls this once per search instead of once per item, so
+    /// oracles whose predicate reduces to a bulk kernel can answer the
+    /// whole range in one vectorized evaluation. The default falls back to
+    /// per-item [`MultiOracle::truth`]; overrides must return exactly the
+    /// same bits.
+    fn truth_block(&self, search: usize, items: std::ops::Range<usize>) -> Vec<bool> {
+        items.map(|item| self.truth(search, item)).collect()
+    }
+
     /// Joint distributed evaluation `C̃m` of a query tuple
     /// (`tuple[ℓ] ∈ 0..domain_size()` is search `ℓ`'s query).
     ///
@@ -149,8 +161,10 @@ pub fn multi_grover_search<O: MultiOracle + Sync, R: Rng>(
         qcc_perf::map_indexed(m, qcc_perf::resolve_threads(None), |s| {
             let mut sol = Vec::new();
             let mut non = Vec::new();
-            for item in 0..x {
-                if oracle.truth(s, item) {
+            // One bulk truth evaluation per search: oracles with a
+            // vectorized predicate answer the whole domain at once.
+            for (item, marked) in oracle.truth_block(s, 0..x).into_iter().enumerate() {
+                if marked {
                     sol.push(item);
                 } else {
                     non.push(item);

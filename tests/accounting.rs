@@ -2,11 +2,36 @@
 //! internally consistent and deterministic, or every measured table in
 //! `EXPERIMENTS.md` is meaningless.
 
-use qcc::algo::{compute_pairs, find_edges, PairSet, Params, RoundBreakdown, SearchBackend};
+use qcc::algo::{
+    apsp, compute_pairs, find_edges, ApspAlgorithm, PairSet, Params, RoundBreakdown, SearchBackend,
+};
 use qcc::congest::{Clique, Envelope, NodeId, RawBits};
 use qcc::graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The E1 benchmark workload at n = 27, pinned to its exact charged round
+/// count. The full quantum pipeline — gather, Λ-cover, IdentifyClass,
+/// Grover-driven Step 3, distance products — must charge bit-for-bit the
+/// same rounds on every host and after every optimization; this is the
+/// end-to-end seal on the batched execution model (the bulk-charged
+/// evaluator and the arena delivery engine must be invisible in rounds).
+#[test]
+fn e1_workload_round_count_is_pinned_at_n27() {
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    let g = generators::random_reweighted_digraph(27, 0.5, 8, &mut rng);
+    let report = apsp(
+        &g,
+        Params::scaled(),
+        ApspAlgorithm::QuantumTriangle,
+        &mut rng,
+    )
+    .expect("E1 pipeline succeeds");
+    assert_eq!(
+        report.rounds, 1_146_420,
+        "charged rounds moved on E1 (n=27)"
+    );
+}
 
 #[test]
 fn total_rounds_equal_the_sum_of_phase_rounds() {
