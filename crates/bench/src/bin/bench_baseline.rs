@@ -19,7 +19,10 @@
 //! asserted identical across worker counts — optimisations must never
 //! change simulation semantics.
 //!
-//! Usage: `bench_baseline [--smoke] [--out PATH] [--trace FILE]`
+//! Usage: `bench_baseline [--smoke] [--skip-e1] [--out PATH] [--trace FILE]`
+//!
+//! `--skip-e1` omits the end-to-end quantum APSP workload (`bench_e1`
+//! owns that measurement), keeping smoke invocations fast.
 //!
 //! `--trace FILE` writes an NDJSON congestion trace of the simulated
 //! workloads (route stress + end-to-end APSP); render it with
@@ -217,12 +220,14 @@ fn to_json(samples: &[Sample], mode: &str) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
+    let mut skip_e1 = false;
     let mut out_path = String::from("BENCH_baseline.json");
     let mut trace_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--skip-e1" => skip_e1 = true,
             "--out" => match it.next() {
                 Some(path) => out_path = path.clone(),
                 None => {
@@ -239,7 +244,9 @@ fn main() {
             },
             other => {
                 eprintln!("bench_baseline: unknown argument `{other}`");
-                eprintln!("usage: bench_baseline [--smoke] [--out PATH] [--trace FILE]");
+                eprintln!(
+                    "usage: bench_baseline [--smoke] [--skip-e1] [--out PATH] [--trace FILE]"
+                );
                 std::process::exit(2);
             }
         }
@@ -262,8 +269,14 @@ fn main() {
     bench_distance_products(sizes, reps, &mut samples);
     eprintln!("bench_baseline: Clique::route stress ...");
     bench_route_stress(64, reps, sink.as_ref(), &mut samples);
-    eprintln!("bench_baseline: end-to-end quantum APSP at n = {e2e_n} (single run) ...");
-    bench_apsp_e2e(e2e_n, sink.as_ref(), &mut samples);
+    if skip_e1 {
+        // `bench_e1` owns the end-to-end E1 measurement; skipping it here
+        // keeps smoke invocations out of the ~34 s run.
+        eprintln!("bench_baseline: skipping end-to-end APSP (--skip-e1)");
+    } else {
+        eprintln!("bench_baseline: end-to-end quantum APSP at n = {e2e_n} (single run) ...");
+        bench_apsp_e2e(e2e_n, sink.as_ref(), &mut samples);
+    }
     if let Some(sink) = &sink {
         sink.flush().expect("trace flush");
     }

@@ -22,6 +22,9 @@
 //!   reference's `min_ms` (falling back to `median_ms`) and exits 1 when
 //!   it regressed by more than `--max-ratio` (default 2.0). `min_ms` is
 //!   compared because it is the noise-robust statistic on shared CI hosts.
+//! * The JSON also records `trimmed_mean_ms` (mean with the fastest and
+//!   slowest rep dropped) as the typical-rep statistic; it is reported,
+//!   never gated on. See EXPERIMENTS.md for the rationale.
 
 use qcc_apsp::{apsp_traced, ApspAlgorithm, Params};
 use qcc_congest::TraceSink;
@@ -45,6 +48,19 @@ fn median(sorted: &[f64]) -> f64 {
     } else {
         (sorted[mid - 1] + sorted[mid]) / 2.0
     }
+}
+
+/// Mean with the extremes dropped (when there are at least three
+/// samples): E1 tails are high-variance, so the trimmed mean tracks the
+/// typical rep better than the plain mean without being as optimistic as
+/// the min.
+fn trimmed_mean(sorted: &[f64]) -> f64 {
+    let trimmed = if sorted.len() >= 3 {
+        &sorted[1..sorted.len() - 1]
+    } else {
+        sorted
+    };
+    trimmed.iter().sum::<f64>() / trimmed.len() as f64
 }
 
 fn run_e1(n: usize, reps: usize, sink: Option<&TraceSink>) -> E1Result {
@@ -108,6 +124,7 @@ fn to_json(r: &E1Result) -> String {
     let _ = writeln!(s, "  \"n\": {},", r.n);
     let _ = writeln!(s, "  \"reps\": {},", r.reps);
     let _ = writeln!(s, "  \"median_ms\": {:.3},", median(&sorted));
+    let _ = writeln!(s, "  \"trimmed_mean_ms\": {:.3},", trimmed_mean(&sorted));
     let _ = writeln!(s, "  \"min_ms\": {:.3},", sorted[0]);
     let _ = writeln!(s, "  \"rounds\": {},", r.rounds);
     let _ = write!(s, "  \"all_ms\": [");

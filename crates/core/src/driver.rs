@@ -34,7 +34,7 @@ use crate::baselines::{semiring_apsp_configured, semiring_distance_product};
 use crate::params::Params;
 use crate::ApspError;
 use qcc_congest::{Clique, NetConfig, ReliableConfig, TraceSink};
-use qcc_graph::{DiGraph, ExtWeight, WeightMatrix};
+use qcc_graph::{DiGraph, WeightMatrix};
 use rand::Rng;
 
 /// Salt decoupling the verifier's fault randomness from the run's.
@@ -370,18 +370,10 @@ fn certify(
     label: &str,
 ) -> Result<(bool, u64), ApspError> {
     let n = g.n();
-    // (1) zero diagonal, locally.
-    if (0..n).any(|i| d[(i, i)] != ExtWeight::ZERO) {
+    // (1) zero diagonal + (2) D ≤ A₀ pointwise — the local conditions,
+    // shared with the serve-path delta repair.
+    if !qcc_graph::certificate_local_ok(&g.adjacency_matrix(), d) {
         return Ok((false, 0));
-    }
-    // (2) D ≤ A₀ pointwise, locally.
-    let a0 = g.adjacency_matrix();
-    for i in 0..n {
-        for j in 0..n {
-            if d[(i, j)] > a0[(i, j)] {
-                return Ok((false, 0));
-            }
-        }
     }
     // (3) D ⊗ D = D, distributed.
     let mut net = Clique::new(n)?;
@@ -405,7 +397,7 @@ fn certify(
 mod tests {
     use super::*;
     use qcc_congest::FaultPlan;
-    use qcc_graph::{floyd_warshall, random_reweighted_digraph};
+    use qcc_graph::{floyd_warshall, random_reweighted_digraph, ExtWeight};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

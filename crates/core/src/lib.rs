@@ -109,3 +109,9 @@ pub mod approx;
 pub use approx::{
     max_additive_error, quantize_weights, quantized_apsp, quantum_for_epsilon, QuantizedApspReport,
 };
+
+pub mod serve;
+pub use serve::{
+    parse_request, BatchOutput, EdgeChange, EngineConfig, LoadPlan, LoadReport, QueryEngine,
+    ServeRequest, ServeStats, UpdateMethod,
+};

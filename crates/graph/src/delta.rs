@@ -1,0 +1,505 @@
+//! Incremental distance-matrix repair and single-source row recomputation.
+//!
+//! Local (non-distributed) machinery behind the APSP serving hot path:
+//!
+//! * [`sssp_row_with_parents`] — Bellman–Ford with parent tracking, the
+//!   per-source relaxation that recomputes one evicted row of the distance
+//!   matrix without holding the full `O(n²)` table resident;
+//! * [`delta_repair_candidate`] — one-product incremental repair for
+//!   edge-weight changes: route every pair through each changed edge via a
+//!   single rectangular min-plus product over the flat `i64` kernel
+//!   ([`min_plus_flat_into`]);
+//! * [`min_plus_fixpoint_certificate`] — the Las-Vegas driver's
+//!   certificate (zero diagonal, `D ≤ A₀`, `D ⊗ D = D`) evaluated locally.
+//!
+//! ## Why the certificate decides repairs exactly
+//!
+//! For **decrease-only** updates the candidate
+//! `C[i,j] = min(D[i,j], min_e (D[i,u_e] + w_e + D[v_e,j]))` is a minimum
+//! over weights of real walks in the updated graph, hence an
+//! *overestimate* of its true distances. The certificate rejects every
+//! overestimate except the distances themselves (conditions 2–3 force
+//! `C ≤ dist` by induction on path length), so for such candidates
+//! "certificate passes" ⟺ "repair is exact": shortest paths crossing one
+//! changed edge are covered by the single product; paths that need several
+//! changed edges leave `C` too large, condition 3 fails, and the caller
+//! falls back to a full recompute. A weight *increase* can make the stale
+//! `D` an **underestimate**, which the certificate cannot detect (see
+//! `underestimates_slip_past_the_certificate`), so callers must route
+//! non-decrease updates straight to the full recompute.
+
+use crate::apsp_ref::{bellman_ford, NegativeCycleError};
+use crate::digraph::DiGraph;
+use crate::matrix::{
+    distance_product, min_plus_flat_into, tropical_decode, tropical_encode, WeightMatrix,
+    TROPICAL_FINITE_MAX, TROPICAL_NONE,
+};
+use crate::weight::ExtWeight;
+
+/// One edge-weight change: the arc `(u, v)` now weighs `weight`.
+///
+/// A non-finite `weight` means the arc carries no usable route
+/// (`PosInf` = deleted); such deltas contribute nothing to a repair
+/// candidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeDelta {
+    /// Tail vertex.
+    pub u: usize,
+    /// Head vertex.
+    pub v: usize,
+    /// The new weight of the arc.
+    pub weight: ExtWeight,
+}
+
+/// Bellman–Ford single-source relaxation with parent tracking.
+///
+/// Returns `(dist, parent)` where `parent[v]` is the predecessor of `v` on
+/// a shortest path from `src` (`None` for `src` itself and for unreachable
+/// vertices). Because parents are only rewritten on *strict* improvement,
+/// the parent pointers form a tree rooted at `src` whenever the graph has
+/// no negative cycle — a cycle of parent pointers would certify a cycle of
+/// total weight `< 0`.
+///
+/// # Errors
+///
+/// [`NegativeCycleError`] if a negative cycle is reachable from `src`.
+///
+/// # Panics
+///
+/// Panics if `src` is out of range.
+pub fn sssp_row_with_parents(
+    g: &DiGraph,
+    src: usize,
+) -> Result<(Vec<ExtWeight>, Vec<Option<usize>>), NegativeCycleError> {
+    let n = g.n();
+    assert!(src < n, "source out of range");
+    let mut dist = vec![ExtWeight::PosInf; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    dist[src] = ExtWeight::ZERO;
+    let arcs: Vec<(usize, usize, i64)> = g.arcs().collect();
+    for _ in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for &(u, v, w) in &arcs {
+            let cand = dist[u] + ExtWeight::from(w);
+            if cand < dist[v] {
+                dist[v] = cand;
+                parent[v] = Some(u);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for &(u, v, w) in &arcs {
+        if dist[u] + ExtWeight::from(w) < dist[v] {
+            return Err(NegativeCycleError);
+        }
+    }
+    Ok((dist, parent))
+}
+
+/// Walks `parents` back from `dst` to `src` and returns the shortest path
+/// as a vertex sequence (both endpoints inclusive), or `None` when the
+/// pointers never reach `src` (unreachable `dst`, or corrupted pointers —
+/// the walk is cut after `n` hops instead of looping forever).
+pub fn parent_path(src: usize, dst: usize, parents: &[Option<usize>]) -> Option<Vec<usize>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parents[cur]?;
+        path.push(cur);
+        if path.len() > parents.len() {
+            return None;
+        }
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// The repair candidate for edge-weight deltas applied to a distance
+/// matrix `d`:
+///
+/// `C[i,j] = min(D[i,j], min_e (D[i,u_e] + w_e + D[v_e,j]))`
+///
+/// — every pair re-routed through each changed edge, computed as **one**
+/// rectangular min-plus product `L (n×k) ⋆ R (k×n)` accumulated into a
+/// copy of `D` over the flat `i64` kernel (with an [`ExtWeight`] fallback
+/// when magnitudes leave the kernel's exact domain). For decrease-only
+/// updates the result is an overestimate of the updated graph's distances
+/// and [`min_plus_fixpoint_certificate`] decides exactness; see the module
+/// docs.
+///
+/// # Panics
+///
+/// Panics if a delta endpoint is out of range.
+pub fn delta_repair_candidate(d: &WeightMatrix, deltas: &[EdgeDelta]) -> WeightMatrix {
+    let n = d.n();
+    let live: Vec<&EdgeDelta> = deltas.iter().filter(|e| e.weight.is_finite()).collect();
+    for e in &live {
+        assert!(e.u < n && e.v < n, "delta endpoint out of range");
+    }
+    let k = live.len();
+    if k == 0 {
+        return d.clone();
+    }
+    if let Some(coded) = tropical_encode(d) {
+        if let Some(l) = encode_left(d, &live) {
+            let mut r = Vec::with_capacity(k * n);
+            for e in &live {
+                r.extend_from_slice(&coded[e.v * n..(e.v + 1) * n]);
+            }
+            // Accumulate into a copy of D: entries only ever improve.
+            let mut cand = coded;
+            min_plus_flat_into(&l, &r, n, k, n, &mut cand);
+            let mut out = WeightMatrix::filled(n, ExtWeight::PosInf);
+            for (dst, &v) in out.as_mut_slice().iter_mut().zip(&cand) {
+                if let Some(x) = tropical_decode(v) {
+                    *dst = ExtWeight::Finite(x);
+                }
+            }
+            return out;
+        }
+    }
+    // ExtWeight fallback for inputs outside the flat kernel's domain.
+    let mut out = d.clone();
+    for e in &live {
+        for i in 0..n {
+            let head = d[(i, e.u)] + e.weight;
+            if head == ExtWeight::PosInf {
+                continue;
+            }
+            let drow = d.row(e.v);
+            let orow = out.row_mut(i);
+            for (o, &dvj) in orow.iter_mut().zip(drow) {
+                let cand = head + dvj;
+                if cand < *o {
+                    *o = cand;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Sentinel-codes the left factor `L[i,e] = D[i,u_e] + w_e`, or `None`
+/// when an entry leaves the flat kernel's exact domain.
+fn encode_left(d: &WeightMatrix, live: &[&EdgeDelta]) -> Option<Vec<i64>> {
+    let n = d.n();
+    let mut l = Vec::with_capacity(n * live.len());
+    for i in 0..n {
+        for e in live {
+            match d[(i, e.u)] + e.weight {
+                ExtWeight::PosInf => l.push(TROPICAL_NONE),
+                ExtWeight::Finite(x) if x.unsigned_abs() <= TROPICAL_FINITE_MAX as u64 => {
+                    l.push(x);
+                }
+                _ => return None,
+            }
+        }
+    }
+    Some(l)
+}
+
+/// The certificate's local conditions: zero diagonal and `D ≤ A₀`
+/// pointwise (`adj` is the adjacency matrix with zero diagonal). Shared
+/// by the distributed Las-Vegas driver and the local repair check.
+pub fn certificate_local_ok(adj: &WeightMatrix, d: &WeightMatrix) -> bool {
+    let n = adj.n();
+    if d.n() != n {
+        return false;
+    }
+    if (0..n).any(|i| d[(i, i)] != ExtWeight::ZERO) {
+        return false;
+    }
+    d.as_slice().iter().zip(adj.as_slice()).all(|(x, a)| x <= a)
+}
+
+/// The full min-plus fixpoint certificate, evaluated locally: zero
+/// diagonal, `D ≤ A₀` pointwise, and `D ⊗ D = D`.
+///
+/// Accepts exactly the true distance matrix among all *overestimates*
+/// (conditions 2–3 force `D ≤ dist` by induction on path length; if the
+/// graph had a negative cycle through `x`, the same induction would force
+/// `D[x,x] < 0`, violating condition 1 — so a passing matrix also proves
+/// the absence of negative cycles). Underestimates can pass; callers must
+/// only hand it candidates that are overestimates by construction.
+pub fn min_plus_fixpoint_certificate(adj: &WeightMatrix, d: &WeightMatrix) -> bool {
+    certificate_local_ok(adj, d) && distance_product(d, d) == *d
+}
+
+/// Whether the graph contains a negative cycle anywhere, via one
+/// Bellman–Ford run from a virtual source with zero-weight arcs to every
+/// vertex (the Johnson augmentation) — `O(nm)` time and `O(n)` memory, no
+/// `O(n²)` matrix required.
+pub fn has_negative_cycle(g: &DiGraph) -> bool {
+    let n = g.n();
+    let mut aug = DiGraph::new(n + 1);
+    for (u, v, w) in g.arcs() {
+        aug.add_arc(u, v, w);
+    }
+    for v in 0..n {
+        aug.add_arc(n, v, 0);
+    }
+    bellman_ford(&aug, n).is_err()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apsp_ref::floyd_warshall;
+    use crate::generators::random_reweighted_digraph;
+    use crate::paths::path_weight;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn w(x: i64) -> ExtWeight {
+        ExtWeight::from(x)
+    }
+
+    /// Textbook reference for the repair candidate.
+    fn candidate_reference(d: &WeightMatrix, deltas: &[EdgeDelta]) -> WeightMatrix {
+        let n = d.n();
+        let mut out = d.clone();
+        for e in deltas {
+            if !e.weight.is_finite() {
+                continue;
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    let cand = d[(i, e.u)] + e.weight + d[(e.v, j)];
+                    if cand < out[(i, j)] {
+                        out[(i, j)] = cand;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn row_with_parents_matches_bellman_ford_and_yields_real_paths() {
+        let mut rng = StdRng::seed_from_u64(601);
+        for _ in 0..5 {
+            let g = random_reweighted_digraph(9, 0.5, 12, &mut rng);
+            for src in 0..9 {
+                let plain = bellman_ford(&g, src).unwrap();
+                let (dist, parents) = sssp_row_with_parents(&g, src).unwrap();
+                assert_eq!(dist, plain, "src {src}");
+                for (v, d) in dist.iter().enumerate() {
+                    match *d {
+                        ExtWeight::Finite(x) => {
+                            let p = parent_path(src, v, &parents).expect("reachable");
+                            assert_eq!(p.first(), Some(&src));
+                            assert_eq!(p.last(), Some(&v));
+                            if src != v {
+                                assert_eq!(path_weight(&g, &p), Some(x), "({src},{v})");
+                            }
+                        }
+                        _ => assert_eq!(parent_path(src, v, &parents), None),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_with_parents_detects_reachable_negative_cycle() {
+        let mut g = DiGraph::new(4);
+        g.add_arc(0, 1, 1);
+        g.add_arc(1, 2, -3);
+        g.add_arc(2, 1, 1);
+        assert_eq!(sssp_row_with_parents(&g, 0), Err(NegativeCycleError));
+        assert!(sssp_row_with_parents(&g, 3).is_ok());
+    }
+
+    #[test]
+    fn parent_path_handles_trivial_and_unreachable() {
+        assert_eq!(parent_path(2, 2, &[None, None, None]), Some(vec![2]));
+        assert_eq!(parent_path(0, 2, &[None, None, None]), None);
+        // corrupted pointers (a 1 ↔ 2 loop) terminate instead of hanging
+        assert_eq!(parent_path(0, 2, &[None, Some(2), Some(1)]), None);
+    }
+
+    #[test]
+    fn single_edge_decrease_repairs_exactly_and_certifies() {
+        let mut rng = StdRng::seed_from_u64(602);
+        let mut repaired = 0;
+        for _ in 0..8 {
+            let mut g = random_reweighted_digraph(9, 0.5, 10, &mut rng);
+            let d = floyd_warshall(&g.adjacency_matrix()).unwrap();
+            let Some((u, v, old)) = g.arcs().next() else {
+                continue;
+            };
+            g.add_arc(u, v, old - 1);
+            if has_negative_cycle(&g) {
+                continue;
+            }
+            let cand = delta_repair_candidate(
+                &d,
+                &[EdgeDelta {
+                    u,
+                    v,
+                    weight: w(old - 1),
+                }],
+            );
+            let adj = g.adjacency_matrix();
+            assert!(min_plus_fixpoint_certificate(&adj, &cand));
+            assert_eq!(cand, floyd_warshall(&adj).unwrap());
+            repaired += 1;
+        }
+        assert!(repaired > 0, "no instance exercised the repair");
+    }
+
+    #[test]
+    fn multi_edge_repair_needing_two_new_edges_fails_the_certificate() {
+        // Empty 3-graph; both arcs of the path 0 → 1 → 2 arrive in one
+        // update. One product cannot route 0 → 2 through both, so the
+        // candidate overestimates and idempotency must catch it.
+        let g_old = DiGraph::new(3);
+        let d = floyd_warshall(&g_old.adjacency_matrix()).unwrap();
+        let deltas = [
+            EdgeDelta {
+                u: 0,
+                v: 1,
+                weight: w(2),
+            },
+            EdgeDelta {
+                u: 1,
+                v: 2,
+                weight: w(3),
+            },
+        ];
+        let cand = delta_repair_candidate(&d, &deltas);
+        assert_eq!(cand[(0, 1)], w(2));
+        assert_eq!(cand[(0, 2)], ExtWeight::PosInf, "one product cannot chain");
+        let mut g_new = DiGraph::new(3);
+        g_new.add_arc(0, 1, 2);
+        g_new.add_arc(1, 2, 3);
+        assert!(!min_plus_fixpoint_certificate(
+            &g_new.adjacency_matrix(),
+            &cand
+        ));
+    }
+
+    #[test]
+    fn certificate_accepts_truth_and_rejects_overestimates() {
+        let mut rng = StdRng::seed_from_u64(603);
+        let g = random_reweighted_digraph(8, 0.5, 7, &mut rng);
+        let adj = g.adjacency_matrix();
+        let exact = floyd_warshall(&adj).unwrap();
+        assert!(certificate_local_ok(&adj, &exact));
+        assert!(min_plus_fixpoint_certificate(&adj, &exact));
+
+        let (u, v, _) = exact
+            .entries()
+            .find(|&(i, j, &x)| i != j && x.is_finite())
+            .map(|(i, j, &x)| (i, j, x))
+            .expect("some reachable pair");
+        let mut over = exact.clone();
+        over[(u, v)] = over[(u, v)] + w(1);
+        assert!(!min_plus_fixpoint_certificate(&adj, &over));
+
+        let mut bad_diag = exact.clone();
+        bad_diag[(0, 0)] = w(1);
+        assert!(!certificate_local_ok(&adj, &bad_diag));
+
+        let wrong_n = WeightMatrix::distance_identity(adj.n() + 1);
+        assert!(!certificate_local_ok(&adj, &wrong_n));
+    }
+
+    #[test]
+    fn underestimates_slip_past_the_certificate() {
+        // The documented blind spot: on the arcless 2-graph the matrix
+        // with D[0,1] = -5 is idempotent, ≤ A₀ and zero-diagonal, yet -5
+        // underestimates the true +∞. This is why callers must restrict
+        // repair to decrease-only updates (whose candidates are
+        // overestimates by construction).
+        let g = DiGraph::new(2);
+        let mut d = WeightMatrix::distance_identity(2);
+        d[(0, 1)] = w(-5);
+        assert!(min_plus_fixpoint_certificate(&g.adjacency_matrix(), &d));
+    }
+
+    #[test]
+    fn repair_candidate_matches_reference_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(604);
+        for trial in 0..6 {
+            let g = random_reweighted_digraph(11, 0.4, 9, &mut rng);
+            let d = floyd_warshall(&g.adjacency_matrix()).unwrap();
+            let deltas = [
+                EdgeDelta {
+                    u: trial % 11,
+                    v: (trial + 3) % 11,
+                    weight: w(-2),
+                },
+                EdgeDelta {
+                    u: (trial + 5) % 11,
+                    v: (trial + 1) % 11,
+                    weight: w(4),
+                },
+                EdgeDelta {
+                    u: 1,
+                    v: 2,
+                    weight: ExtWeight::PosInf, // inert
+                },
+            ];
+            assert_eq!(
+                delta_repair_candidate(&d, &deltas),
+                candidate_reference(&d, &deltas),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn repair_candidate_falls_back_outside_the_flat_domain() {
+        // Magnitudes beyond TROPICAL_FINITE_MAX force the ExtWeight path;
+        // the result must still match the reference.
+        let big = TROPICAL_FINITE_MAX + 10;
+        let mut d = WeightMatrix::distance_identity(3);
+        d[(0, 1)] = w(big);
+        d[(1, 2)] = w(5);
+        let deltas = [EdgeDelta {
+            u: 1,
+            v: 2,
+            weight: w(3),
+        }];
+        assert_eq!(
+            delta_repair_candidate(&d, &deltas),
+            candidate_reference(&d, &deltas)
+        );
+    }
+
+    #[test]
+    fn no_live_deltas_returns_the_input() {
+        let d = WeightMatrix::distance_identity(4);
+        assert_eq!(
+            delta_repair_candidate(
+                &d,
+                &[EdgeDelta {
+                    u: 0,
+                    v: 1,
+                    weight: ExtWeight::PosInf,
+                }]
+            ),
+            d
+        );
+        assert_eq!(delta_repair_candidate(&d, &[]), d);
+    }
+
+    #[test]
+    fn negative_cycle_detection_via_virtual_source() {
+        let mut g = DiGraph::new(4);
+        g.add_arc(0, 1, 2);
+        g.add_arc(1, 2, -1);
+        assert!(!has_negative_cycle(&g));
+        // cycle 2 → 3 → 2 of weight -1, unreachable from vertex 0
+        g.add_arc(2, 3, -3);
+        g.add_arc(3, 2, 2);
+        assert!(has_negative_cycle(&g));
+    }
+}

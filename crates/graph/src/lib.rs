@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod apsp_ref;
+mod delta;
 mod digraph;
 pub mod generators;
 mod matrix;
@@ -48,6 +49,10 @@ mod weight;
 pub use apsp_ref::{
     bellman_ford, dijkstra, floyd_warshall, floyd_warshall_with_threads, johnson,
     johnson_with_threads, NegativeCycleError,
+};
+pub use delta::{
+    certificate_local_ok, delta_repair_candidate, has_negative_cycle,
+    min_plus_fixpoint_certificate, parent_path, sssp_row_with_parents, EdgeDelta,
 };
 pub use digraph::DiGraph;
 pub use generators::{

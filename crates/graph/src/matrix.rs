@@ -261,7 +261,7 @@ pub fn min_plus_flat_into(
 /// Encodes a weight matrix for the flat i64 kernels, or `None` when the
 /// matrix is outside their exact domain (a `−∞` entry, or a finite entry
 /// beyond [`TROPICAL_FINITE_MAX`]).
-fn tropical_encode(m: &WeightMatrix) -> Option<Vec<i64>> {
+pub(crate) fn tropical_encode(m: &WeightMatrix) -> Option<Vec<i64>> {
     let mut coded = Vec::with_capacity(m.n() * m.n());
     for w in m.as_slice() {
         coded.push(match *w {

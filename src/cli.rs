@@ -10,8 +10,8 @@
 
 use crate::algo::{
     apsp_driver, apsp_traced, apsp_with_paths_traced, compute_pairs, quantum_gamma_count,
-    reference_find_edges, ApspAlgorithm, ApspError, DriverConfig, FallbackPolicy, PairSet, Params,
-    SearchBackend,
+    reference_find_edges, ApspAlgorithm, ApspError, DriverConfig, EngineConfig, FallbackPolicy,
+    LoadPlan, PairSet, Params, QueryEngine, SearchBackend,
 };
 use crate::congest::{parse_trace, Clique, FaultPlan, NetConfig, TraceSink, TraceSummary};
 use rand::rngs::StdRng;
@@ -71,6 +71,28 @@ pub enum Command {
         /// NDJSON trace output file.
         trace: Option<String>,
     },
+    /// Compute APSP once, then answer NDJSON queries on stdin.
+    Serve {
+        /// Vertex count.
+        n: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Algorithm for the initial APSP run.
+        algorithm: ApspAlgorithm,
+        /// Maximum weight magnitude.
+        w_max: u64,
+        /// Keep at most this many per-source rows resident (LRU) instead
+        /// of the full matrix.
+        row_cache: Option<usize>,
+        /// NDJSON trace output file for the initial run.
+        trace: Option<String>,
+        /// Seeded fault plan to inject (arms the reliable envelope).
+        faults: Option<FaultPlan>,
+        /// Verify the initial run with the Las-Vegas driver's certificate.
+        verify: bool,
+        /// Driver retry budget (extra attempts after the first).
+        max_retries: u32,
+    },
     /// Render an NDJSON trace file as a span tree.
     TraceSummary {
         /// Trace file to read.
@@ -109,6 +131,9 @@ COMMANDS:
     find-edges     run FindEdgesWithPromise       [--backend quantum|classical] [--trace FILE]
     paths          APSP with explicit route extraction   [--trace FILE]
     gamma          quantum triangle counting      [--bits B] [--trace FILE]
+    serve          compute APSP once, answer queries from cache
+                   [--algorithm quantum|classical|naive|semiring] [--wmax W]
+                   [--row-cache N] [--faults SPEC] [--verify] [--max-retries K] [--trace FILE]
     trace-summary  render an NDJSON trace tree    FILE [--expect-rounds R] [--max-depth D]
     help           show this message
 
@@ -124,11 +149,18 @@ link=SRC>DST:RATE. --verify runs the self-verifying Las-Vegas driver
 (retry up to --max-retries times, then degrade to the classical
 semiring fallback).
 
+serve reads NDJSON requests from stdin, one object per line, and writes
+one NDJSON response per request: {\"op\":\"dist\",\"u\":0,\"v\":5},
+{\"op\":\"path\",...}, {\"op\":\"update\",\"changes\":[{\"u\":0,\"v\":1,
+\"weight\":7}]}, {\"op\":\"stats\"}, {\"op\":\"shutdown\"}. Malformed
+lines get {\"ok\":false,...} responses. --row-cache N serves from at most
+N resident per-source rows (LRU) instead of the full matrix.
+
 EXIT CODES:
-    0  success
+    0  success (serve: clean shutdown or end of input)
     1  error (bad input, algorithm failure)
     2  usage error
-    3  no attempt passed verification
+    3  no attempt passed verification (apsp and serve with --verify)
     4  the answer came from the classical fallback (degraded)
 ";
 
@@ -355,6 +387,53 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 seed: flags.num("--seed", 7)?,
                 bits: flags.num("--bits", 9)?,
                 trace: flags.trace(),
+            })
+        }
+        "serve" => {
+            let flags = collect_flags(
+                command,
+                rest,
+                &[
+                    "--n",
+                    "--seed",
+                    "--algorithm",
+                    "--wmax",
+                    "--row-cache",
+                    "--trace",
+                    "--faults",
+                    "--max-retries",
+                ],
+                &["--verify"],
+            )?;
+            flags.reject_positionals(command)?;
+            let algorithm = match flags.get("--algorithm") {
+                None | Some("quantum") => ApspAlgorithm::QuantumTriangle,
+                Some("classical") => ApspAlgorithm::ClassicalTriangle,
+                Some("naive") => ApspAlgorithm::NaiveBroadcast,
+                Some("semiring") => ApspAlgorithm::SemiringSquaring,
+                Some(other) => return Err(CliError(format!("unknown algorithm: {other}"))),
+            };
+            let faults = match flags.get("--faults") {
+                None => None,
+                Some(spec) => Some(
+                    FaultPlan::parse(spec)
+                        .map_err(|e| CliError(format!("invalid --faults spec: {e}")))?,
+                ),
+            };
+            let row_cache: Option<usize> = flags.opt_num("--row-cache")?;
+            if row_cache == Some(0) {
+                return Err(CliError("--row-cache must be at least 1".into()));
+            }
+            Ok(Command::Serve {
+                n: flags.num("--n", 8)?,
+                seed: flags.num("--seed", 7)?,
+                algorithm,
+                w_max: flags.num("--wmax", 8)?,
+                row_cache,
+                trace: flags.trace(),
+                faults,
+                verify: flags.switch("--verify"),
+                max_retries: flags.num("--max-retries", 3)?,
             })
         }
         "trace-summary" => {
@@ -610,6 +689,74 @@ pub fn run(
                 report.oracle_queries, report.rounds
             )?;
         }
+        Command::Serve {
+            n,
+            seed,
+            algorithm,
+            w_max,
+            row_cache,
+            ref trace,
+            ref faults,
+            verify,
+            max_retries,
+        } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = crate::graph::generators::random_reweighted_digraph(n, 0.5, w_max, &mut rng);
+            let sink = open_sink(trace.as_ref())?;
+            // Fault injection and verification only compose through the
+            // Las-Vegas driver; the witnessed-squaring plan adds explicit
+            // route witnesses when neither is requested.
+            let plan = if faults.is_some() || verify {
+                LoadPlan::Driver(Box::new(DriverConfig {
+                    algorithm,
+                    params: Params::paper(),
+                    max_retries,
+                    verify,
+                    fallback: FallbackPolicy::Semiring,
+                    net: faults.clone().map(NetConfig::faulty).unwrap_or_default(),
+                }))
+            } else {
+                match algorithm {
+                    ApspAlgorithm::QuantumTriangle => LoadPlan::Witnessed {
+                        backend: SearchBackend::Quantum,
+                    },
+                    ApspAlgorithm::ClassicalTriangle => LoadPlan::Witnessed {
+                        backend: SearchBackend::Classical,
+                    },
+                    other => LoadPlan::Driver(Box::new(DriverConfig {
+                        algorithm: other,
+                        params: Params::paper(),
+                        max_retries,
+                        verify: false,
+                        fallback: FallbackPolicy::Semiring,
+                        net: NetConfig::default(),
+                    })),
+                }
+            };
+            let cfg = EngineConfig {
+                plan,
+                params: Params::paper(),
+                row_cache,
+            };
+            let loaded = QueryEngine::load(g, &cfg, &mut rng, sink.as_ref());
+            flush_sink(sink.as_ref())?;
+            let mut engine = match loaded {
+                Ok(engine) => engine,
+                Err(ApspError::VerificationFailed { attempts }) => {
+                    writeln!(
+                        out,
+                        "serve: {attempts} attempt(s) exhausted without a verified answer"
+                    )?;
+                    return Ok(RunStatus::VerificationFailed);
+                }
+                Err(e) => return Err(Box::new(e)),
+            };
+            let lines = crate::serve::spawn_stdin_reader();
+            crate::serve::serve(&mut engine, &lines, out)?;
+            if engine.load_report().used_fallback {
+                return Ok(RunStatus::DegradedFallback);
+            }
+        }
         Command::TraceSummary {
             ref file,
             expect_rounds,
@@ -693,6 +840,48 @@ mod tests {
             }
             other => panic!("unexpected command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let cmd = parse(&argv("serve --n 12 --seed 3 --row-cache 4 --verify")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                n: 12,
+                seed: 3,
+                algorithm: ApspAlgorithm::QuantumTriangle,
+                w_max: 8,
+                row_cache: Some(4),
+                trace: None,
+                faults: None,
+                verify: true,
+                max_retries: 3,
+            }
+        );
+        // Defaults mirror `apsp`.
+        match parse(&argv("serve")).unwrap() {
+            Command::Serve {
+                n,
+                seed,
+                row_cache,
+                verify,
+                ..
+            } => {
+                assert_eq!((n, seed, row_cache, verify), (8, 7, None, false));
+            }
+            other => panic!("unexpected command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        let e = parse(&argv("serve --row-cache 0")).unwrap_err();
+        assert!(e.0.contains("--row-cache"), "{e}");
+        assert!(parse(&argv("serve --row-cache many")).is_err());
+        assert!(parse(&argv("serve --algorithm warp")).is_err());
+        assert!(parse(&argv("serve --batch 9")).is_err());
+        assert!(parse(&argv("serve stray")).is_err());
     }
 
     #[test]

@@ -57,3 +57,4 @@ pub mod algo {
 }
 
 pub mod cli;
+pub mod serve;

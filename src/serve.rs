@@ -1,0 +1,168 @@
+//! The `qcc serve` I/O loop: NDJSON requests on stdin, responses on
+//! stdout.
+//!
+//! The engine itself lives in [`qcc_apsp::serve`]; this module owns the
+//! plumbing that turns a terminal (or a pipe) into batches. A dedicated
+//! reader thread feeds lines into a channel; the serving loop blocks on
+//! the first line, then drains everything already queued (up to
+//! [`MAX_BATCH`]) so bursts are answered in one pass over the tables —
+//! each distance row fetched once per batch instead of once per query.
+//!
+//! Malformed lines never kill the loop: they parse to `Err` and come back
+//! as `{"ok":false,...}` responses in order.
+
+use qcc_apsp::serve::{parse_request, QueryEngine, ServeRequest};
+use std::io::{BufRead, Write};
+use std::sync::mpsc::{Receiver, TryRecvError};
+
+/// Largest number of queued lines absorbed into one batch. Bounds both
+/// latency under a saturating producer and the per-batch allocation.
+pub const MAX_BATCH: usize = 1024;
+
+/// How a serve loop ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// A `shutdown` request was answered.
+    Shutdown,
+    /// The input stream reached end-of-file.
+    Eof,
+}
+
+/// Spawns the stdin reader thread and returns the line channel. The
+/// thread owns the process's stdin handle and exits at end-of-file (or on
+/// the first read error), which closes the channel.
+pub fn spawn_stdin_reader() -> Receiver<String> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            match line {
+                Ok(text) => {
+                    if tx.send(text).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    rx
+}
+
+/// Runs the serve loop: emits the `ready` banner, then answers batches
+/// until a `shutdown` request or end-of-input. Every batch is flushed
+/// before the loop blocks again, so a line-buffered client always sees
+/// its answers.
+///
+/// # Errors
+///
+/// Propagates write/flush failures on `out` (a broken pipe ends serving).
+pub fn serve<W: Write + ?Sized>(
+    engine: &mut QueryEngine,
+    lines: &Receiver<String>,
+    out: &mut W,
+) -> std::io::Result<ServeOutcome> {
+    writeln!(out, "{}", engine.ready_line())?;
+    out.flush()?;
+    loop {
+        // Block for the first line of the next batch…
+        let first = match lines.recv() {
+            Ok(line) => line,
+            Err(_) => return Ok(ServeOutcome::Eof),
+        };
+        let mut batch: Vec<Result<ServeRequest, String>> = Vec::new();
+        let mut eof = false;
+        if !first.trim().is_empty() {
+            batch.push(parse_request(&first));
+        }
+        // …then drain whatever else is already queued.
+        while batch.len() < MAX_BATCH {
+            match lines.try_recv() {
+                Ok(line) => {
+                    if !line.trim().is_empty() {
+                        batch.push(parse_request(&line));
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        if !batch.is_empty() {
+            let output = engine.answer_batch(&batch);
+            for line in &output.responses {
+                writeln!(out, "{line}")?;
+            }
+            out.flush()?;
+            if output.shutdown {
+                return Ok(ServeOutcome::Shutdown);
+            }
+        }
+        if eof {
+            return Ok(ServeOutcome::Eof);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_apsp::serve::QueryEngine;
+    use qcc_graph::{random_reweighted_digraph, PathOracle};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::mpsc::channel;
+
+    fn engine() -> QueryEngine {
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = random_reweighted_digraph(8, 0.5, 8, &mut rng);
+        let oracle = PathOracle::build(&g.adjacency_matrix());
+        QueryEngine::from_tables(g, oracle, None)
+    }
+
+    #[test]
+    fn loop_answers_queued_lines_and_honors_shutdown() {
+        let (tx, rx) = channel();
+        for line in [
+            "{\"op\":\"dist\",\"id\":1,\"u\":0,\"v\":3}",
+            "this is not json",
+            "",
+            "{\"op\":\"stats\",\"id\":2}",
+            "{\"op\":\"shutdown\",\"id\":3}",
+            "{\"op\":\"dist\",\"id\":4,\"u\":0,\"v\":1}",
+        ] {
+            tx.send(line.to_string()).unwrap();
+        }
+        let mut eng = engine();
+        let mut out = Vec::new();
+        let outcome = serve(&mut eng, &rx, &mut out).unwrap();
+        assert_eq!(outcome, ServeOutcome::Shutdown);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // ready + 5 responses (blank line skipped); the post-shutdown query
+        // was still in the batch and answered before the loop stopped.
+        assert_eq!(lines.len(), 6, "{text}");
+        assert!(lines[0].contains("\"op\":\"ready\""));
+        assert!(lines[1].contains("\"id\":1"));
+        assert!(lines[2].contains("\"ok\":false"));
+        assert!(lines[3].contains("\"op\":\"stats\""));
+        assert!(lines[4].contains("\"op\":\"shutdown\""));
+        assert!(lines[5].contains("\"id\":4"));
+    }
+
+    #[test]
+    fn loop_ends_cleanly_at_eof() {
+        let (tx, rx) = channel();
+        tx.send("{\"op\":\"dist\",\"u\":1,\"v\":2}".to_string())
+            .unwrap();
+        drop(tx);
+        let mut eng = engine();
+        let mut out = Vec::new();
+        let outcome = serve(&mut eng, &rx, &mut out).unwrap();
+        assert_eq!(outcome, ServeOutcome::Eof);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text}");
+    }
+}

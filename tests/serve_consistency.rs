@@ -1,0 +1,211 @@
+//! Query/witness consistency for the serving engine: every `dist`/`path`
+//! answer served from cache — including after LRU eviction plus row
+//! recompute, and after delta updates — must equal a fresh
+//! `apsp_with_paths` recompute on the mutated graph, across a seeded
+//! weight-perturbation grid.
+
+use qcc::algo::serve::{EdgeChange, QueryEngine, UpdateMethod};
+use qcc::graph::{
+    floyd_warshall, path_weight, random_reweighted_digraph, DiGraph, ExtWeight, PathOracle,
+    WeightMatrix,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Asserts that `engine` answers exactly like a fresh sequential APSP +
+/// path oracle built on `g`'s current adjacency, for every pair.
+fn assert_matches_fresh(engine: &mut QueryEngine, g: &DiGraph, label: &str) {
+    let adj = g.adjacency_matrix();
+    let fresh = floyd_warshall(&adj).expect("workload stays cycle-free");
+    let oracle = PathOracle::build(&adj);
+    assert_eq!(oracle.distances(), &fresh, "{label}: oracle != FW");
+    let n = g.n();
+    for u in 0..n {
+        for v in 0..n {
+            let d = engine.dist(u, v).expect("in range");
+            assert_eq!(d, fresh[(u, v)], "{label}: dist({u},{v})");
+            match engine.path(u, v).expect("in range") {
+                Some((pd, p)) => {
+                    assert_eq!(pd, d, "{label}: path dist({u},{v})");
+                    assert!(d.is_finite(), "{label}: path for unreachable ({u},{v})");
+                    assert_eq!(p.first(), Some(&u), "{label}: path start ({u},{v})");
+                    assert_eq!(p.last(), Some(&v), "{label}: path end ({u},{v})");
+                    if u != v {
+                        let w = path_weight(g, &p).expect("hops are real arcs");
+                        assert_eq!(ExtWeight::Finite(w), d, "{label}: path weight ({u},{v})");
+                    }
+                }
+                None => {
+                    assert!(!d.is_finite(), "{label}: no path but finite dist ({u},{v})")
+                }
+            }
+        }
+    }
+}
+
+/// An arc whose one-step decrease cannot close a negative cycle.
+fn safe_decrease(g: &DiGraph, dist: &WeightMatrix) -> Option<(usize, usize, i64)> {
+    g.arcs().find(|&(u, v, w)| match dist[(v, u)] {
+        ExtWeight::Finite(back) => w - 1 + back >= 0,
+        _ => true,
+    })
+}
+
+/// The perturbation sequence applied to every seed of the grid: decrease
+/// an arc (delta-repair path in dense mode), increase one (recompute),
+/// remove one (recompute), add a brand-new one (repair). After each step
+/// every served answer must match a fresh recompute.
+fn perturbation_grid(row_cache: Option<usize>) {
+    for seed in [3u64, 11, 29] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_reweighted_digraph(10, 0.5, 8, &mut rng);
+        let adj = g.adjacency_matrix();
+        let oracle = PathOracle::build(&adj);
+        let mut engine = QueryEngine::from_tables(g, oracle, row_cache);
+        let label = format!("seed {seed}, row_cache {row_cache:?}");
+        let g_now = engine.graph().clone();
+        assert_matches_fresh(&mut engine, &g_now, &format!("{label}, initial"));
+
+        // 1. Decrease an existing arc by one.
+        let dist = floyd_warshall(&engine.graph().adjacency_matrix()).unwrap();
+        let (u, v, w) = safe_decrease(engine.graph(), &dist).expect("a safely decreasable arc");
+        let method = engine
+            .update(&[EdgeChange {
+                u,
+                v,
+                weight: Some(w - 1),
+            }])
+            .expect("decrease applies");
+        if row_cache.is_none() {
+            assert_eq!(
+                method,
+                UpdateMethod::DeltaRepair,
+                "{label}: dense single-edge decrease must delta-repair"
+            );
+        }
+        let g_now = engine.graph().clone();
+        assert_matches_fresh(&mut engine, &g_now, &format!("{label}, decrease"));
+
+        // 2. Increase an arc: repair is unsound for increases, so this
+        // must take the recompute path.
+        let (u, v, w) = engine.graph().arcs().next().expect("an arc");
+        let method = engine
+            .update(&[EdgeChange {
+                u,
+                v,
+                weight: Some(w + 3),
+            }])
+            .expect("increase applies");
+        assert_eq!(method, UpdateMethod::Recompute, "{label}: increase");
+        let g_now = engine.graph().clone();
+        assert_matches_fresh(&mut engine, &g_now, &format!("{label}, increase"));
+
+        // 3. Remove an arc entirely.
+        let (u, v, _) = engine.graph().arcs().nth(1).expect("a second arc");
+        let method = engine
+            .update(&[EdgeChange { u, v, weight: None }])
+            .expect("removal applies");
+        assert_eq!(method, UpdateMethod::Recompute, "{label}: removal");
+        let g_now = engine.graph().clone();
+        assert_matches_fresh(&mut engine, &g_now, &format!("{label}, removal"));
+
+        // 4. Add a brand-new arc (PosInf → finite is a decrease).
+        let g_now = engine.graph().clone();
+        let missing = (0..10)
+            .flat_map(|a| (0..10).map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && !g_now.weight(a, b).is_finite())
+            .expect("a missing arc at density 0.5");
+        let method = engine
+            .update(&[EdgeChange {
+                u: missing.0,
+                v: missing.1,
+                weight: Some(7),
+            }])
+            .expect("insertion applies");
+        if row_cache.is_none() {
+            assert_eq!(
+                method,
+                UpdateMethod::DeltaRepair,
+                "{label}: nonnegative insertion must delta-repair"
+            );
+        }
+        let g_now = engine.graph().clone();
+        assert_matches_fresh(&mut engine, &g_now, &format!("{label}, insert"));
+    }
+}
+
+#[test]
+fn dense_engine_tracks_fresh_recompute_across_perturbations() {
+    perturbation_grid(None);
+}
+
+#[test]
+fn row_cache_engine_tracks_fresh_recompute_across_perturbations() {
+    // A 2-row budget on a 10-vertex sweep forces eviction + recompute on
+    // nearly every source.
+    perturbation_grid(Some(2));
+}
+
+#[test]
+fn negative_cycle_update_is_rejected_and_answers_survive() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let g = random_reweighted_digraph(9, 0.5, 8, &mut rng);
+    let adj = g.adjacency_matrix();
+    let fw = floyd_warshall(&adj).unwrap();
+    let oracle = PathOracle::build(&adj);
+    let mut engine = QueryEngine::from_tables(g.clone(), oracle, None);
+    let (u, v) = fw
+        .entries()
+        .find(|&(i, j, &x)| i != j && x.is_finite())
+        .map(|(i, j, _)| (i, j))
+        .expect("a reachable pair");
+    // Closing the cycle v → u with weight < -dist(u, v) makes it negative.
+    let bad = match fw[(u, v)] {
+        ExtWeight::Finite(x) => -x - 1,
+        _ => unreachable!(),
+    };
+    let err = engine
+        .update(&[EdgeChange {
+            u: v,
+            v: u,
+            weight: Some(bad),
+        }])
+        .expect_err("negative cycle must be rejected");
+    assert!(err.contains("negative cycle"), "{err}");
+    // The rejected update must leave graph and tables exactly as before.
+    assert_matches_fresh(&mut engine, &g, "post-rejection");
+    assert_eq!(engine.graph(), &g, "graph must be reverted");
+}
+
+#[test]
+fn rendered_ndjson_matches_typed_answers() {
+    use qcc::algo::serve::{parse_request, ServeRequest};
+    let mut rng = StdRng::seed_from_u64(23);
+    let g = random_reweighted_digraph(8, 0.5, 8, &mut rng);
+    let adj = g.adjacency_matrix();
+    let fw = floyd_warshall(&adj).unwrap();
+    let oracle = PathOracle::build(&adj);
+    let mut engine = QueryEngine::from_tables(g, oracle, None);
+
+    let reqs: Vec<Result<ServeRequest, String>> = vec![
+        parse_request("{\"op\":\"dist\",\"id\":1,\"u\":0,\"v\":5}"),
+        parse_request("{\"op\":\"dist\",\"id\":2,\"u\":0,\"v\":99}"),
+        parse_request("{not json"),
+    ];
+    let out = engine.answer_batch(&reqs);
+    let expect = match fw[(0, 5)] {
+        ExtWeight::Finite(x) => format!("\"dist\":{x}"),
+        _ => "\"dist\":null".to_string(),
+    };
+    assert!(out.responses[0].contains(&expect), "{}", out.responses[0]);
+    assert!(
+        out.responses[1].starts_with("{\"ok\":false"),
+        "out-of-range must be an error response: {}",
+        out.responses[1]
+    );
+    assert!(
+        out.responses[2].starts_with("{\"ok\":false"),
+        "malformed line must be an error response: {}",
+        out.responses[2]
+    );
+}
