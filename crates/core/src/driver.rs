@@ -343,7 +343,7 @@ fn fallback(
 /// reliable envelope forced on with a generous retry budget — the
 /// verifier and the fallback are the last line of defense, so they never
 /// run unprotected and get more retransmit waves than a regular attempt.
-fn hardened(net: &NetConfig, salt: u64) -> NetConfig {
+pub(crate) fn hardened(net: &NetConfig, salt: u64) -> NetConfig {
     let mut cfg = net.reseeded(salt);
     if cfg.faults.is_some() {
         let base = cfg.reliable.unwrap_or_default();

@@ -91,6 +91,13 @@ pub use baselines::{
 pub mod driver;
 pub use driver::{apsp_driver, AttemptRecord, DriverConfig, DriverReport, FallbackPolicy};
 
+pub mod extremum;
+pub use extremum::{
+    classical_extremum_scan, diameter_of, distance_params, eccentricities, network_extremum,
+    radius_of, DistanceParam, DistanceParamReport, ExtremumBackend, ExtremumConfig,
+    NetworkExtremumOutcome, SearchAttempt,
+};
+
 pub mod apsp_paths;
 pub use apsp_paths::{
     apsp_with_paths, apsp_with_paths_traced, distributed_witnessed_product,

@@ -58,7 +58,10 @@ pub use estimation::{quantum_count, AmplitudeEstimator, EstimateOutcome};
 pub use grover::{
     classical_search, grover_search, grover_search_amplified, GroverOutcome, SearchOracle,
 };
-pub use minimum::{quantum_maximum, quantum_minimum, ExtremumOutcome};
+pub use minimum::{
+    quantum_maximum, quantum_maximum_bounded, quantum_minimum, quantum_minimum_bounded,
+    ExtremumOutcome, StageExhausted, DEFAULT_STAGE_ATTEMPTS,
+};
 pub use multi_search::{
     classical_multi_search, multi_grover_search, repetitions_for_target, AtypicalInputError,
     MultiOracle, MultiSearchOutcome,

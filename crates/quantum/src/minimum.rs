@@ -6,24 +6,161 @@
 //! item below the current threshold; the expected total query cost is
 //! `O(√|X|)`. This module simulates it exactly (per-stage Grover
 //! amplitudes are exact; the threshold walk is the real randomized walk)
-//! and is used by the diameter example and the extremum experiments.
+//! and is used by the distance-parameter suite (`qcc diameter` / `radius`
+//! / `ecc`) and the extremum experiments.
+//!
+//! ## Las-Vegas contract
+//!
+//! [`quantum_minimum`] and [`quantum_maximum`] are *Las Vegas*: the answer
+//! is always a true extremum; only the running time is random. A BBHT
+//! stage (random iteration count, then measure) succeeds with constant
+//! probability, so the per-stage attempt loop is unbounded — it terminates
+//! with probability 1 and in expectation after `O(1)` attempts.
+//!
+//! Callers that need a *bounded* per-stage budget — e.g. the distributed
+//! driver, which would rather retry a whole search with fresh randomness
+//! than spin on one unlucky stage — use [`quantum_minimum_bounded`] /
+//! [`quantum_maximum_bounded`]. When a stage exhausts its budget while
+//! strictly better items are known to exist, those return a typed
+//! [`StageExhausted`] instead of an answer: the search **never** silently
+//! reports a non-extremum. (An earlier revision returned the stale
+//! threshold after 64 failed attempts as if it were the minimum; the
+//! seeded statistics suite in `tests/quantum_statistics.rs` now pins the
+//! fixed behavior.)
 
 use crate::amplitude::GroverAmplitudes;
 use rand::Rng;
+use std::cmp::Reverse;
+use std::fmt;
+
+/// Default per-stage BBHT attempt budget of the bounded searches.
+///
+/// Each attempt succeeds with constant probability (≳ 0.39 for a random
+/// iteration count), so 64 attempts fail together with probability
+/// ≈ `2⁻⁶⁴` per stage — astronomically rare, but *representable*, which is
+/// why the bounded API surfaces it as [`StageExhausted`] rather than
+/// guessing.
+pub const DEFAULT_STAGE_ATTEMPTS: u32 = 64;
 
 /// Result of a quantum extremum search.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExtremumOutcome {
     /// Index of the found extremum.
     pub index: usize,
-    /// Total Grover iterations across all threshold stages.
+    /// Total Grover iterations across all threshold stages. Only nonzero
+    /// iteration counts charge: a `k = 0` draw measures the uniform
+    /// superposition directly.
     pub iterations: u64,
-    /// Number of threshold improvements (stages).
+    /// Number of threshold improvements (stages). Thresholds only ever
+    /// move to *strictly* better items, so equal-valued duplicates never
+    /// consume a stage.
     pub stages: u32,
+    /// BBHT measurement attempts across all stages. Every attempt counts,
+    /// including `k = 0` draws that charged no iterations.
+    pub attempts: u64,
+}
+
+/// A bounded search's per-stage attempt budget ran out while strictly
+/// better items were known to exist.
+///
+/// Carries the best threshold reached so the caller can account for the
+/// work, but deliberately *not* as an `ExtremumOutcome`: the carried index
+/// is known to be non-extremal and must not be mistaken for an answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageExhausted {
+    /// The threshold index the walk had reached (not an extremum).
+    pub best_index: usize,
+    /// Grover iterations charged before giving up.
+    pub iterations: u64,
+    /// Completed threshold improvements.
+    pub stages: u32,
+    /// BBHT attempts consumed, the exhausted stage's included.
+    pub attempts: u64,
+}
+
+impl fmt::Display for StageExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "extremum search stage exhausted its attempt budget after {} attempts \
+             ({} iterations, {} completed stages); best threshold so far is index {} \
+             but strictly better items exist",
+            self.attempts, self.iterations, self.stages, self.best_index
+        )
+    }
+}
+
+impl std::error::Error for StageExhausted {}
+
+/// The Dürr–Høyer threshold walk, generic over an `Ord` key so that
+/// maximization wraps keys in [`Reverse`] instead of negating (which would
+/// overflow on `i64::MIN`). `stage_attempts = None` retries each stage
+/// until it succeeds (Las Vegas); `Some(b)` returns [`StageExhausted`]
+/// when a stage fails `b` consecutive attempts.
+fn duerr_hoyer<K, F, R>(
+    domain_size: usize,
+    key: F,
+    stage_attempts: Option<u32>,
+    rng: &mut R,
+) -> Result<ExtremumOutcome, StageExhausted>
+where
+    K: Ord,
+    F: Fn(usize) -> K,
+    R: Rng,
+{
+    assert!(domain_size > 0, "empty domain");
+    let mut threshold_idx = rng.gen_range(0..domain_size);
+    let mut iterations = 0u64;
+    let mut stages = 0u32;
+    let mut attempts = 0u64;
+    loop {
+        let t = key(threshold_idx);
+        // Strict improvement census: ties with the threshold are not
+        // solutions, so the walk can only move to strictly better items
+        // and the returned index is always *a* minimizer (any one of the
+        // duplicates achieving the minimum is acceptable).
+        let below: Vec<usize> = (0..domain_size).filter(|&i| key(i) < t).collect();
+        if below.is_empty() {
+            return Ok(ExtremumOutcome {
+                index: threshold_idx,
+                iterations,
+                stages,
+                attempts,
+            });
+        }
+        // BBHT stages: random iteration count, then measure; the amplitude
+        // math is exact, the measurement genuinely sampled. Expected O(1)
+        // attempts per stage.
+        let amp = GroverAmplitudes::new(domain_size, below.len());
+        let k_max = GroverAmplitudes::max_useful_iterations(domain_size);
+        let mut stage_attempt = 0u32;
+        loop {
+            let k = rng.gen_range(0..=k_max);
+            iterations += k;
+            attempts += 1;
+            stage_attempt += 1;
+            if rng.gen_bool(amp.success_probability(k).clamp(0.0, 1.0)) {
+                threshold_idx = below[rng.gen_range(0..below.len())];
+                stages += 1;
+                break;
+            }
+            if stage_attempts.is_some_and(|budget| stage_attempt >= budget) {
+                // Strictly better items exist but the budget is spent:
+                // surface the failure instead of returning the stale
+                // threshold as if it were the extremum.
+                return Err(StageExhausted {
+                    best_index: threshold_idx,
+                    iterations,
+                    stages,
+                    attempts,
+                });
+            }
+        }
+    }
 }
 
 /// Finds an index minimizing `value`, with `O(√|X|)` expected iterations
-/// (Dürr–Høyer).
+/// (Dürr–Høyer). Las Vegas: the result is always a true minimizer.
 ///
 /// # Panics
 ///
@@ -40,56 +177,46 @@ pub struct ExtremumOutcome {
 /// let out = quantum_minimum(values.len(), |i| values[i], &mut rng);
 /// assert_eq!(out.index, 3);
 /// ```
-pub fn quantum_minimum<F, R>(domain_size: usize, value: F, rng: &mut R) -> ExtremumOutcome
+pub fn quantum_minimum<K, F, R>(domain_size: usize, value: F, rng: &mut R) -> ExtremumOutcome
 where
-    F: Fn(usize) -> i64,
+    K: Ord,
+    F: Fn(usize) -> K,
     R: Rng,
 {
-    assert!(domain_size > 0, "empty domain");
-    let mut threshold_idx = rng.gen_range(0..domain_size);
-    let mut iterations = 0u64;
-    let mut stages = 0u32;
-    loop {
-        let t = value(threshold_idx);
-        let below: Vec<usize> = (0..domain_size).filter(|&i| value(i) < t).collect();
-        if below.is_empty() {
-            return ExtremumOutcome {
-                index: threshold_idx,
-                iterations,
-                stages,
-            };
-        }
-        // One BBHT stage: random iteration count, then measure; the
-        // amplitude math is exact, the measurement genuinely sampled.
-        let amp = GroverAmplitudes::new(domain_size, below.len());
-        let k_max = GroverAmplitudes::max_useful_iterations(domain_size);
-        let mut found = None;
-        // expected O(1) attempts per stage; bounded for safety
-        for _ in 0..64 {
-            let k = rng.gen_range(0..=k_max);
-            iterations += k;
-            if rng.gen_bool(amp.success_probability(k).clamp(0.0, 1.0)) {
-                found = Some(below[rng.gen_range(0..below.len())]);
-                break;
-            }
-        }
-        match found {
-            Some(idx) => {
-                threshold_idx = idx;
-                stages += 1;
-            }
-            None => {
-                return ExtremumOutcome {
-                    index: threshold_idx,
-                    iterations,
-                    stages,
-                }
-            }
-        }
+    match duerr_hoyer(domain_size, value, None, rng) {
+        Ok(out) => out,
+        Err(_) => unreachable!("unbounded stages retry until success"),
     }
 }
 
-/// Finds an index maximizing `value` (minimum of the negation).
+/// [`quantum_minimum`] with a per-stage attempt budget.
+///
+/// # Errors
+///
+/// Returns [`StageExhausted`] when a stage fails `stage_attempts`
+/// consecutive BBHT attempts while strictly better items exist. An `Ok`
+/// outcome is always a true minimizer.
+///
+/// # Panics
+///
+/// Panics if `domain_size == 0` or `stage_attempts == 0`.
+pub fn quantum_minimum_bounded<K, F, R>(
+    domain_size: usize,
+    value: F,
+    stage_attempts: u32,
+    rng: &mut R,
+) -> Result<ExtremumOutcome, StageExhausted>
+where
+    K: Ord,
+    F: Fn(usize) -> K,
+    R: Rng,
+{
+    assert!(stage_attempts > 0, "zero attempt budget");
+    duerr_hoyer(domain_size, value, Some(stage_attempts), rng)
+}
+
+/// Finds an index maximizing `value` (minimum under the reversed order;
+/// no negation, so `i64::MIN` values are safe). Las Vegas.
 ///
 /// # Examples
 ///
@@ -102,12 +229,37 @@ where
 /// let out = quantum_maximum(values.len(), |i| values[i], &mut rng);
 /// assert_eq!(out.index, 2);
 /// ```
-pub fn quantum_maximum<F, R>(domain_size: usize, value: F, rng: &mut R) -> ExtremumOutcome
+pub fn quantum_maximum<K, F, R>(domain_size: usize, value: F, rng: &mut R) -> ExtremumOutcome
 where
-    F: Fn(usize) -> i64,
+    K: Ord,
+    F: Fn(usize) -> K,
     R: Rng,
 {
-    quantum_minimum(domain_size, |i| -value(i), rng)
+    quantum_minimum(domain_size, |i| Reverse(value(i)), rng)
+}
+
+/// [`quantum_maximum`] with a per-stage attempt budget.
+///
+/// # Errors
+///
+/// Returns [`StageExhausted`] when a stage exhausts its budget; see
+/// [`quantum_minimum_bounded`].
+///
+/// # Panics
+///
+/// Panics if `domain_size == 0` or `stage_attempts == 0`.
+pub fn quantum_maximum_bounded<K, F, R>(
+    domain_size: usize,
+    value: F,
+    stage_attempts: u32,
+    rng: &mut R,
+) -> Result<ExtremumOutcome, StageExhausted>
+where
+    K: Ord,
+    F: Fn(usize) -> K,
+    R: Rng,
+{
+    quantum_minimum_bounded(domain_size, |i| Reverse(value(i)), stage_attempts, rng)
 }
 
 #[cfg(test)]
@@ -137,19 +289,106 @@ mod tests {
     }
 
     #[test]
+    fn maximum_handles_extreme_values_without_overflow() {
+        // The old negation-based maximum would overflow on i64::MIN.
+        let mut rng = StdRng::seed_from_u64(78);
+        let values = [i64::MIN, -7, i64::MAX, 0, i64::MIN];
+        let out = quantum_maximum(values.len(), |i| values[i], &mut rng);
+        assert_eq!(out.index, 2);
+        let out = quantum_minimum(values.len(), |i| values[i], &mut rng);
+        assert!(out.index == 0 || out.index == 4);
+    }
+
+    #[test]
     fn singleton_domain_is_trivial() {
         let mut rng = StdRng::seed_from_u64(73);
         let out = quantum_minimum(1, |_| 42, &mut rng);
         assert_eq!(out.index, 0);
         assert_eq!(out.stages, 0);
+        // The single census is conclusive: no attempts, no iterations.
+        assert_eq!((out.attempts, out.iterations), (0, 0));
     }
 
     #[test]
     fn duplicate_minima_are_acceptable() {
         let mut rng = StdRng::seed_from_u64(74);
         let values = [3i64, 1, 4, 1, 5];
-        let out = quantum_minimum(values.len(), |i| values[i], &mut rng);
-        assert!(out.index == 1 || out.index == 3);
+        for _ in 0..20 {
+            let out = quantum_minimum(values.len(), |i| values[i], &mut rng);
+            assert!(out.index == 1 || out.index == 3);
+        }
+    }
+
+    #[test]
+    fn ties_with_the_threshold_are_not_improvements() {
+        // All-equal values: wherever the walk starts, nothing is strictly
+        // below, so the search ends in 0 stages with 0 attempts — ties must
+        // not be counted as solutions (that would loop forever).
+        let mut rng = StdRng::seed_from_u64(79);
+        let out = quantum_minimum(16, |_| 5i64, &mut rng);
+        assert_eq!((out.stages, out.attempts, out.iterations), (0, 0, 0));
+    }
+
+    #[test]
+    fn attempts_count_zero_iteration_draws() {
+        // Pin the accounting contract: every BBHT measurement consumes an
+        // attempt, but only k > 0 draws charge iterations — so across many
+        // runs attempts ≥ stages and iterations can be smaller than
+        // attempts (k = 0 draws are free in iterations, not in attempts).
+        let mut rng = StdRng::seed_from_u64(80);
+        // Domain of 2: k is drawn from {0, 1, 2}, so k = 0 measurements are
+        // frequent and some run resolves with attempts > 0, iterations = 0.
+        let values = [7i64, 3];
+        let mut saw_free_attempt = false;
+        for _ in 0..50 {
+            let out = quantum_minimum(values.len(), |i| values[i], &mut rng);
+            assert_eq!(out.index, 1);
+            assert!(out.attempts >= u64::from(out.stages));
+            if out.attempts > 0 && out.iterations == 0 {
+                saw_free_attempt = true;
+            }
+        }
+        assert!(saw_free_attempt, "k = 0 draws should occur at this size");
+    }
+
+    #[test]
+    fn bounded_search_surfaces_exhaustion_instead_of_guessing() {
+        // With a budget of 1 the stage fails whenever the single BBHT
+        // measurement misses — common by design. The contract under test:
+        // an Ok is always a true minimum and a miss is a typed error, never
+        // a silently returned non-extremum (the pre-fix bailout behavior).
+        let mut rng = StdRng::seed_from_u64(81);
+        let n = 64;
+        let values: Vec<i64> = (0..n).map(|i| (i * 31 % n) as i64).collect();
+        let mut exhausted = 0;
+        for trial in 0..200 {
+            match quantum_minimum_bounded(n, |i| values[i], 1, &mut rng) {
+                Ok(out) => assert_eq!(values[out.index], 0, "trial {trial}"),
+                Err(e) => {
+                    exhausted += 1;
+                    assert!(values[e.best_index] > 0, "exhaustion implies non-extremum");
+                    assert!(e.attempts >= 1);
+                    assert!(e.to_string().contains("strictly better"));
+                }
+            }
+        }
+        assert!(exhausted > 0, "budget 1 must exhaust sometimes");
+    }
+
+    #[test]
+    fn bounded_search_with_default_budget_behaves_like_unbounded() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let values: Vec<i64> = (0..48).map(|i| (i * 7 % 48) as i64).collect();
+        for _ in 0..20 {
+            let out = quantum_minimum_bounded(
+                values.len(),
+                |i| values[i],
+                DEFAULT_STAGE_ATTEMPTS,
+                &mut rng,
+            )
+            .expect("2^-64 per stage: effectively never");
+            assert_eq!(values[out.index], 0);
+        }
     }
 
     #[test]

@@ -8,10 +8,18 @@
 //! Dürr–Høyer quantum maximum finds the diameter with `O(√n)` eccentricity
 //! evaluations instead of `n`.
 //!
+//! Eccentricities are [`ExtWeight`]s, not bare integers: a vertex that
+//! cannot reach some other vertex has eccentricity `inf`, and the diameter
+//! of a disconnected graph is honestly `inf` — an earlier version of this
+//! example collapsed all-infinite rows to 0 and could under-report. The
+//! convention lives in `qcc::algo::eccentricities` / `diameter_of`; the
+//! `qcc diameter` subcommand runs the same pipeline with the search
+//! charged through the traced network.
+//!
 //! Run with: `cargo run --release --example diameter`
 
-use qcc::algo::{apsp, ApspAlgorithm, Params};
-use qcc::graph::{generators::random_nonneg_digraph, ExtWeight};
+use qcc::algo::{apsp, diameter_of, eccentricities, ApspAlgorithm, Params};
+use qcc::graph::generators::random_nonneg_digraph;
 use qcc::quantum::quantum_maximum;
 use rand::SeedableRng;
 
@@ -31,21 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("semiring APSP: {} rounds", report.rounds);
 
-    // Eccentricity of v = max over reachable u of dist(v, u); infinite
-    // rows mean a disconnected graph (eccentricity undefined -> skip).
-    let ecc: Vec<i64> = (0..n)
-        .map(|v| {
-            (0..n)
-                .filter_map(|u| match report.distances[(v, u)] {
-                    ExtWeight::Finite(d) => Some(d),
-                    _ => None,
-                })
-                .max()
-                .unwrap_or(0)
-        })
-        .collect();
-
-    let classical_diameter = *ecc.iter().max().expect("nonempty");
+    // Eccentricity of v = max over u of dist(v, u), infinities included:
+    // an unreachable vertex makes ecc(v) = inf instead of being skipped.
+    let ecc = eccentricities(&report.distances);
+    let classical_diameter = diameter_of(&ecc).expect("nonempty");
+    if !ecc.iter().all(|e| e.is_finite()) {
+        println!("graph is not strongly connected: the diameter is infinite");
+    }
 
     // Quantum maximum over node-held eccentricities (Dürr–Høyer).
     let out = quantum_maximum(n, |v| ecc[v], &mut rng);

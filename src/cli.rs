@@ -9,9 +9,10 @@
 //! logic stays unit-testable.
 
 use crate::algo::{
-    apsp_driver, apsp_traced, apsp_with_paths_traced, compute_pairs, quantum_gamma_count,
-    reference_find_edges, ApspAlgorithm, ApspError, DriverConfig, EngineConfig, FallbackPolicy,
-    LoadPlan, PairSet, Params, QueryEngine, SearchBackend,
+    apsp_driver, apsp_traced, apsp_with_paths_traced, compute_pairs, distance_params,
+    quantum_gamma_count, reference_find_edges, ApspAlgorithm, ApspError, DistanceParam,
+    DriverConfig, EngineConfig, ExtremumBackend, ExtremumConfig, FallbackPolicy, LoadPlan, PairSet,
+    Params, QueryEngine, SearchBackend,
 };
 use crate::congest::{parse_trace, Clique, FaultPlan, NetConfig, TraceSink, TraceSummary};
 use rand::rngs::StdRng;
@@ -36,6 +37,33 @@ pub enum Command {
         /// Seeded fault plan to inject (arms the reliable envelope).
         faults: Option<FaultPlan>,
         /// Verify the output with the Las-Vegas driver's certificate.
+        verify: bool,
+        /// Driver retry budget (extra attempts after the first).
+        max_retries: u32,
+    },
+    /// Compute a distance parameter (diameter / radius / eccentricities)
+    /// by extremum search over the node-held eccentricities.
+    Distance {
+        /// Which parameter to compute.
+        param: DistanceParam,
+        /// Vertex count.
+        n: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Algorithm for the distance-matrix stage.
+        algorithm: ApspAlgorithm,
+        /// Maximum weight magnitude.
+        w_max: u64,
+        /// Arc density of the random instance (low values disconnect it).
+        density: f64,
+        /// Quantum Dürr–Høyer search or classical gather-and-scan.
+        backend: ExtremumBackend,
+        /// NDJSON trace output file.
+        trace: Option<String>,
+        /// Seeded fault plan to inject (arms the reliable envelope).
+        faults: Option<FaultPlan>,
+        /// Verify distances (driver certificate) and the claimed extremum
+        /// (distributed witness check).
         verify: bool,
         /// Driver retry budget (extra attempts after the first).
         max_retries: u32,
@@ -128,6 +156,10 @@ USAGE:
 COMMANDS:
     apsp           run all-pairs shortest paths   [--algorithm quantum|classical|naive|semiring] [--wmax W] [--trace FILE]
                    [--faults SPEC] [--verify] [--max-retries K]
+    diameter       largest shortest-path distance [--algorithm quantum|classical|naive|semiring] [--backend quantum|scan]
+                   [--wmax W] [--density D] [--trace FILE] [--faults SPEC] [--verify] [--max-retries K]
+    radius         smallest eccentricity          (same flags as diameter)
+    ecc            full eccentricity vector       (same flags as diameter, minus --backend)
     find-edges     run FindEdgesWithPromise       [--backend quantum|classical] [--trace FILE]
     paths          APSP with explicit route extraction   [--trace FILE]
     gamma          quantum triangle counting      [--bits B] [--trace FILE]
@@ -137,10 +169,23 @@ COMMANDS:
     trace-summary  render an NDJSON trace tree    FILE [--expect-rounds R] [--max-depth D]
     help           show this message
 
-Defaults: --n 8 (apsp/paths), --n 16 (find-edges/gamma), --seed 7.
+Defaults: --n 8 (apsp/paths), --n 12 (diameter/radius/ecc), --n 16
+(find-edges/gamma), --seed 7, --density 0.5.
 --trace FILE writes one NDJSON event per span open/close, per
 communication call, and per injected fault; inspect it with
 `qcc trace-summary FILE`.
+
+diameter and radius take the extremum of the per-node eccentricities
+with a Durr-Hoyer quantum search run through the traced network
+(O(sqrt n) expected oracle evaluations); --backend scan gathers all n
+values at the coordinator instead. ecc gathers the full vector.
+Unreachable pairs make eccentricities infinite: a disconnected graph
+honestly reports an infinite diameter rather than 0. --density below
+0.5 makes disconnected instances likely; --density 0 guarantees one.
+With --verify the claimed extremum is additionally checked by a
+distributed certificate (every node compares the claim against its own
+eccentricity) and failed attempts retry with fresh randomness before
+degrading to the verified classical scan.
 
 --faults SPEC injects seeded, deterministic network faults and arms the
 ack/retransmit envelope. SPEC is comma-separated key=value items:
@@ -160,7 +205,8 @@ EXIT CODES:
     0  success (serve: clean shutdown or end of input)
     1  error (bad input, algorithm failure)
     2  usage error
-    3  no attempt passed verification (apsp and serve with --verify)
+    3  no attempt passed verification (apsp, serve, diameter, radius
+       and ecc with --verify)
     4  the answer came from the classical fallback (degraded)
 ";
 
@@ -272,6 +318,27 @@ impl Flags {
     }
 }
 
+/// Parses `--algorithm` into an [`ApspAlgorithm`] (default: quantum).
+fn parse_algorithm(flags: &Flags) -> Result<ApspAlgorithm, CliError> {
+    match flags.get("--algorithm") {
+        None | Some("quantum") => Ok(ApspAlgorithm::QuantumTriangle),
+        Some("classical") => Ok(ApspAlgorithm::ClassicalTriangle),
+        Some("naive") => Ok(ApspAlgorithm::NaiveBroadcast),
+        Some("semiring") => Ok(ApspAlgorithm::SemiringSquaring),
+        Some(other) => Err(CliError(format!("unknown algorithm: {other}"))),
+    }
+}
+
+/// Parses `--faults` into a [`FaultPlan`], if given.
+fn parse_fault_plan(flags: &Flags) -> Result<Option<FaultPlan>, CliError> {
+    match flags.get("--faults") {
+        None => Ok(None),
+        Some(spec) => FaultPlan::parse(spec)
+            .map(Some)
+            .map_err(|e| CliError(format!("invalid --faults spec: {e}"))),
+    }
+}
+
 /// Parses a command line (without the program name).
 ///
 /// # Errors
@@ -325,25 +392,67 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 &["--verify"],
             )?;
             flags.reject_positionals(command)?;
-            let algorithm = match flags.get("--algorithm") {
-                None | Some("quantum") => ApspAlgorithm::QuantumTriangle,
-                Some("classical") => ApspAlgorithm::ClassicalTriangle,
-                Some("naive") => ApspAlgorithm::NaiveBroadcast,
-                Some("semiring") => ApspAlgorithm::SemiringSquaring,
-                Some(other) => return Err(CliError(format!("unknown algorithm: {other}"))),
-            };
-            let faults = match flags.get("--faults") {
-                None => None,
-                Some(spec) => Some(
-                    FaultPlan::parse(spec)
-                        .map_err(|e| CliError(format!("invalid --faults spec: {e}")))?,
-                ),
-            };
+            let algorithm = parse_algorithm(&flags)?;
+            let faults = parse_fault_plan(&flags)?;
             Ok(Command::Apsp {
                 n: flags.num("--n", 8)?,
                 seed: flags.num("--seed", 7)?,
                 algorithm,
                 w_max: flags.num("--wmax", 8)?,
+                trace: flags.trace(),
+                faults,
+                verify: flags.switch("--verify"),
+                max_retries: flags.num("--max-retries", 3)?,
+            })
+        }
+        "diameter" | "radius" | "ecc" => {
+            let param = match command.as_str() {
+                "diameter" => DistanceParam::Diameter,
+                "radius" => DistanceParam::Radius,
+                _ => DistanceParam::Eccentricities,
+            };
+            // `ecc` gathers the full vector; there is no extremum search
+            // to pick a backend for.
+            let mut allowed = vec![
+                "--n",
+                "--seed",
+                "--algorithm",
+                "--wmax",
+                "--density",
+                "--trace",
+                "--faults",
+                "--max-retries",
+            ];
+            if param != DistanceParam::Eccentricities {
+                allowed.push("--backend");
+            }
+            let flags = collect_flags(command, rest, &allowed, &["--verify"])?;
+            flags.reject_positionals(command)?;
+            let algorithm = parse_algorithm(&flags)?;
+            let faults = parse_fault_plan(&flags)?;
+            let backend = match flags.get("--backend") {
+                None | Some("quantum") => ExtremumBackend::Quantum,
+                Some("scan") => ExtremumBackend::ClassicalScan,
+                Some(other) => return Err(CliError(format!("unknown backend: {other}"))),
+            };
+            let density: f64 = flags.num("--density", 0.5)?;
+            if !(0.0..=1.0).contains(&density) {
+                return Err(CliError(format!(
+                    "--density must be in [0, 1], got {density}"
+                )));
+            }
+            let n: usize = flags.num("--n", 12)?;
+            if n == 0 {
+                return Err(CliError("--n must be at least 1".into()));
+            }
+            Ok(Command::Distance {
+                param,
+                n,
+                seed: flags.num("--seed", 7)?,
+                algorithm,
+                w_max: flags.num("--wmax", 8)?,
+                density,
+                backend,
                 trace: flags.trace(),
                 faults,
                 verify: flags.switch("--verify"),
@@ -406,20 +515,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 &["--verify"],
             )?;
             flags.reject_positionals(command)?;
-            let algorithm = match flags.get("--algorithm") {
-                None | Some("quantum") => ApspAlgorithm::QuantumTriangle,
-                Some("classical") => ApspAlgorithm::ClassicalTriangle,
-                Some("naive") => ApspAlgorithm::NaiveBroadcast,
-                Some("semiring") => ApspAlgorithm::SemiringSquaring,
-                Some(other) => return Err(CliError(format!("unknown algorithm: {other}"))),
-            };
-            let faults = match flags.get("--faults") {
-                None => None,
-                Some(spec) => Some(
-                    FaultPlan::parse(spec)
-                        .map_err(|e| CliError(format!("invalid --faults spec: {e}")))?,
-                ),
-            };
+            let algorithm = parse_algorithm(&flags)?;
+            let faults = parse_fault_plan(&flags)?;
             let row_cache: Option<usize> = flags.opt_num("--row-cache")?;
             if row_cache == Some(0) {
                 return Err(CliError("--row-cache must be at least 1".into()));
@@ -602,6 +699,94 @@ pub fn run(
                     return Ok(RunStatus::VerificationFailed);
                 }
                 Err(e) => return Err(Box::new(e)),
+            }
+        }
+        Command::Distance {
+            param,
+            n,
+            seed,
+            algorithm,
+            w_max,
+            density,
+            backend,
+            ref trace,
+            ref faults,
+            verify,
+            max_retries,
+        } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g =
+                crate::graph::generators::random_reweighted_digraph(n, density, w_max, &mut rng);
+            let sink = open_sink(trace.as_ref())?;
+            let cfg = ExtremumConfig {
+                algorithm,
+                backend,
+                max_retries,
+                verify,
+                net: faults.clone().map(NetConfig::faulty).unwrap_or_default(),
+                ..ExtremumConfig::new(param)
+            };
+            let result = distance_params(&g, &cfg, &mut rng, sink.as_ref());
+            flush_sink(sink.as_ref())?;
+            let report = match result {
+                Ok(report) => report,
+                Err(ApspError::VerificationFailed { attempts }) => {
+                    writeln!(
+                        out,
+                        "{} on n={n} (seed {seed}): \
+                         {attempts} attempt(s) exhausted without a verified answer",
+                        param.label()
+                    )?;
+                    return Ok(RunStatus::VerificationFailed);
+                }
+                Err(e) => return Err(Box::new(e)),
+            };
+            let search = match param {
+                DistanceParam::Eccentricities => "gather",
+                _ => backend.label(),
+            };
+            writeln!(
+                out,
+                "{} via {algorithm:?}+{search} on n={n} (seed {seed}): \
+                 {} rounds total, {} oracle evaluations",
+                param.label(),
+                report.total_rounds,
+                report.evaluations
+            )?;
+            match param {
+                DistanceParam::Eccentricities => {
+                    for (v, e) in report.eccentricities.iter().enumerate() {
+                        writeln!(out, "  ecc({v}) = {e}")?;
+                    }
+                }
+                _ => {
+                    let witness = report.witness.unwrap_or(0);
+                    writeln!(
+                        out,
+                        "{} = {} (witness vertex {witness})",
+                        param.label(),
+                        report.value
+                    )?;
+                }
+            }
+            if !report.connected {
+                writeln!(
+                    out,
+                    "graph is disconnected: unreachable pairs have distance inf"
+                )?;
+            }
+            writeln!(
+                out,
+                "distance stage {} rounds, search stage {} rounds, \
+                 {} search attempt(s), verified: {}, fallback: {}",
+                report.distance_rounds,
+                report.search_rounds,
+                report.search_attempts.len(),
+                report.verified,
+                report.used_fallback
+            )?;
+            if report.used_fallback {
+                return Ok(RunStatus::DegradedFallback);
             }
         }
         Command::FindEdges {
@@ -843,6 +1028,69 @@ mod tests {
     }
 
     #[test]
+    fn distance_flags_parse() {
+        let cmd = parse(&argv(
+            "diameter --n 20 --seed 3 --algorithm naive --wmax 9 --density 0.25 --backend scan",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Distance {
+                param: DistanceParam::Diameter,
+                n: 20,
+                seed: 3,
+                algorithm: ApspAlgorithm::NaiveBroadcast,
+                w_max: 9,
+                density: 0.25,
+                backend: ExtremumBackend::ClassicalScan,
+                trace: None,
+                faults: None,
+                verify: false,
+                max_retries: 3,
+            }
+        );
+        // Defaults: n 12, seed 7, quantum APSP + quantum search.
+        match parse(&argv("radius")).unwrap() {
+            Command::Distance {
+                param,
+                n,
+                seed,
+                algorithm,
+                backend,
+                verify,
+                ..
+            } => {
+                assert_eq!(param, DistanceParam::Radius);
+                assert_eq!((n, seed), (12, 7));
+                assert_eq!(algorithm, ApspAlgorithm::QuantumTriangle);
+                assert_eq!(backend, ExtremumBackend::Quantum);
+                assert!(!verify);
+            }
+            other => panic!("unexpected command: {other:?}"),
+        }
+        match parse(&argv("ecc --verify")).unwrap() {
+            Command::Distance { param, verify, .. } => {
+                assert_eq!(param, DistanceParam::Eccentricities);
+                assert!(verify);
+            }
+            other => panic!("unexpected command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distance_rejects_bad_flags() {
+        // ecc has no extremum search, so no --backend.
+        let e = parse(&argv("ecc --backend scan")).unwrap_err();
+        assert!(e.0.contains("--backend"), "{e}");
+        assert!(parse(&argv("diameter --backend analog")).is_err());
+        assert!(parse(&argv("diameter --density 1.5")).is_err());
+        assert!(parse(&argv("diameter --density -0.1")).is_err());
+        assert!(parse(&argv("radius --n 0")).is_err());
+        assert!(parse(&argv("diameter --algorithm warp")).is_err());
+        assert!(parse(&argv("diameter stray")).is_err());
+    }
+
+    #[test]
     fn serve_flags_parse() {
         let cmd = parse(&argv("serve --n 12 --seed 3 --row-cache 4 --verify")).unwrap();
         assert_eq!(
@@ -1030,6 +1278,112 @@ mod tests {
         )
         .unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("Gamma("));
+    }
+
+    fn distance_cmd(param: DistanceParam, n: usize, seed: u64, density: f64) -> Command {
+        Command::Distance {
+            param,
+            n,
+            seed,
+            algorithm: ApspAlgorithm::NaiveBroadcast,
+            w_max: 5,
+            density,
+            backend: ExtremumBackend::Quantum,
+            trace: None,
+            faults: None,
+            verify: false,
+            max_retries: 3,
+        }
+    }
+
+    #[test]
+    fn run_diameter_smoke() {
+        let mut buf = Vec::new();
+        let status = run(&distance_cmd(DistanceParam::Diameter, 8, 1, 0.6), &mut buf).unwrap();
+        assert_eq!(status, RunStatus::Success);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("diameter = "), "{text}");
+        assert!(text.contains("witness vertex"), "{text}");
+        assert!(text.contains("rounds total"), "{text}");
+    }
+
+    #[test]
+    fn run_distance_on_empty_graph_reports_disconnected_and_inf() {
+        // Density 0 guarantees no arcs: every off-diagonal distance is
+        // infinite, so the honest diameter is inf, not 0.
+        let mut buf = Vec::new();
+        let status = run(&distance_cmd(DistanceParam::Diameter, 5, 2, 0.0), &mut buf).unwrap();
+        assert_eq!(status, RunStatus::Success);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("diameter = inf"), "{text}");
+        assert!(text.contains("disconnected"), "{text}");
+    }
+
+    #[test]
+    fn run_ecc_lists_the_full_vector() {
+        let mut buf = Vec::new();
+        let status = run(
+            &distance_cmd(DistanceParam::Eccentricities, 5, 3, 1.0),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(status, RunStatus::Success);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("ecc(0) = "), "{text}");
+        assert!(text.contains("ecc(4) = "), "{text}");
+    }
+
+    #[test]
+    fn run_traced_radius_then_summary_agrees_on_rounds() {
+        let path = temp_path("radius-summary");
+        let mut buf = Vec::new();
+        let mut cmd = distance_cmd(DistanceParam::Radius, 7, 4, 0.6);
+        if let Command::Distance { trace, verify, .. } = &mut cmd {
+            *trace = Some(path.to_string_lossy().into_owned());
+            *verify = true;
+        }
+        let status = run(&cmd, &mut buf).unwrap();
+        assert_eq!(status, RunStatus::Success);
+        let text = String::from_utf8(buf).unwrap();
+        let rounds: u64 = text
+            .split(": ")
+            .nth(1)
+            .and_then(|s| s.split(' ').next())
+            .and_then(|s| s.parse().ok())
+            .expect("rounds in output");
+        let mut buf = Vec::new();
+        let status = run(
+            &Command::TraceSummary {
+                file: path.to_string_lossy().into_owned(),
+                expect_rounds: Some(rounds),
+                max_depth: usize::MAX,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(status, RunStatus::Success);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("distance-param"), "{text}");
+        assert!(
+            text.contains(&format!("round total matches expected {rounds}")),
+            "{text}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_faulty_verified_diameter_reports_success() {
+        let mut buf = Vec::new();
+        let mut cmd = distance_cmd(DistanceParam::Diameter, 6, 9, 0.6);
+        if let Command::Distance { faults, verify, .. } = &mut cmd {
+            *faults = Some(FaultPlan::parse("drop=0.1,corrupt=0.02,seed=4").unwrap());
+            *verify = true;
+        }
+        let status = run(&cmd, &mut buf).unwrap();
+        assert_eq!(status, RunStatus::Success);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("verified: true"), "{text}");
+        assert!(text.contains("fallback: false"), "{text}");
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //! measured frequencies must match the closed-form quantum mechanics the
 //! simulator claims to implement exactly.
 
-use qcc::quantum::{grover_search, AmplitudeEstimator, GroverAmplitudes, SearchOracle};
+use qcc::quantum::{
+    grover_search, quantum_minimum, quantum_minimum_bounded, AmplitudeEstimator, GroverAmplitudes,
+    SearchOracle,
+};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Measurement frequencies after k iterations track sin²((2k+1)θ) across a
 /// whole sweep of k — not just at the optimum.
@@ -114,6 +117,62 @@ fn amplitude_angle_consistency() {
             "k = {k}"
         );
     }
+}
+
+/// Dürr–Høyer minimum finding is a Las-Vegas algorithm: across hundreds
+/// of seeded trials on adversarial arrays (duplicates, ties at the
+/// threshold, the minimum hidden at every position) the returned index
+/// must hold the true minimum *every* time. The pre-fix implementation
+/// silently returned its current — possibly non-extremal — threshold
+/// when a stage blew its 64-attempt budget, which this sweep would
+/// eventually catch as a wrong answer.
+#[test]
+fn quantum_minimum_returns_the_true_extremum_across_seeded_trials() {
+    for seed in 0..300u64 {
+        let mut rng = StdRng::seed_from_u64(7000 + seed);
+        let n = rng.gen_range(2..80);
+        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(-5..50)).collect();
+        let true_min = *values.iter().min().expect("n > 0");
+        let out = quantum_minimum(n, |i| values[i], &mut rng);
+        assert_eq!(
+            values[out.index], true_min,
+            "seed {seed}: returned {} but the minimum is {true_min} ({values:?})",
+            values[out.index]
+        );
+    }
+}
+
+/// Under a starvation budget (one BBHT attempt per stage) exhaustion is
+/// frequent — and must surface as a typed error carrying the best seen
+/// so far, never as a silent non-extremum dressed up as the answer.
+#[test]
+fn bounded_minimum_is_sound_even_when_the_budget_starves() {
+    let mut exhausted = 0u32;
+    let mut succeeded = 0u32;
+    for seed in 0..300u64 {
+        let mut rng = StdRng::seed_from_u64(8000 + seed);
+        let n = 48;
+        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(0..40)).collect();
+        let true_min = *values.iter().min().expect("n > 0");
+        match quantum_minimum_bounded(n, |i| values[i], 1, &mut rng) {
+            Ok(out) => {
+                succeeded += 1;
+                assert_eq!(
+                    values[out.index], true_min,
+                    "seed {seed}: an Ok that is not the minimum"
+                );
+            }
+            Err(e) => {
+                exhausted += 1;
+                assert!(e.best_index < n, "seed {seed}: best index out of range");
+            }
+        }
+    }
+    assert!(exhausted > 0, "a 1-attempt budget must starve sometimes");
+    assert!(
+        succeeded > 0,
+        "a 1-attempt budget must also succeed sometimes"
+    );
 }
 
 /// Exact-count register recommendation really achieves ±1 counting across
