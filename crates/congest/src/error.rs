@@ -51,6 +51,27 @@ pub enum CongestError {
         /// Label of the accounting phase that was active.
         phase: String,
     },
+    /// A transport was asked to run over a disconnected topology: some
+    /// nodes can never hear from the rest, so collective operations are
+    /// impossible by construction (not a runtime fault — rejected before
+    /// any round is charged).
+    Partitioned {
+        /// Nodes reachable from node 0.
+        reachable: usize,
+        /// The network size.
+        n: usize,
+    },
+    /// A coded-gossip collective exhausted its round budget with nodes
+    /// still unable to decode the block (injected losses outran the
+    /// coding redundancy).
+    DecodeFailed {
+        /// Label of the accounting phase that was active.
+        phase: String,
+        /// Nodes still short of full decoding rank.
+        undecoded: usize,
+        /// Rounds charged before giving up.
+        rounds: u64,
+    },
 }
 
 impl fmt::Display for CongestError {
@@ -79,6 +100,24 @@ impl fmt::Display for CongestError {
             }
             CongestError::NodeCrashed { node, phase } => {
                 write!(f, "{node} crashed during phase {phase:?}")
+            }
+            CongestError::Partitioned { reachable, n } => {
+                write!(
+                    f,
+                    "topology is disconnected: only {reachable} of {n} nodes \
+                     reachable from node 0"
+                )
+            }
+            CongestError::DecodeFailed {
+                phase,
+                undecoded,
+                rounds,
+            } => {
+                write!(
+                    f,
+                    "coded gossip failed in phase {phase:?}: {undecoded} node(s) \
+                     could not decode after {rounds} rounds"
+                )
             }
         }
     }
@@ -116,6 +155,22 @@ mod tests {
         };
         assert!(e.to_string().contains("node2"));
         assert!(e.to_string().contains("step3"));
+    }
+
+    #[test]
+    fn transport_variants_are_informative() {
+        let e = CongestError::Partitioned { reachable: 3, n: 8 };
+        let text = e.to_string();
+        assert!(text.contains('3') && text.contains('8'), "{text}");
+        assert!(text.contains("disconnected"), "{text}");
+        let e = CongestError::DecodeFailed {
+            phase: "gossip/src2".into(),
+            undecoded: 2,
+            rounds: 41,
+        };
+        let text = e.to_string();
+        assert!(text.contains("gossip/src2"), "{text}");
+        assert!(text.contains('2') && text.contains("41"), "{text}");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! pins byte-for-byte.
 
 use crate::node::NodeId;
+use std::fmt;
 
 /// The kind of an injected fault, as recorded in metrics and traces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -160,20 +161,36 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message naming the offending item.
+    /// Returns a human-readable message naming the offending item, its
+    /// 1-based position in the comma-separated list, and its byte offset
+    /// in the spec, e.g. `fault item 2 ("crash=3") at byte 10: crash spec
+    /// "3" is not NODE@ROUND`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
-        for item in spec.split(',').filter(|s| !s.trim().is_empty()) {
+        let mut offset = 0usize;
+        for (idx, raw) in spec.split(',').enumerate() {
+            let item_offset = offset + (raw.len() - raw.trim_start().len());
+            offset += raw.len() + 1;
+            let item = raw.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let at = |what: String| {
+                format!(
+                    "fault item {} ({item:?}) at byte {item_offset}: {what}",
+                    idx + 1
+                )
+            };
             let (key, value) = item
                 .split_once('=')
-                .ok_or_else(|| format!("fault item {item:?} is not key=value"))?;
+                .ok_or_else(|| at(format!("{item:?} is not key=value")))?;
             let (key, value) = (key.trim(), value.trim());
             let rate = |v: &str| -> Result<f64, String> {
                 let r: f64 = v
                     .parse()
-                    .map_err(|_| format!("fault rate {v:?} is not a number"))?;
+                    .map_err(|_| at(format!("fault rate {v:?} is not a number")))?;
                 if !(0.0..=1.0).contains(&r) {
-                    return Err(format!("fault rate {v} is outside [0, 1]"));
+                    return Err(at(format!("fault rate {v} is outside [0, 1]")));
                 }
                 Ok(r)
             };
@@ -184,40 +201,81 @@ impl FaultPlan {
                 "seed" => {
                     plan.seed = value
                         .parse()
-                        .map_err(|_| format!("fault seed {value:?} is not a u64"))?;
+                        .map_err(|_| at(format!("fault seed {value:?} is not a u64")))?;
                 }
                 "crash" => {
                     let (node, round) = value
                         .split_once('@')
-                        .ok_or_else(|| format!("crash spec {value:?} is not NODE@ROUND"))?;
+                        .ok_or_else(|| at(format!("crash spec {value:?} is not NODE@ROUND")))?;
                     let node: usize = node
                         .parse()
-                        .map_err(|_| format!("crash node {node:?} is not an index"))?;
+                        .map_err(|_| at(format!("crash node {node:?} is not an index")))?;
                     let round: u64 = round
                         .parse()
-                        .map_err(|_| format!("crash round {round:?} is not a u64"))?;
+                        .map_err(|_| at(format!("crash round {round:?} is not a u64")))?;
                     plan.crashes.push((NodeId::new(node), round));
                 }
                 "link" => {
                     let (pair, r) = value
                         .split_once(':')
-                        .ok_or_else(|| format!("link spec {value:?} is not SRC>DST:RATE"))?;
+                        .ok_or_else(|| at(format!("link spec {value:?} is not SRC>DST:RATE")))?;
                     let (src, dst) = pair
                         .split_once('>')
-                        .ok_or_else(|| format!("link spec {value:?} is not SRC>DST:RATE"))?;
+                        .ok_or_else(|| at(format!("link spec {value:?} is not SRC>DST:RATE")))?;
                     let src: usize = src
                         .parse()
-                        .map_err(|_| format!("link src {src:?} is not an index"))?;
+                        .map_err(|_| at(format!("link src {src:?} is not an index")))?;
                     let dst: usize = dst
                         .parse()
-                        .map_err(|_| format!("link dst {dst:?} is not an index"))?;
+                        .map_err(|_| at(format!("link dst {dst:?} is not an index")))?;
                     plan.link_drop
                         .push(((NodeId::new(src), NodeId::new(dst)), rate(r)?));
                 }
-                other => return Err(format!("unknown fault key {other:?}")),
+                other => return Err(at(format!("unknown fault key {other:?}"))),
             }
         }
         Ok(plan)
+    }
+
+    /// The canonical spec string of this plan, in [`FaultPlan::parse`]'s
+    /// grammar. Default-valued fields are omitted, so an empty plan yields
+    /// the empty string; `parse(plan.to_spec())` reconstructs the plan
+    /// exactly (rates print in Rust's shortest round-trip `f64` form).
+    /// Benches use this to log each grid cell's exact fault configuration.
+    #[must_use]
+    pub fn to_spec(&self) -> String {
+        let mut items: Vec<String> = Vec::new();
+        if self.drop_rate != 0.0 {
+            items.push(format!("drop={}", self.drop_rate));
+        }
+        if self.corrupt_rate != 0.0 {
+            items.push(format!("corrupt={}", self.corrupt_rate));
+        }
+        if self.duplicate_rate != 0.0 {
+            items.push(format!("dup={}", self.duplicate_rate));
+        }
+        for ((src, dst), rate) in &self.link_drop {
+            items.push(format!("link={}>{}:{}", src.index(), dst.index(), rate));
+        }
+        for (node, round) in &self.crashes {
+            items.push(format!("crash={}@{}", node.index(), round));
+        }
+        if self.seed != 0 {
+            items.push(format!("seed={}", self.seed));
+        }
+        items.join(",")
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    /// Formats the plan as its canonical parseable spec (see
+    /// [`FaultPlan::to_spec`]); an empty plan prints as `(no faults)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() && self.seed == 0 {
+            write!(f, "(no faults)")
+        } else {
+            write!(f, "{}", self.to_spec())
+        }
     }
 }
 
@@ -416,6 +474,50 @@ mod tests {
         assert!(FaultPlan::parse("link=0:0.5").is_err());
         assert!(FaultPlan::parse("seed=abc").is_err());
         assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn to_spec_round_trips_through_parse() {
+        let spec = "drop=0.05,corrupt=0.01,dup=0.02,link=0>1:0.5,crash=3@100,seed=9";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.to_spec(), spec, "canonical order and formatting");
+        assert_eq!(FaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+        // Empty plan: empty spec, parses back to the default.
+        assert_eq!(FaultPlan::default().to_spec(), "");
+        assert_eq!(
+            FaultPlan::parse(&FaultPlan::default().to_spec()).unwrap(),
+            FaultPlan::default()
+        );
+        // A bare seed still round-trips even though the plan is "empty".
+        let seeded = FaultPlan {
+            seed: 42,
+            ..FaultPlan::default()
+        };
+        assert_eq!(seeded.to_spec(), "seed=42");
+        assert_eq!(FaultPlan::parse(&seeded.to_spec()).unwrap(), seeded);
+    }
+
+    #[test]
+    fn display_is_the_spec_or_a_placeholder() {
+        let plan = FaultPlan::parse("drop=0.1,seed=3").unwrap();
+        assert_eq!(plan.to_string(), "drop=0.1,seed=3");
+        assert_eq!(FaultPlan::default().to_string(), "(no faults)");
+    }
+
+    #[test]
+    fn parse_errors_name_token_and_position() {
+        // "drop=0.05," is 10 bytes, so the bad item starts at byte 10 and
+        // is the second comma-separated item.
+        let err = FaultPlan::parse("drop=0.05,crash=3").unwrap_err();
+        assert!(err.contains("item 2"), "{err}");
+        assert!(err.contains("byte 10"), "{err}");
+        assert!(err.contains("\"crash=3\""), "{err}");
+        // Leading whitespace does not shift the reported token start.
+        let err = FaultPlan::parse("drop=0.05, warp=1").unwrap_err();
+        assert!(err.contains("byte 11"), "{err}");
+        assert!(err.contains("\"warp=1\""), "{err}");
+        let err = FaultPlan::parse("drop=nope").unwrap_err();
+        assert!(err.contains("item 1") && err.contains("byte 0"), "{err}");
     }
 
     #[test]

@@ -55,7 +55,10 @@ mod network;
 mod node;
 mod payload;
 mod reliable;
+pub mod rlnc;
+pub mod topology;
 pub mod trace;
+mod transport;
 
 pub use envelope::{collect_sends, total_bits, Envelope, Inboxes};
 pub use error::CongestError;
@@ -65,6 +68,12 @@ pub use network::{Clique, DEFAULT_BANDWIDTH_FACTOR, EXPLICIT_SCHEDULE_LIMIT};
 pub use node::NodeId;
 pub use payload::{bits_for_count, bits_for_weight_range, Payload, RawBits};
 pub use reliable::ReliableConfig;
+pub use topology::{Topology, TopologySpec};
+pub use transport::{
+    ByteBlock, CliqueTransport, GossipStats, GossipTransport, Transport, WaveStats,
+    DEFAULT_GOSSIP_CHUNKS,
+};
+
 pub use trace::{
     parse_trace, parse_trace_line, CommEvent, CommTotals, SpanSummary, TraceBuffer, TraceError,
     TraceEvent, TraceSink, TraceSummary,

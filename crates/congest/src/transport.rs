@@ -1,0 +1,948 @@
+//! The transport abstraction: clique routing vs coded gossip.
+//!
+//! [`Transport`] abstracts the communication substrate behind the three
+//! collective shapes the APSP pipeline uses — point-to-point exchange,
+//! relayed routing, and block broadcast/gossip — so algorithms can run
+//! unchanged over either:
+//!
+//! * [`CliqueTransport`] (an alias for [`Clique`]): the Lenzen-routed
+//!   complete graph. Going through the trait charges rounds
+//!   byte-identically to calling the [`Clique`] primitives directly —
+//!   the trait impl is pure delegation, pinned by the determinism suite.
+//! * [`GossipTransport`]: collective operations over a general
+//!   [`Topology`] (ring, torus, random mesh) as RLNC-coded gossip.
+//!   A broadcast source commits a block of [`crate::rlnc`] chunks and
+//!   every node forwards fresh random linear combinations to its
+//!   neighbors each wave until all nodes reach full decoding rank.
+//!   Redundancy replaces retransmission: the transport deliberately does
+//!   *not* use the ack/retransmit envelope, so the transport matrix can
+//!   compare coded degradation against retry-based recovery under the
+//!   same [`FaultPlan`].
+//!
+//! Both transports drive all traffic through the inner [`Clique`]
+//! engine, so fault injection, round charging, the metrics span tree,
+//! and the NDJSON trace compose for free. Failure is always typed —
+//! [`CongestError::Partitioned`] for disconnected topologies (rejected
+//! at construction), [`CongestError::DecodeFailed`] when coding
+//! redundancy is outrun by losses, [`CongestError::NodeCrashed`] /
+//! [`CongestError::DeliveryFailed`] for fail-stop and exhausted
+//! forwarding — never a silently wrong result.
+//!
+//! ## Wasted-bandwidth accounting
+//!
+//! A coded packet a node receives is *innovative* when it raises the
+//! node's decoding rank, otherwise *wasted*. [`GossipStats`] counts both
+//! (in packets and bits), plus `full_nodes` per wave — the
+//! redundancy-overhead curve the transport matrix reports. A dropped
+//! packet's bits were still charged on the wire (the fault model charges
+//! a crashed receiver's inbound links too) but are counted by the fault
+//! tally, not as gossip waste: waste here means "arrived but taught the
+//! receiver nothing".
+
+use crate::envelope::{Envelope, Inboxes};
+use crate::error::CongestError;
+use crate::fault::{FaultCounts, FaultPlan};
+use crate::metrics::Metrics;
+use crate::network::Clique;
+use crate::node::NodeId;
+use crate::payload::{Payload, RawBits};
+use crate::rlnc::{split_block, unframe, Decoder, PacketRng};
+use crate::topology::Topology;
+use crate::trace::TraceSink;
+
+/// An opaque byte block as a wire payload: `8 · len` bits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ByteBlock(pub Vec<u8>);
+
+impl Payload for ByteBlock {
+    fn bit_size(&self) -> u64 {
+        8 * self.0.len() as u64
+    }
+}
+
+/// The communication substrate, abstracted.
+///
+/// Object-safe: algorithm entry points take `&mut dyn Transport` and run
+/// unchanged over the clique or a coded-gossip mesh. Every method that
+/// moves data reports failure through typed [`CongestError`] variants —
+/// a transport never silently delivers a partial or wrong result.
+pub trait Transport {
+    /// Number of nodes.
+    fn n(&self) -> usize;
+
+    /// Stable transport kind label (`"clique"` or `"gossip"`).
+    fn kind(&self) -> &'static str;
+
+    /// Total synchronous rounds charged so far.
+    fn rounds(&self) -> u64;
+
+    /// The accumulated metrics (span tree, comm events, fault tallies).
+    fn metrics(&self) -> &Metrics;
+
+    /// Global tally of injected faults.
+    fn fault_counts(&self) -> FaultCounts;
+
+    /// Opens a top-level accounting phase.
+    fn begin_phase(&mut self, label: &str);
+
+    /// Closes the current accounting phase.
+    fn end_phase(&mut self);
+
+    /// Opens a nested span inside the current phase.
+    fn push_span(&mut self, label: &str);
+
+    /// Closes the innermost span.
+    fn pop_span(&mut self);
+
+    /// Closes any spans left open (error-path cleanup).
+    fn close_all_spans(&mut self);
+
+    /// Attaches an NDJSON trace sink.
+    fn set_trace_sink(&mut self, sink: TraceSink);
+
+    /// Arms deterministic fault injection.
+    fn set_fault_plan(&mut self, plan: FaultPlan);
+
+    /// Point-to-point delivery of sized messages.
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::UnknownNode`] for out-of-range endpoints;
+    /// [`CongestError::DeliveryFailed`] when injected faults leave
+    /// messages undelivered.
+    fn exchange_bits(
+        &mut self,
+        sends: Vec<Envelope<RawBits>>,
+    ) -> Result<Inboxes<RawBits>, CongestError>;
+
+    /// Relayed delivery (Lenzen routing on the clique; shortest-hop
+    /// forwarding on general topologies).
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::exchange_bits`].
+    fn route_bits(
+        &mut self,
+        sends: Vec<Envelope<RawBits>>,
+    ) -> Result<Inboxes<RawBits>, CongestError>;
+
+    /// One node delivers `block` to every node; returns each node's copy
+    /// (index = node id), all byte-identical to `block` on success.
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::DeliveryFailed`], [`CongestError::NodeCrashed`],
+    /// or [`CongestError::DecodeFailed`] when faults defeat delivery.
+    fn broadcast_block(&mut self, src: NodeId, block: &[u8]) -> Result<Vec<Vec<u8>>, CongestError>;
+
+    /// Every node contributes one block; returns `views[node][src]` =
+    /// node's copy of `src`'s block, complete on every node or a typed
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::broadcast_block`].
+    fn gossip_blocks(&mut self, blocks: &[Vec<u8>]) -> Result<Vec<Vec<Vec<u8>>>, CongestError>;
+
+    /// Coded-gossip statistics, when this transport gossips (`None` on
+    /// the clique).
+    fn gossip_stats(&self) -> Option<&GossipStats> {
+        None
+    }
+}
+
+/// The Lenzen-routed complete graph behind the [`Transport`] trait.
+///
+/// A type alias, not a wrapper: the trait impl on [`Clique`] is pure
+/// delegation to the existing primitives, so charged rounds through the
+/// trait are byte-identical to the direct path (the determinism suite
+/// pins this).
+pub type CliqueTransport = Clique;
+
+impl Transport for Clique {
+    fn n(&self) -> usize {
+        Clique::n(self)
+    }
+
+    fn kind(&self) -> &'static str {
+        "clique"
+    }
+
+    fn rounds(&self) -> u64 {
+        Clique::rounds(self)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        Clique::metrics(self)
+    }
+
+    fn fault_counts(&self) -> FaultCounts {
+        *Clique::fault_counts(self)
+    }
+
+    fn begin_phase(&mut self, label: &str) {
+        Clique::begin_phase(self, label);
+    }
+
+    fn end_phase(&mut self) {
+        Clique::end_phase(self);
+    }
+
+    fn push_span(&mut self, label: &str) {
+        Clique::push_span(self, label);
+    }
+
+    fn pop_span(&mut self) {
+        Clique::pop_span(self);
+    }
+
+    fn close_all_spans(&mut self) {
+        Clique::close_all_spans(self);
+    }
+
+    fn set_trace_sink(&mut self, sink: TraceSink) {
+        Clique::set_trace_sink(self, sink);
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        Clique::set_fault_plan(self, plan);
+    }
+
+    fn exchange_bits(
+        &mut self,
+        sends: Vec<Envelope<RawBits>>,
+    ) -> Result<Inboxes<RawBits>, CongestError> {
+        self.exchange(sends)
+    }
+
+    fn route_bits(
+        &mut self,
+        sends: Vec<Envelope<RawBits>>,
+    ) -> Result<Inboxes<RawBits>, CongestError> {
+        self.route(sends)
+    }
+
+    fn broadcast_block(&mut self, src: NodeId, block: &[u8]) -> Result<Vec<Vec<u8>>, CongestError> {
+        let n = Clique::n(self);
+        let inboxes = self.broadcast(src, ByteBlock(block.to_vec()))?;
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(n);
+        let mut undelivered = 0u64;
+        for node in NodeId::all(n) {
+            if node == src {
+                out.push(block.to_vec());
+                continue;
+            }
+            match inboxes.of(node).iter().find(|(from, _)| *from == src) {
+                Some((_, b)) => out.push(b.0.clone()),
+                None => {
+                    undelivered += 1;
+                    out.push(Vec::new());
+                }
+            }
+        }
+        if undelivered > 0 {
+            // Raw (un-enveloped) faults dropped broadcast copies: surface
+            // the partial delivery as a typed error, never a short view.
+            return Err(CongestError::DeliveryFailed {
+                phase: self.phase_label(),
+                undelivered,
+                attempts: 1,
+            });
+        }
+        Ok(out)
+    }
+
+    fn gossip_blocks(&mut self, blocks: &[Vec<u8>]) -> Result<Vec<Vec<Vec<u8>>>, CongestError> {
+        let n = Clique::n(self);
+        let items: Vec<Vec<ByteBlock>> =
+            blocks.iter().map(|b| vec![ByteBlock(b.clone())]).collect();
+        let views = self.gossip(items)?;
+        let mut out: Vec<Vec<Vec<u8>>> = Vec::with_capacity(n);
+        let mut undelivered = 0u64;
+        for view in views {
+            let mut per_src: Vec<Option<Vec<u8>>> = vec![None; n];
+            for (src, block) in view {
+                per_src[src.index()] = Some(block.0);
+            }
+            undelivered += per_src.iter().filter(|s| s.is_none()).count() as u64;
+            out.push(per_src.into_iter().map(Option::unwrap_or_default).collect());
+        }
+        if undelivered > 0 {
+            return Err(CongestError::DeliveryFailed {
+                phase: self.phase_label(),
+                undelivered,
+                attempts: 1,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Per-wave coded-gossip accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WaveStats {
+    /// Wave index within its broadcast (0-based).
+    pub wave: u64,
+    /// Coded packets put on the wire this wave.
+    pub sent: u64,
+    /// Received packets that raised a decoder's rank.
+    pub innovative: u64,
+    /// Received packets that taught the receiver nothing.
+    pub wasted: u64,
+    /// Nodes at full decoding rank after this wave.
+    pub full_nodes: usize,
+}
+
+/// Cumulative coded-gossip statistics for a [`GossipTransport`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GossipStats {
+    /// Completed block broadcasts.
+    pub broadcasts: u64,
+    /// Total gossip waves across all broadcasts.
+    pub waves: u64,
+    /// Coded packets put on the wire.
+    pub packets_sent: u64,
+    /// Packets that raised some decoder's rank on arrival.
+    pub innovative_packets: u64,
+    /// Packets that arrived but were linearly dependent — the wasted
+    /// bandwidth of coded redundancy.
+    pub wasted_packets: u64,
+    /// Bits of those wasted packets.
+    pub wasted_bits: u64,
+    /// Nodes at full rank when the most recent broadcast finished.
+    pub full_nodes: usize,
+    /// Per-wave breakdown, in execution order across broadcasts.
+    pub per_wave: Vec<WaveStats>,
+}
+
+impl GossipStats {
+    /// Wasted packets as a fraction of all packets sent (0 when nothing
+    /// was sent).
+    #[must_use]
+    pub fn waste_fraction(&self) -> f64 {
+        if self.packets_sent == 0 {
+            0.0
+        } else {
+            self.wasted_packets as f64 / self.packets_sent as f64
+        }
+    }
+}
+
+/// RLNC-coded gossip over a general [`Topology`].
+///
+/// All traffic flows through an inner [`Clique`] engine restricted to
+/// topology edges, so fault injection, round charging, and tracing are
+/// shared with the clique transport. See the module docs for the
+/// protocol and failure semantics.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_congest::{GossipTransport, NodeId, Topology, Transport};
+///
+/// let topo = Topology::ring(6);
+/// let mut t = GossipTransport::new(topo, 7).unwrap();
+/// let views = t.broadcast_block(NodeId::new(0), b"hello mesh").unwrap();
+/// assert!(views.iter().all(|v| v == b"hello mesh"));
+/// assert!(t.gossip_stats().unwrap().packets_sent > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GossipTransport {
+    topo: Topology,
+    net: Clique,
+    /// `next_hops()[dst][u]` = neighbor of `u` toward `dst`.
+    hops: Vec<Vec<usize>>,
+    chunks: usize,
+    seed: u64,
+    wave_cap: Option<u64>,
+    broadcast_counter: u64,
+    stats: GossipStats,
+}
+
+/// Default chunks per broadcast block (the SNIPPETS exemplar's 10,
+/// rounded to a power of two).
+pub const DEFAULT_GOSSIP_CHUNKS: usize = 8;
+
+impl GossipTransport {
+    /// Builds a coded-gossip transport over `topo`; `seed` drives the
+    /// coding coefficients (independent of algorithm and fault RNGs).
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::Partitioned`] when `topo` is disconnected — a
+    /// typed rejection before any round is charged.
+    pub fn new(topo: Topology, seed: u64) -> Result<Self, CongestError> {
+        topo.require_connected()?;
+        let net = Clique::new(topo.n())?;
+        let hops = topo.next_hops();
+        Ok(GossipTransport {
+            topo,
+            net,
+            hops,
+            chunks: DEFAULT_GOSSIP_CHUNKS,
+            seed,
+            wave_cap: None,
+            broadcast_counter: 0,
+            stats: GossipStats::default(),
+        })
+    }
+
+    /// Sets the chunks per block. `1` degenerates to uncoded flooding —
+    /// every packet is the whole block — which is the "retry by
+    /// repetition" baseline the transport matrix calls *flood*.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunks == 0`.
+    #[must_use]
+    pub fn with_chunks(mut self, chunks: usize) -> Self {
+        assert!(chunks > 0, "need at least one chunk");
+        self.chunks = chunks;
+        self
+    }
+
+    /// Caps the waves a single broadcast may take before it fails with
+    /// [`CongestError::DecodeFailed`]. Defaults to
+    /// `8 · (chunks + hop diameter) + 40`.
+    #[must_use]
+    pub fn with_wave_cap(mut self, cap: u64) -> Self {
+        self.wave_cap = Some(cap);
+        self
+    }
+
+    /// The underlying topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Chunks per broadcast block.
+    #[must_use]
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// Read access to the inner round/metrics engine.
+    #[must_use]
+    pub fn network(&self) -> &Clique {
+        &self.net
+    }
+
+    fn effective_wave_cap(&self) -> u64 {
+        self.wave_cap.unwrap_or_else(|| {
+            let diameter = self.topo.hop_diameter().unwrap_or(0);
+            8 * (self.chunks as u64 + diameter) + 40
+        })
+    }
+
+    fn is_crashed(&self, node: usize) -> bool {
+        self.net
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.is_crashed(NodeId::new(node)))
+    }
+
+    /// One RLNC broadcast: spray coded packets along topology edges until
+    /// every node decodes, a node crashes, or the wave cap runs out.
+    fn broadcast_inner(&mut self, src: NodeId, block: &[u8]) -> Result<Vec<Vec<u8>>, CongestError> {
+        let n = self.topo.n();
+        if src.index() >= n {
+            return Err(CongestError::UnknownNode { node: src, n });
+        }
+        let parts = split_block(block, self.chunks);
+        let chunk_bytes = parts[0].len();
+        self.broadcast_counter += 1;
+        let epoch = self.broadcast_counter;
+        let mut decoders: Vec<Decoder> = (0..n)
+            .map(|i| {
+                if i == src.index() {
+                    Decoder::source(&parts)
+                } else {
+                    Decoder::new(self.chunks, chunk_bytes)
+                }
+            })
+            .collect();
+        let mut rngs: Vec<PacketRng> = (0..n)
+            .map(|i| PacketRng::new(self.seed ^ (epoch << 24) ^ (i as u64)))
+            .collect();
+        let rounds_before = Clique::rounds(&self.net);
+        let cap = self.effective_wave_cap();
+        let mut wave = 0u64;
+        loop {
+            // Fail-stop is unrecoverable for gossip: a crashed node can
+            // never decode, so surface it as the typed error immediately.
+            if let Some(node) = (0..n).find(|&i| self.is_crashed(i)) {
+                return Err(CongestError::NodeCrashed {
+                    node: NodeId::new(node),
+                    phase: self.net.phase_label(),
+                });
+            }
+            let full = decoders.iter().filter(|d| d.is_full()).count();
+            if full == n {
+                break;
+            }
+            if wave >= cap {
+                return Err(CongestError::DecodeFailed {
+                    phase: self.net.phase_label(),
+                    undecoded: n - full,
+                    rounds: Clique::rounds(&self.net) - rounds_before,
+                });
+            }
+            // Every informed node sprays one fresh combination per
+            // neighbor — no acks, no feedback; the redundancy is the
+            // mechanism and the waste is measured, not hidden.
+            let mut sends = Vec::new();
+            for u in 0..n {
+                if decoders[u].rank() == 0 || self.is_crashed(u) {
+                    continue;
+                }
+                for &v in self.topo.neighbors(u) {
+                    let packet = decoders[u]
+                        .emit(&mut rngs[u])
+                        .expect("rank > 0 emits a packet");
+                    sends.push(Envelope::new(NodeId::new(u), NodeId::new(v), packet));
+                }
+            }
+            if sends.is_empty() {
+                // Unreachable with a connected topology and a live source,
+                // but guard against looping forever.
+                return Err(CongestError::DecodeFailed {
+                    phase: self.net.phase_label(),
+                    undecoded: n - full,
+                    rounds: Clique::rounds(&self.net) - rounds_before,
+                });
+            }
+            let sent = sends.len() as u64;
+            let inboxes = self.net.exchange(sends)?;
+            wave += 1;
+            let mut innovative = 0u64;
+            let mut wasted = 0u64;
+            let mut wasted_bits = 0u64;
+            for (v, decoder) in decoders.iter_mut().enumerate() {
+                let me = NodeId::new(v);
+                for (_, packet) in inboxes.of(me) {
+                    if decoder.absorb(&packet.coeffs, &packet.data) {
+                        innovative += 1;
+                    } else {
+                        wasted += 1;
+                        wasted_bits += packet.bit_size();
+                    }
+                }
+            }
+            let full_now = decoders.iter().filter(|d| d.is_full()).count();
+            self.stats.waves += 1;
+            self.stats.packets_sent += sent;
+            self.stats.innovative_packets += innovative;
+            self.stats.wasted_packets += wasted;
+            self.stats.wasted_bits += wasted_bits;
+            self.stats.full_nodes = full_now;
+            self.stats.per_wave.push(WaveStats {
+                wave: wave - 1,
+                sent,
+                innovative,
+                wasted,
+                full_nodes: full_now,
+            });
+        }
+        self.stats.broadcasts += 1;
+        self.stats.full_nodes = n;
+        let mut out = Vec::with_capacity(n);
+        for (i, d) in decoders.iter().enumerate() {
+            let framed = d.decode().ok_or_else(|| CongestError::DecodeFailed {
+                phase: self.net.phase_label(),
+                undecoded: 1,
+                rounds: Clique::rounds(&self.net) - rounds_before,
+            })?;
+            let block = unframe(&framed).ok_or_else(|| CongestError::DecodeFailed {
+                phase: self.net.phase_label(),
+                undecoded: 1,
+                rounds: Clique::rounds(&self.net) - rounds_before,
+            })?;
+            debug_assert_eq!(
+                block.len(),
+                out.first().map_or(block.len(), Vec::len),
+                "{i}"
+            );
+            out.push(block);
+        }
+        Ok(out)
+    }
+
+    /// Multi-hop store-and-forward exchange along BFS next-hop paths.
+    ///
+    /// Each hop is one [`Clique::exchange`] wave restricted to topology
+    /// edges; a forwarded message carries `(id, final-dst, payload)` so
+    /// relays know where to send it next. Messages dropped by faults
+    /// vanish permanently (no retransmission) and surface as a typed
+    /// [`CongestError::DeliveryFailed`].
+    fn exchange_inner(
+        &mut self,
+        sends: Vec<Envelope<RawBits>>,
+    ) -> Result<Inboxes<RawBits>, CongestError> {
+        let n = self.topo.n();
+        for e in &sends {
+            for node in [e.src, e.dst] {
+                if node.index() >= n {
+                    return Err(CongestError::UnknownNode { node, n });
+                }
+            }
+        }
+        let mut staged: Vec<(NodeId, NodeId, RawBits)> = Vec::new();
+        // In flight: (id, current node, final dst, payload).
+        let mut inflight: Vec<(usize, usize, usize, RawBits)> = Vec::new();
+        let mut origin_of: Vec<NodeId> = Vec::new();
+        let mut delivered: Vec<bool> = Vec::new();
+        for e in sends {
+            if e.src == e.dst {
+                // Local messages are free, exactly as on the clique.
+                staged.push((e.dst, e.src, e.payload));
+                continue;
+            }
+            let id = origin_of.len();
+            origin_of.push(e.src);
+            delivered.push(false);
+            inflight.push((id, e.src.index(), e.dst.index(), e.payload));
+        }
+        let mut hop = 0u32;
+        // Shortest-hop paths are at most n − 1 hops; duplicates ride the
+        // same paths, so n hops always drains the network.
+        while !inflight.is_empty() && hop < n as u32 {
+            let wire: Vec<Envelope<(u64, u64, RawBits)>> = inflight
+                .iter()
+                .map(|(id, cur, dst, raw)| {
+                    let next = self.hops[*dst][*cur];
+                    Envelope::new(
+                        NodeId::new(*cur),
+                        NodeId::new(next),
+                        (*id as u64, *dst as u64, raw.clone()),
+                    )
+                })
+                .collect();
+            let inboxes = self.net.exchange(wire)?;
+            hop += 1;
+            inflight.clear();
+            for v in 0..n {
+                let me = NodeId::new(v);
+                for (_, (id, dst, raw)) in inboxes.of(me) {
+                    let id = *id as usize;
+                    if *dst == v as u64 {
+                        delivered[id] = true;
+                        staged.push((me, origin_of[id], raw.clone()));
+                    } else {
+                        inflight.push((id, v, *dst as usize, raw.clone()));
+                    }
+                }
+            }
+        }
+        let undelivered = delivered.iter().filter(|&&d| !d).count() as u64;
+        if undelivered > 0 {
+            return Err(CongestError::DeliveryFailed {
+                phase: self.net.phase_label(),
+                undelivered,
+                attempts: hop,
+            });
+        }
+        Ok(Inboxes::from_staged(n, staged))
+    }
+}
+
+impl Transport for GossipTransport {
+    fn n(&self) -> usize {
+        self.topo.n()
+    }
+
+    fn kind(&self) -> &'static str {
+        "gossip"
+    }
+
+    fn rounds(&self) -> u64 {
+        Clique::rounds(&self.net)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        Clique::metrics(&self.net)
+    }
+
+    fn fault_counts(&self) -> FaultCounts {
+        *Clique::fault_counts(&self.net)
+    }
+
+    fn begin_phase(&mut self, label: &str) {
+        self.net.begin_phase(label);
+    }
+
+    fn end_phase(&mut self) {
+        self.net.end_phase();
+    }
+
+    fn push_span(&mut self, label: &str) {
+        self.net.push_span(label);
+    }
+
+    fn pop_span(&mut self) {
+        self.net.pop_span();
+    }
+
+    fn close_all_spans(&mut self) {
+        self.net.close_all_spans();
+    }
+
+    fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.net.set_trace_sink(sink);
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.net.set_fault_plan(plan);
+    }
+
+    fn exchange_bits(
+        &mut self,
+        sends: Vec<Envelope<RawBits>>,
+    ) -> Result<Inboxes<RawBits>, CongestError> {
+        self.exchange_inner(sends)
+    }
+
+    fn route_bits(
+        &mut self,
+        sends: Vec<Envelope<RawBits>>,
+    ) -> Result<Inboxes<RawBits>, CongestError> {
+        // No Lenzen relays without all-to-all links: relayed routing is
+        // the same store-and-forward walk as the plain exchange.
+        self.exchange_inner(sends)
+    }
+
+    fn broadcast_block(&mut self, src: NodeId, block: &[u8]) -> Result<Vec<Vec<u8>>, CongestError> {
+        self.net.push_span(&format!("rlnc/src{}", src.index()));
+        let result = self.broadcast_inner(src, block);
+        self.net.pop_span();
+        result
+    }
+
+    fn gossip_blocks(&mut self, blocks: &[Vec<u8>]) -> Result<Vec<Vec<Vec<u8>>>, CongestError> {
+        let n = self.topo.n();
+        if blocks.len() != n {
+            return Err(CongestError::UnknownNode {
+                node: NodeId::new(blocks.len()),
+                n,
+            });
+        }
+        // A conservative sequential schedule: one coded broadcast per
+        // source. Rounds add up source by source, which upper-bounds any
+        // interleaved schedule and keeps the accounting legible.
+        let mut views: Vec<Vec<Vec<u8>>> = vec![Vec::with_capacity(n); n];
+        for (i, block) in blocks.iter().enumerate() {
+            let copies = self.broadcast_block(NodeId::new(i), block)?;
+            for (view, copy) in views.iter_mut().zip(copies) {
+                view.push(copy);
+            }
+        }
+        Ok(views)
+    }
+
+    fn gossip_stats(&self) -> Option<&GossipStats> {
+        Some(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw_sends(n: usize) -> Vec<Envelope<RawBits>> {
+        let mut sends = Vec::new();
+        for src in 0..n {
+            for dst in 0..n {
+                sends.push(Envelope::new(
+                    NodeId::new(src),
+                    NodeId::new(dst),
+                    RawBits::new((src * n + dst) as u64, 32),
+                ));
+            }
+        }
+        sends
+    }
+
+    #[test]
+    fn clique_transport_is_pure_delegation() {
+        let mut direct = Clique::new(6).unwrap();
+        let mut traited = Clique::new(6).unwrap();
+        direct.exchange(raw_sends(6)).unwrap();
+        {
+            let t: &mut dyn Transport = &mut traited;
+            t.exchange_bits(raw_sends(6)).unwrap();
+            assert_eq!(t.kind(), "clique");
+        }
+        assert_eq!(Clique::rounds(&direct), Clique::rounds(&traited));
+        assert_eq!(
+            direct.metrics().total_bits(),
+            traited.metrics().total_bits()
+        );
+    }
+
+    #[test]
+    fn clique_broadcast_block_reaches_everyone() {
+        let mut net = Clique::new(5).unwrap();
+        let t: &mut dyn Transport = &mut net;
+        let views = t.broadcast_block(NodeId::new(2), b"payload").unwrap();
+        assert_eq!(views.len(), 5);
+        assert!(views.iter().all(|v| v == b"payload"));
+        assert!(t.rounds() > 0);
+        assert!(t.gossip_stats().is_none());
+    }
+
+    #[test]
+    fn clique_gossip_blocks_builds_per_source_views() {
+        let mut net = Clique::new(4).unwrap();
+        let blocks: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 3]).collect();
+        let views = Transport::gossip_blocks(&mut net, &blocks).unwrap();
+        for view in &views {
+            assert_eq!(view, &blocks);
+        }
+    }
+
+    #[test]
+    fn gossip_broadcast_decodes_on_every_topology() {
+        let block: Vec<u8> = (0..50).map(|i| (i * 7) as u8).collect();
+        for topo in [
+            Topology::clique(6),
+            Topology::ring(6),
+            Topology::torus(6),
+            Topology::random_mesh(9, 4, 3),
+        ] {
+            let n = topo.n();
+            let label = topo.label().to_string();
+            let mut t = GossipTransport::new(topo, 11).unwrap();
+            let views = t.broadcast_block(NodeId::new(1), &block).unwrap();
+            assert_eq!(views.len(), n, "{label}");
+            assert!(views.iter().all(|v| v == &block), "{label}");
+            let stats = t.gossip_stats().unwrap();
+            assert_eq!(stats.full_nodes, n, "{label}");
+            assert!(stats.packets_sent > 0, "{label}");
+            assert!(stats.innovative_packets >= (n as u64 - 1), "{label}");
+            assert!(t.rounds() > 0, "{label}");
+        }
+    }
+
+    #[test]
+    fn flood_mode_is_chunks_one() {
+        let mut t = GossipTransport::new(Topology::ring(5), 2)
+            .unwrap()
+            .with_chunks(1);
+        let views = t.broadcast_block(NodeId::new(0), b"flood").unwrap();
+        assert!(views.iter().all(|v| v == b"flood"));
+        // One chunk: a ring needs about diameter waves to cover.
+        let stats = t.gossip_stats().unwrap();
+        assert!(stats.waves >= 2, "waves = {}", stats.waves);
+    }
+
+    #[test]
+    fn partitioned_topology_is_rejected_at_construction() {
+        let topo = Topology::from_edges(6, &[(0, 1), (2, 3), (4, 5)], "islands");
+        let err = GossipTransport::new(topo, 0).unwrap_err();
+        assert_eq!(err, CongestError::Partitioned { reachable: 2, n: 6 });
+    }
+
+    #[test]
+    fn crash_surfaces_as_typed_error() {
+        let mut t = GossipTransport::new(Topology::ring(6), 4).unwrap();
+        let mut plan = FaultPlan::parse("crash=3@0,seed=1").unwrap();
+        plan.seed = 1;
+        Transport::set_fault_plan(&mut t, plan);
+        let err = t.broadcast_block(NodeId::new(0), b"doomed").unwrap_err();
+        match err {
+            CongestError::NodeCrashed { node, .. } => assert_eq!(node.index(), 3),
+            other => panic!("expected NodeCrashed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_wave_cap_is_decode_failed() {
+        // Cap of zero: the first wave never happens, so the broadcast
+        // must fail with the typed decode error, never hang or lie.
+        let mut t = GossipTransport::new(Topology::ring(5), 4)
+            .unwrap()
+            .with_wave_cap(0);
+        let err = t.broadcast_block(NodeId::new(0), b"never").unwrap_err();
+        match err {
+            CongestError::DecodeFailed { undecoded, .. } => assert_eq!(undecoded, 4),
+            other => panic!("expected DecodeFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gossip_exchange_forwards_multi_hop() {
+        let n = 6;
+        let mut gossip = GossipTransport::new(Topology::ring(n), 9).unwrap();
+        let mut clique = Clique::new(n).unwrap();
+        let got = gossip.exchange_inner(raw_sends(n)).unwrap();
+        let want = clique.exchange(raw_sends(n)).unwrap();
+        // Same messages arrive at the same destinations (the ring charges
+        // more rounds, but content and grouping agree).
+        for node in NodeId::all(n) {
+            let mut g: Vec<(NodeId, u64)> = got.of(node).iter().map(|(s, r)| (*s, r.tag)).collect();
+            let mut w: Vec<(NodeId, u64)> =
+                want.of(node).iter().map(|(s, r)| (*s, r.tag)).collect();
+            g.sort_unstable();
+            w.sort_unstable();
+            assert_eq!(g, w, "inbox of {node}");
+        }
+        assert!(
+            Transport::rounds(&gossip) > Clique::rounds(&clique),
+            "multi-hop forwarding must cost more rounds than the clique"
+        );
+    }
+
+    #[test]
+    fn gossip_exchange_surfaces_losses_as_typed_error() {
+        let mut t = GossipTransport::new(Topology::ring(6), 1).unwrap();
+        Transport::set_fault_plan(&mut t, FaultPlan::parse("drop=1.0,seed=5").unwrap());
+        let err = t.exchange_inner(raw_sends(6)).unwrap_err();
+        match err {
+            CongestError::DeliveryFailed { undelivered, .. } => assert!(undelivered > 0),
+            other => panic!("expected DeliveryFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gossip_blocks_all_sources_all_views() {
+        let n = 5;
+        let mut t = GossipTransport::new(Topology::torus(n), 8).unwrap();
+        let blocks: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 8 + i]).collect();
+        let views = Transport::gossip_blocks(&mut t, &blocks).unwrap();
+        for view in &views {
+            assert_eq!(view, &blocks);
+        }
+        assert_eq!(t.gossip_stats().unwrap().broadcasts, n as u64);
+        // Activity landed in the metrics span tree under the rlnc spans.
+        let spans = Transport::metrics(&t).spans();
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.label.starts_with("rlnc/") && s.totals.rounds > 0),
+            "expected rlnc/srcN spans with charged rounds"
+        );
+    }
+
+    #[test]
+    fn gossip_survives_mild_drop_rates() {
+        let mut t = GossipTransport::new(Topology::random_mesh(8, 4, 2), 6).unwrap();
+        Transport::set_fault_plan(&mut t, FaultPlan::parse("drop=0.05,seed=3").unwrap());
+        let block: Vec<u8> = (0..40).collect();
+        let views = t.broadcast_block(NodeId::new(0), &block).unwrap();
+        assert!(views.iter().all(|v| v == &block));
+        let stats = t.gossip_stats().unwrap();
+        assert!(
+            stats.innovative_packets + stats.wasted_packets <= stats.packets_sent,
+            "drops mean fewer arrivals than sends"
+        );
+    }
+
+    #[test]
+    fn stats_waste_fraction_is_bounded() {
+        let mut s = GossipStats::default();
+        assert_eq!(s.waste_fraction(), 0.0);
+        s.packets_sent = 10;
+        s.wasted_packets = 3;
+        assert!((s.waste_fraction() - 0.3).abs() < 1e-12);
+    }
+}

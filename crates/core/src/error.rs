@@ -90,7 +90,9 @@ impl ApspError {
     pub fn is_retryable(&self) -> bool {
         match self {
             ApspError::Congest(
-                CongestError::DeliveryFailed { .. } | CongestError::NodeCrashed { .. },
+                CongestError::DeliveryFailed { .. }
+                | CongestError::NodeCrashed { .. }
+                | CongestError::DecodeFailed { .. },
             ) => true,
             ApspError::StageAborted { .. } => true,
             ApspError::Internal { .. } => true,
@@ -230,5 +232,16 @@ mod tests {
         assert!(!ApspError::NegativeCycle.is_retryable());
         assert!(!ApspError::VerificationFailed { attempts: 4 }.is_retryable());
         assert!(!ApspError::Congest(CongestError::EmptyNetwork).is_retryable());
+        // Coded gossip decode failures are luck-of-the-faults — retryable;
+        // a disconnected topology never improves with a reseed.
+        assert!(ApspError::Congest(CongestError::DecodeFailed {
+            phase: "gossip".into(),
+            undecoded: 1,
+            rounds: 9,
+        })
+        .is_retryable());
+        assert!(
+            !ApspError::Congest(CongestError::Partitioned { reachable: 1, n: 2 }).is_retryable()
+        );
     }
 }

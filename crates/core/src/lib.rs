@@ -91,6 +91,11 @@ pub use baselines::{
 pub mod driver;
 pub use driver::{apsp_driver, AttemptRecord, DriverConfig, DriverReport, FallbackPolicy};
 
+pub mod transport_apsp;
+pub use transport_apsp::{
+    gossip_apsp, GossipApspConfig, GossipApspReport, GossipAttempt, TransportKind,
+};
+
 pub mod extremum;
 pub use extremum::{
     classical_extremum_scan, diameter_of, distance_params, eccentricities, network_extremum,

@@ -9,12 +9,14 @@
 //! logic stays unit-testable.
 
 use crate::algo::{
-    apsp_driver, apsp_traced, apsp_with_paths_traced, compute_pairs, distance_params,
+    apsp_driver, apsp_traced, apsp_with_paths_traced, compute_pairs, distance_params, gossip_apsp,
     quantum_gamma_count, reference_find_edges, ApspAlgorithm, ApspError, DistanceParam,
-    DriverConfig, EngineConfig, ExtremumBackend, ExtremumConfig, FallbackPolicy, LoadPlan, PairSet,
-    Params, QueryEngine, SearchBackend,
+    DriverConfig, EngineConfig, ExtremumBackend, ExtremumConfig, FallbackPolicy, GossipApspConfig,
+    LoadPlan, PairSet, Params, QueryEngine, SearchBackend, TransportKind,
 };
-use crate::congest::{parse_trace, Clique, FaultPlan, NetConfig, TraceSink, TraceSummary};
+use crate::congest::{
+    parse_trace, Clique, FaultPlan, NetConfig, TopologySpec, TraceSink, TraceSummary,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -40,6 +42,11 @@ pub enum Command {
         verify: bool,
         /// Driver retry budget (extra attempts after the first).
         max_retries: u32,
+        /// Communication substrate: the Lenzen clique or coded gossip.
+        transport: TransportKind,
+        /// Topology for the gossip transport (requires `--transport
+        /// gossip`; defaults to `mesh:4` there).
+        topology: Option<TopologySpec>,
     },
     /// Compute a distance parameter (diameter / radius / eccentricities)
     /// by extremum search over the node-held eccentricities.
@@ -156,6 +163,7 @@ USAGE:
 COMMANDS:
     apsp           run all-pairs shortest paths   [--algorithm quantum|classical|naive|semiring] [--wmax W] [--trace FILE]
                    [--faults SPEC] [--verify] [--max-retries K]
+                   [--transport clique|gossip] [--topology clique|ring|mesh[:D]|torus]
     diameter       largest shortest-path distance [--algorithm quantum|classical|naive|semiring] [--backend quantum|scan]
                    [--wmax W] [--density D] [--trace FILE] [--faults SPEC] [--verify] [--max-retries K]
     radius         smallest eccentricity          (same flags as diameter)
@@ -193,6 +201,15 @@ drop=R, corrupt=R, dup=R (rates in [0,1]), seed=S, crash=NODE@ROUND,
 link=SRC>DST:RATE. --verify runs the self-verifying Las-Vegas driver
 (retry up to --max-retries times, then degrade to the classical
 semiring fallback).
+
+apsp --transport gossip replaces the clique with RLNC-coded gossip over
+a general topology (--topology, default mesh:4): every node broadcasts
+its adjacency row as random linear combinations of coded chunks, then
+solves locally. Coded redundancy replaces the ack/retransmit envelope
+as the loss-recovery mechanism; a disconnected topology, a crashed
+node, or losses outrunning the redundancy fail with a typed error —
+never a silently wrong matrix. The output reports wasted bandwidth
+(received packets that taught the receiver nothing).
 
 serve reads NDJSON requests from stdin, one object per line, and writes
 one NDJSON response per request: {\"op\":\"dist\",\"u\":0,\"v\":5},
@@ -364,6 +381,8 @@ fn parse_fault_plan(flags: &Flags) -> Result<Option<FaultPlan>, CliError> {
 ///         faults: None,
 ///         verify: false,
 ///         max_retries: 3,
+///         transport: qcc::algo::TransportKind::Clique,
+///         topology: None,
 ///     }
 /// );
 /// // A misspelled flag is an error, not a silently ignored token:
@@ -388,12 +407,29 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--trace",
                     "--faults",
                     "--max-retries",
+                    "--transport",
+                    "--topology",
                 ],
                 &["--verify"],
             )?;
             flags.reject_positionals(command)?;
             let algorithm = parse_algorithm(&flags)?;
             let faults = parse_fault_plan(&flags)?;
+            let transport = match flags.get("--transport") {
+                None => TransportKind::Clique,
+                Some(t) => TransportKind::parse(t).map_err(CliError)?,
+            };
+            let topology = match flags.get("--topology") {
+                None => None,
+                Some(t) => Some(TopologySpec::parse(t).map_err(CliError)?),
+            };
+            if topology.is_some() && transport != TransportKind::Gossip {
+                return Err(CliError(
+                    "--topology requires --transport gossip (the clique has no choice \
+                     of topology)"
+                        .into(),
+                ));
+            }
             Ok(Command::Apsp {
                 n: flags.num("--n", 8)?,
                 seed: flags.num("--seed", 7)?,
@@ -403,6 +439,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 faults,
                 verify: flags.switch("--verify"),
                 max_retries: flags.num("--max-retries", 3)?,
+                transport,
+                topology,
             })
         }
         "diameter" | "radius" | "ecc" => {
@@ -638,10 +676,64 @@ pub fn run(
             ref faults,
             verify,
             max_retries,
+            transport,
+            ref topology,
         } => {
             let mut rng = StdRng::seed_from_u64(seed);
             let g = crate::graph::generators::random_reweighted_digraph(n, 0.5, w_max, &mut rng);
             let sink = open_sink(trace.as_ref())?;
+            if transport == TransportKind::Gossip {
+                let cfg = GossipApspConfig {
+                    topology: topology.unwrap_or(TopologySpec::Mesh { degree: 4 }),
+                    max_retries,
+                    // Gossip always certifies: the check is local and free
+                    // of rounds, so there is no cheaper mode to offer.
+                    verify: true,
+                    net: faults.clone().map(NetConfig::faulty).unwrap_or_default(),
+                    seed,
+                    ..GossipApspConfig::default()
+                };
+                let driven = gossip_apsp(&g, &cfg, sink.as_ref());
+                flush_sink(sink.as_ref())?;
+                match driven {
+                    Ok(report) => {
+                        writeln!(
+                            out,
+                            "gossip APSP on n={n} (seed {seed}, topology {}): \
+                             {} rounds total, {} attempt(s), verified: {}",
+                            report.topology,
+                            report.total_rounds,
+                            report.attempts.len(),
+                            report.verified,
+                        )?;
+                        writeln!(
+                            out,
+                            "coded gossip: {} packets sent, {} wasted ({:.1}%), \
+                             {} full nodes",
+                            report.stats.packets_sent,
+                            report.stats.wasted_packets,
+                            100.0 * report.stats.waste_fraction(),
+                            report.stats.full_nodes,
+                        )?;
+                        let finite = report
+                            .distances
+                            .entries()
+                            .filter(|(_, _, w)| w.is_finite())
+                            .count();
+                        writeln!(out, "{finite}/{} pairs reachable", n * n)?;
+                        return Ok(RunStatus::Success);
+                    }
+                    Err(ApspError::VerificationFailed { attempts }) => {
+                        writeln!(
+                            out,
+                            "gossip APSP on n={n} (seed {seed}): {attempts} attempt(s) \
+                             exhausted without a verified answer"
+                        )?;
+                        return Ok(RunStatus::VerificationFailed);
+                    }
+                    Err(e) => return Err(Box::new(e)),
+                }
+            }
             if faults.is_none() && !verify {
                 let report = apsp_traced(&g, Params::paper(), algorithm, &mut rng, sink.as_ref())?;
                 flush_sink(sink.as_ref())?;
@@ -1000,6 +1092,8 @@ mod tests {
                 faults: None,
                 verify: false,
                 max_retries: 3,
+                transport: TransportKind::Clique,
+                topology: None,
             }
         );
     }
@@ -1025,6 +1119,54 @@ mod tests {
             }
             other => panic!("unexpected command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn apsp_transport_flags_parse() {
+        let cmd = parse(&argv("apsp --transport gossip --topology mesh:6")).unwrap();
+        match cmd {
+            Command::Apsp {
+                transport,
+                topology,
+                ..
+            } => {
+                assert_eq!(transport, TransportKind::Gossip);
+                assert_eq!(topology, Some(TopologySpec::Mesh { degree: 6 }));
+            }
+            other => panic!("unexpected command: {other:?}"),
+        }
+        // Topology only makes sense for gossip; on the clique it is a
+        // pointed error, not a silently ignored flag.
+        let e = parse(&argv("apsp --topology ring")).unwrap_err();
+        assert!(e.0.contains("--transport gossip"), "{e}");
+        let e = parse(&argv("apsp --transport telepathy")).unwrap_err();
+        assert!(e.0.contains("telepathy"), "{e}");
+        let e = parse(&argv("apsp --transport gossip --topology blob")).unwrap_err();
+        assert!(e.0.contains("blob"), "{e}");
+    }
+
+    #[test]
+    fn run_gossip_apsp_smoke() {
+        let mut buf = Vec::new();
+        let cmd = Command::Apsp {
+            n: 6,
+            seed: 1,
+            algorithm: ApspAlgorithm::NaiveBroadcast,
+            w_max: 5,
+            trace: None,
+            faults: Some(FaultPlan::parse("drop=0.05,seed=2").unwrap()),
+            verify: false,
+            max_retries: 3,
+            transport: TransportKind::Gossip,
+            topology: Some(TopologySpec::Ring),
+        };
+        let status = run(&cmd, &mut buf).unwrap();
+        assert_eq!(status, RunStatus::Success);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("rounds total"), "{text}");
+        assert!(text.contains("wasted"), "{text}");
+        assert!(text.contains("verified: true"), "{text}");
+        assert!(text.contains("topology ring"), "{text}");
     }
 
     #[test]
@@ -1228,6 +1370,8 @@ mod tests {
             faults: None,
             verify: false,
             max_retries: 3,
+            transport: TransportKind::Clique,
+            topology: None,
         };
         let status = run(&cmd, &mut buf).unwrap();
         assert_eq!(status, RunStatus::Success);
@@ -1399,6 +1543,8 @@ mod tests {
             faults: Some(FaultPlan::parse("drop=0.1,corrupt=0.02,seed=4").unwrap()),
             verify: true,
             max_retries: 3,
+            transport: TransportKind::Clique,
+            topology: None,
         };
         let status = run(&cmd, &mut buf).unwrap();
         assert_eq!(status, RunStatus::Success);
@@ -1446,6 +1592,8 @@ mod tests {
             faults: Some(FaultPlan::parse("crash=0@0").unwrap()),
             verify: true,
             max_retries: 0,
+            transport: TransportKind::Clique,
+            topology: None,
         };
         let status = run(&cmd, &mut buf).unwrap();
         assert_eq!(status, RunStatus::VerificationFailed);
@@ -1477,6 +1625,8 @@ mod tests {
                 faults: None,
                 verify: false,
                 max_retries: 3,
+                transport: TransportKind::Clique,
+                topology: None,
             },
             &mut buf,
         )

@@ -5,7 +5,7 @@
 //! stdout. This is the acceptance gate for the tracing subsystem: a trace
 //! that disagrees with the simulator's own accounting is worse than none.
 
-use qcc::algo::{ApspAlgorithm, SearchBackend};
+use qcc::algo::{ApspAlgorithm, SearchBackend, TransportKind};
 use qcc::cli::{run, Command};
 use qcc::congest::{parse_trace, TraceSummary};
 use std::path::PathBuf;
@@ -66,6 +66,31 @@ fn traced_quantum_apsp_agrees_with_its_report() {
             faults: None,
             verify: false,
             max_retries: 3,
+            transport: TransportKind::Clique,
+            topology: None,
+        },
+        &path,
+    );
+}
+
+#[test]
+fn traced_gossip_apsp_agrees_with_its_report() {
+    // The gossip transport routes everything through an inner clique, so
+    // the span tree and the printed total must agree exactly even with
+    // faults in play.
+    let path = temp_trace("apsp-gossip");
+    assert_trace_matches_stdout(
+        &Command::Apsp {
+            n: 6,
+            seed: 11,
+            algorithm: ApspAlgorithm::NaiveBroadcast,
+            w_max: 4,
+            trace: Some(path.to_string_lossy().into_owned()),
+            faults: Some(qcc::congest::FaultPlan::parse("drop=0.05,seed=3").unwrap()),
+            verify: false,
+            max_retries: 3,
+            transport: TransportKind::Gossip,
+            topology: Some(qcc::congest::TopologySpec::Mesh { degree: 4 }),
         },
         &path,
     );
@@ -84,6 +109,8 @@ fn traced_classical_apsp_agrees_with_its_report() {
             faults: None,
             verify: false,
             max_retries: 3,
+            transport: TransportKind::Clique,
+            topology: None,
         },
         &path,
     );
@@ -106,6 +133,8 @@ fn traced_baseline_apsp_agrees_with_their_reports() {
                 faults: None,
                 verify: false,
                 max_retries: 3,
+                transport: TransportKind::Clique,
+                topology: None,
             },
             &path,
         );
@@ -168,6 +197,8 @@ fn quantum_trace_has_the_expected_hierarchy() {
         faults: None,
         verify: false,
         max_retries: 3,
+        transport: TransportKind::Clique,
+        topology: None,
     };
     run(&cmd, &mut Vec::new()).unwrap();
     let text = std::fs::read_to_string(&path).unwrap();
